@@ -1,0 +1,87 @@
+"""Ablation: the queueing model's design choices (DESIGN.md Section 5).
+
+1. eq. (19) evaluates the *virtual* waiting time; the per-packet delay
+   needs the conditional-PASTA correction.  This bench quantifies how
+   wrong the uncorrected formula is for video-like bursty arrivals.
+2. Gaussian-jitter service atoms (eqs. 15-18) vs the constant-time
+   special case (eqs. 11-14): the paper adopts the Gaussian model; the
+   ablation measures what it buys.
+Both are judged against discrete-event simulation of the same queue.
+"""
+
+from conftest import publish
+
+from repro.analysis import render_table
+from repro.core import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    MMPP2,
+    ServiceTimeModel,
+    TransmissionComponent,
+    simulate_mmpp_g1,
+    solve_mmpp_g1,
+)
+
+# A video-like arrival process: I-bursts at 4000 pkt/s, trickle at 30/s.
+VIDEO_MMPP = MMPP2(p1=570.0, p2=1.03, lambda1=4000.0, lambda2=30.0)
+
+
+def _service(jitter: bool) -> ServiceTimeModel:
+    def atom(mu, sigma):
+        return GaussianAtom(mu, sigma if jitter else 0.0)
+    return ServiceTimeModel(
+        EncryptionComponent(0.2, 0.0, atom(1.0e-3, 1.0e-4),
+                            atom(0.2e-3, 0.2e-4)),
+        BackoffComponent(p_s=0.9, lambda_b=3000.0),
+        TransmissionComponent(0.2, atom(0.4e-3, 0.12e-4),
+                              atom(0.25e-3, 0.08e-4)),
+    )
+
+
+def build_report() -> str:
+    rows = []
+    service = _service(jitter=True)
+    solution = solve_mmpp_g1(VIDEO_MMPP, service)
+    simulated = simulate_mmpp_g1(VIDEO_MMPP, service,
+                                 n_packets=400_000, seed=0)
+    rows.append([
+        "per-packet E[W] (eq. 19 + PASTA correction)",
+        f"{solution.mean_waiting_time_s * 1e3:.4f}",
+        f"{simulated.mean_waiting_time_s * 1e3:.4f}",
+        f"{100 * abs(solution.mean_waiting_time_s / simulated.mean_waiting_time_s - 1):.1f}%",
+    ])
+    rows.append([
+        "virtual E[V] (raw eq. 19)",
+        f"{solution.mean_virtual_waiting_time_s * 1e3:.4f}",
+        f"{simulated.mean_waiting_time_s * 1e3:.4f}",
+        f"{100 * abs(solution.mean_virtual_waiting_time_s / simulated.mean_waiting_time_s - 1):.1f}%",
+    ])
+    # The correction must matter for bursty video arrivals.
+    assert (abs(solution.mean_waiting_time_s
+                - simulated.mean_waiting_time_s)
+            < abs(solution.mean_virtual_waiting_time_s
+                  - simulated.mean_waiting_time_s))
+
+    constant = _service(jitter=False)
+    solution_c = solve_mmpp_g1(VIDEO_MMPP, constant)
+    simulated_c = simulate_mmpp_g1(VIDEO_MMPP, constant,
+                                   n_packets=400_000, seed=1)
+    rows.append([
+        "constant service times (eqs. 11-14)",
+        f"{solution_c.mean_waiting_time_s * 1e3:.4f}",
+        f"{simulated_c.mean_waiting_time_s * 1e3:.4f}",
+        f"{100 * abs(solution_c.mean_waiting_time_s / simulated_c.mean_waiting_time_s - 1):.1f}%",
+    ])
+    return render_table(
+        ["model variant", "analytic E[W] (ms)", "simulated E[W] (ms)",
+         "relative error"],
+        rows,
+        title="Queueing ablation — eq. (19) variants vs discrete-event"
+              " simulation (video-like 2-MMPP)",
+    )
+
+
+def test_ablation_queue(benchmark):
+    text = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    publish("ablation_queue", text)

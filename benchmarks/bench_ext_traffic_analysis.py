@@ -1,0 +1,67 @@
+"""Extension bench: the traffic-analysis arms race the paper defers.
+
+Section 3: "The eavesdropper may be able to distinguish packets as
+belonging to either I-frames or P-frames based on their size ... the
+sender can obfuscate these features by using techniques such as padding
+the payload; we do not consider these possibilities in this work."
+
+This bench quantifies both sides: the size-threshold classifier's
+advantage on the raw flow, and what each padding defence costs in
+delay, power and bandwidth to take that advantage away.
+"""
+
+from conftest import get_bitstream, get_clip, publish
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import DEVICES, SenderSimulator
+from repro.testbed.traffic_analysis import (
+    SizePacketClassifier,
+    evaluate_classifier,
+    pad_packets,
+)
+from repro.video.packetizer import packetize
+
+
+def build_report() -> str:
+    bitstream = get_bitstream("slow", 30)
+    policy = standard_policies("AES256")["I"]
+    raw_packets = packetize(bitstream, carry_payload=False)
+    classifier = SizePacketClassifier().fit(raw_packets)
+
+    rows = []
+    for mode in ("none", "buckets", "mtu"):
+        flow = pad_packets(raw_packets, mode)
+        report = evaluate_classifier(classifier, flow)
+        simulator = SenderSimulator(
+            bitstream, device=DEVICES["samsung-s2"], padding=mode
+        )
+        run = simulator.run(policy, seed=0)
+        total_bytes = sum(p.payload_size for p in flow)
+        rows.append([
+            mode,
+            f"{report.advantage:.3f}",
+            f"{report.i_recall:.2f}",
+            f"{run.mean_delay_ms:.2f}",
+            f"{total_bytes / 1024:.0f}",
+        ])
+    # Shape: padding monotonically removes the attacker's advantage and
+    # monotonically costs bandwidth/delay.
+    advantages = [float(r[1]) for r in rows]
+    assert advantages[0] > 0.4
+    assert advantages[0] >= advantages[1] >= advantages[2]
+    assert advantages[2] < 0.05
+    delays = [float(r[3]) for r in rows]
+    assert delays[0] < delays[2]
+    return render_table(
+        ["padding", "attacker advantage", "I-fragment recall",
+         "delay (ms)", "flow size (KiB)"],
+        rows,
+        title="Extension — packet-size traffic analysis vs padding"
+              " (slow motion, policy I, AES256, Samsung S-II)",
+    )
+
+
+def test_ext_traffic_analysis(benchmark):
+    text = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    publish("ext_traffic_analysis", text)

@@ -1,0 +1,59 @@
+"""Fig. 2: average distortion vs reference-frame distance, per motion class.
+
+Paper: three panels (low / medium / high motion) showing how the MSE of
+substituting a d-frames-old reference grows with d, plus the degree-5
+polynomial fit the distortion model consumes.
+"""
+
+from conftest import get_clip, publish
+
+from repro.analysis import (
+    fit_distortion_polynomial,
+    measure_reference_distance_distortion,
+    render_table,
+)
+
+DISTANCES = (1, 2, 3, 4, 6, 8)
+
+
+def build_figure() -> str:
+    rows = []
+    fits = {}
+    for motion in ("slow", "medium", "fast"):
+        clip = get_clip(motion)
+        curve = measure_reference_distance_distortion(
+            clip, max_distance=max(DISTANCES)
+        )
+        poly = fit_distortion_polynomial(curve)
+        fits[motion] = poly
+        lookup = dict(zip(curve.distances, curve.mean_distortion))
+        for distance in DISTANCES:
+            rows.append([
+                motion, distance,
+                f"{lookup[distance]:.1f}",
+                f"{poly(distance):.1f}",
+            ])
+    text = render_table(
+        ["motion class", "distance (frames)", "measured MSE",
+         "degree-5 fit"],
+        rows,
+        title="Fig. 2 — distortion vs reference distance"
+              " (low/medium/high motion)",
+    )
+    # Shape assertions: distortion grows with motion class at every
+    # distance, and grows with distance for moving content.
+    for distance in DISTANCES:
+        values = [
+            next(float(r[2]) for r in rows
+                 if r[0] == m and r[1] == distance)
+            for m in ("slow", "medium", "fast")
+        ]
+        assert values[0] < values[1] < values[2], (
+            f"motion ordering broken at distance {distance}"
+        )
+    return text
+
+
+def test_fig02_reference_distance(benchmark):
+    text = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    publish("fig02_reference_distance", text)

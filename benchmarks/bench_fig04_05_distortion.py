@@ -1,0 +1,121 @@
+"""Figs. 4 & 5: eavesdropper distortion (PSNR) and MOS, analysis vs
+experiment, for slow/fast motion and GOP sizes 30/50.
+
+Paper's panels: Fig. 4a-d bar groups over the encryption level
+{none, P, I, all} comparing the analytical prediction with the Android
+measurement; Fig. 5a-b the corresponding MOS.  The shape to reproduce:
+
+- I-frame encryption degrades slow motion far more than fast motion;
+- P-frame encryption degrades fast motion far more than slow motion;
+- partially encrypted flows drive MOS to ~1;
+- the analysis tracks the experiment.
+"""
+
+from functools import lru_cache
+
+import pytest
+from conftest import (
+    REPEATS,
+    get_bitstream,
+    get_clip,
+    get_framework,
+    get_sensitivity,
+    publish,
+)
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import DEVICES, ExperimentConfig, run_repeated
+
+POLICY_ORDER = ("none", "P", "I", "all")
+DEVICE = "samsung-s2"
+
+
+@lru_cache(maxsize=None)
+def run_cell(motion: str, gop_size: int, policy_name: str):
+    policy = standard_policies("AES256")[policy_name]
+    config = ExperimentConfig(
+        policy=policy,
+        device=DEVICES[DEVICE],
+        sensitivity_fraction=get_sensitivity(motion),
+    )
+    return run_repeated(get_clip(motion), get_bitstream(motion, gop_size),
+                        config, repeats=REPEATS)
+
+
+def build_fig04() -> str:
+    rows = []
+    for motion in ("slow", "fast"):
+        for gop_size in (30, 50):
+            model = get_framework(motion, gop_size, DEVICE)
+            for name in POLICY_ORDER:
+                policy = standard_policies("AES256")[name]
+                predicted = model.predict(policy).eavesdropper_psnr_db
+                measured = run_cell(motion, gop_size,
+                                    name).eavesdropper_psnr_db
+                rows.append([
+                    motion, gop_size, name,
+                    f"{predicted:.2f}",
+                    f"{measured.mean:.2f} +/- {measured.ci_halfwidth:.2f}",
+                ])
+    text = render_table(
+        ["motion", "GOP", "encryption level", "analysis PSNR (dB)",
+         "experiment PSNR (dB)"],
+        rows,
+        title="Fig. 4 — eavesdropper distortion, analysis vs experiment"
+              " (AES256, Samsung S-II)",
+    )
+    _assert_shape(rows)
+    return text
+
+
+def _value(rows, motion, gop, name):
+    for row in rows:
+        if row[0] == motion and row[1] == gop and row[2] == name:
+            return float(row[4].split(" ")[0])
+    raise KeyError((motion, gop, name))
+
+
+def _assert_shape(rows) -> None:
+    for gop in (30, 50):
+        # I-encryption hurts slow motion more than fast motion.
+        assert (_value(rows, "slow", gop, "I")
+                < _value(rows, "fast", gop, "I") - 5.0)
+        # P-encryption hurts fast motion more than slow motion.
+        assert (_value(rows, "fast", gop, "P")
+                < _value(rows, "slow", gop, "P") - 5.0)
+        for motion in ("slow", "fast"):
+            none_psnr = _value(rows, motion, gop, "none")
+            all_psnr = _value(rows, motion, gop, "all")
+            assert all_psnr < none_psnr - 15.0
+
+
+def build_fig05() -> str:
+    rows = []
+    for gop_size in (30, 50):
+        for motion in ("slow", "fast"):
+            for name in POLICY_ORDER:
+                measured = run_cell(motion, gop_size, name).eavesdropper_mos
+                rows.append([gop_size, motion, name,
+                             f"{measured.mean:.2f}"])
+    text = render_table(
+        ["GOP", "motion", "encryption level", "eavesdropper MOS"],
+        rows,
+        title="Fig. 5 — Mean Opinion Score at the eavesdropper",
+    )
+    # Partially encrypted slow-motion flows are unviewable (MOS ~ 1).
+    for gop in (30, 50):
+        slow_i = next(float(r[3]) for r in rows
+                      if r[0] == gop and r[1] == "slow" and r[2] == "I")
+        assert slow_i < 1.5
+    return text
+
+
+def test_fig04_distortion(benchmark):
+    text = benchmark.pedantic(build_fig04, rounds=1, iterations=1)
+    publish("fig04_distortion", text)
+
+
+def test_fig05_mos(benchmark):
+    text = benchmark.pedantic(build_fig05, rounds=1, iterations=1)
+    publish("fig05_mos", text)

@@ -1,0 +1,65 @@
+"""Fig. 6: screenshots of the video at the eavesdropper's site.
+
+Substitution (no display hardware): the reconstructed eavesdropper
+frames are dumped as PGM images under benchmarks/results/fig06/, and the
+"figure" is a table of per-snapshot luma MSE against the original — a
+numerical rendition of what the paper shows visually (slow vs fast,
+GOP 30, all four encryption levels).
+"""
+
+from pathlib import Path
+
+from conftest import RESULTS_DIR, get_bitstream, get_clip, get_sensitivity, publish
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import DEVICES, SenderSimulator
+from repro.video import conceal_decode, frames_decodable, mse, write_pgm
+
+SNAPSHOT = 45  # mid-clip frame, inside the second GOP
+POLICY_ORDER = ("none", "P", "I", "all")
+
+
+def build_figure() -> str:
+    out_dir = RESULTS_DIR / "fig06"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for motion in ("slow", "fast"):
+        clip = get_clip(motion)
+        bitstream = get_bitstream(motion, 30)
+        simulator = SenderSimulator(bitstream, device=DEVICES["samsung-s2"])
+        write_pgm(out_dir / f"{motion}_original.pgm", clip[SNAPSHOT].y)
+        for name in POLICY_ORDER:
+            policy = standard_policies("AES256")[name]
+            run = simulator.run(policy, seed=0)
+            decodable = frames_decodable(
+                run.packets, run.usable_by_eavesdropper,
+                get_sensitivity(motion),
+            )
+            video = conceal_decode(bitstream, decodable,
+                                   mode="best_effort").sequence
+            path = out_dir / f"{motion}_{name}.pgm"
+            write_pgm(path, video[SNAPSHOT].y)
+            rows.append([
+                motion, name,
+                f"{mse(clip[SNAPSHOT].y, video[SNAPSHOT].y):.0f}",
+                str(path.relative_to(RESULTS_DIR.parent)),
+            ])
+    # Shape: the fast/I screenshot is far closer to the original than the
+    # slow/I one (the paper's visual point).
+    slow_i = next(float(r[2]) for r in rows
+                  if r[0] == "slow" and r[1] == "I")
+    fast_i = next(float(r[2]) for r in rows
+                  if r[0] == "fast" and r[1] == "I")
+    assert fast_i < 0.5 * slow_i
+    return render_table(
+        ["motion", "encryption level", "snapshot MSE", "screenshot file"],
+        rows,
+        title="Fig. 6 — eavesdropper screenshots (PGM files + luma MSE,"
+              " GOP=30)",
+    )
+
+
+def test_fig06_screenshots(benchmark):
+    text = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    publish("fig06_screenshots", text)

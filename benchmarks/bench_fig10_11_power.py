@@ -1,0 +1,102 @@
+"""Figs. 10 & 11: average power during the transfer, per device.
+
+Paper's panels: for each device, motion level and cipher (AES256, 3DES),
+bar groups over GOP size {30, 50} and the four encryption levels.
+Shape to reproduce: none < I < P <= all within every group; the
+unencrypted stream is cheapest because no CPU cycles are spent on
+crypto; P-only costs nearly as much as all (P bytes dominate); and the
+Samsung's relative increase is steeper than the HTC's (the HTC has a
+higher idle baseline — paper: 140% vs 50% worst-case increases).
+"""
+
+from functools import lru_cache
+
+from conftest import REPEATS, get_bitstream, get_clip, get_sensitivity, publish
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import DEVICES, ExperimentConfig, run_repeated
+
+POLICY_ORDER = ("none", "I", "P", "all")
+
+
+@lru_cache(maxsize=None)
+def power_w(device_key: str, algorithm: str, motion: str, gop_size: int,
+            policy_name: str) -> float:
+    policy = standard_policies(algorithm)[policy_name]
+    config = ExperimentConfig(
+        policy=policy,
+        device=DEVICES[device_key],
+        sensitivity_fraction=get_sensitivity(motion),
+        decode_video=False,
+    )
+    result = run_repeated(get_clip(motion), get_bitstream(motion, gop_size),
+                          config, repeats=REPEATS)
+    return result.power_w.mean
+
+
+def build_figure(device_key: str, figure_name: str) -> str:
+    rows = []
+    for motion in ("slow", "fast"):
+        for algorithm in ("AES256", "3DES"):
+            for gop_size in (30, 50):
+                values = {
+                    name: power_w(device_key, algorithm, motion, gop_size,
+                                  name)
+                    for name in POLICY_ORDER
+                }
+                increase = 100.0 * (values["all"] / values["none"] - 1.0)
+                for name in POLICY_ORDER:
+                    rows.append([
+                        motion, algorithm, gop_size, name,
+                        f"{values[name]:.3f}",
+                        f"+{increase:.0f}%" if name == "all" else "",
+                    ])
+                assert (values["none"] < values["I"] < values["P"]
+                        <= values["all"] * 1.001), (
+                    f"power ordering broken in {motion}/{algorithm}/{gop_size}"
+                )
+    return render_table(
+        ["motion", "cipher", "GOP", "encryption level", "power (W)",
+         "all-vs-none"],
+        rows,
+        title=f"{figure_name} — power consumption"
+              f" ({DEVICES[device_key].name})",
+    )
+
+
+def test_fig10_power_samsung(benchmark):
+    text = benchmark.pedantic(
+        build_figure, args=("samsung-s2", "Fig. 10"), rounds=1, iterations=1
+    )
+    publish("fig10_power_samsung", text)
+
+
+def test_fig11_power_htc(benchmark):
+    text = benchmark.pedantic(
+        build_figure, args=("htc-amaze", "Fig. 11"), rounds=1, iterations=1
+    )
+    publish("fig11_power_htc", text)
+
+
+def test_samsung_increase_steeper_than_htc(benchmark):
+    """The relative power increase (all vs none) is larger on the Samsung
+    (paper: up to 140% vs up to 50%)."""
+    def compare():
+        def increase(device_key):
+            none = power_w(device_key, "3DES", "fast", 30, "none")
+            full = power_w(device_key, "3DES", "fast", 30, "all")
+            return 100.0 * (full / none - 1.0)
+        samsung = increase("samsung-s2")
+        htc = increase("htc-amaze")
+        assert samsung > htc
+        return samsung, htc
+    samsung_pct, htc_pct = benchmark.pedantic(compare, rounds=1,
+                                              iterations=1)
+    publish(
+        "fig10_11_increase_comparison",
+        "Relative power increase, all-encrypted vs none"
+        " (3DES, fast, GOP=30):\n"
+        f"  Samsung S-II: +{samsung_pct:.0f}%   (paper: up to +140%)\n"
+        f"  HTC Amaze 4G: +{htc_pct:.0f}%   (paper: up to +50%)",
+    )

@@ -1,0 +1,184 @@
+"""Figs. 12-15: the HTTP/TCP experiments of Section 6.4.
+
+On a hotspot with residual loss, HTTP/TCP transfers pay retransmission
+latency (Figs. 12/13 show higher delays than the UDP Figs. 7/8) but the
+selective-encryption trends survive unchanged: the eavesdropper
+distortion (Fig. 14) and MOS (Fig. 15) orderings match the RTP/UDP case.
+"""
+
+from functools import lru_cache
+
+from conftest import REPEATS, get_bitstream, get_clip, get_sensitivity, publish
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import (
+    DEVICES,
+    ExperimentConfig,
+    HTTP_TCP,
+    LinkConfig,
+    run_repeated,
+)
+
+POLICY_ORDER = ("none", "P", "I", "all")
+
+
+@lru_cache(maxsize=None)
+def tcp_link() -> LinkConfig:
+    """Contended hotspot with residual loss for TCP to repair."""
+    base = LinkConfig.default(n_stations=4, channel_error_rate=0.08)
+    return LinkConfig(phy=base.phy, dcf=base.dcf, retry_limit=1)
+
+
+@lru_cache(maxsize=None)
+def run_cell(device_key: str, algorithm: str, motion: str, gop_size: int,
+             policy_name: str, decode: bool):
+    policy = standard_policies(algorithm)[policy_name]
+    config = ExperimentConfig(
+        policy=policy,
+        device=DEVICES[device_key],
+        sensitivity_fraction=get_sensitivity(motion),
+        transport=HTTP_TCP,
+        link=tcp_link(),
+        decode_video=decode,
+    )
+    return run_repeated(get_clip(motion), get_bitstream(motion, gop_size),
+                        config, repeats=REPEATS)
+
+
+def build_delay_figure(device_key: str, figure_name: str) -> str:
+    rows = []
+    for algorithm in ("AES256", "3DES"):
+        for gop_size in (30, 50):
+            for motion in ("slow", "fast"):
+                for name in POLICY_ORDER:
+                    cell = run_cell(device_key, algorithm, motion, gop_size,
+                                    name, False)
+                    rows.append([
+                        algorithm, gop_size, motion, name,
+                        f"{cell.delay_ms.mean:.2f}"
+                        f" +/- {cell.delay_ms.ci_halfwidth:.2f}",
+                    ])
+    # Shape: none < all under every cipher/GOP/motion.
+    def delay(algorithm, gop, motion, name):
+        for row in rows:
+            if row[:4] == [algorithm, gop, motion, name]:
+                return float(row[4].split(" ")[0])
+        raise KeyError
+    for algorithm in ("AES256", "3DES"):
+        for gop in (30, 50):
+            for motion in ("slow", "fast"):
+                assert (delay(algorithm, gop, motion, "none")
+                        < delay(algorithm, gop, motion, "all"))
+    return render_table(
+        ["cipher", "GOP", "motion", "encryption level",
+         "experiment delay (ms)"],
+        rows,
+        title=f"{figure_name} — HTTP/TCP per-packet latency"
+              f" ({DEVICES[device_key].name})",
+    )
+
+
+def build_fig14() -> str:
+    rows = []
+    for gop_size in (30, 50):
+        for motion in ("slow", "fast"):
+            for name in POLICY_ORDER:
+                cell = run_cell("samsung-s2", "AES256", motion, gop_size,
+                                name, True)
+                rows.append([
+                    gop_size, motion, name,
+                    f"{cell.eavesdropper_psnr_db.mean:.2f}",
+                ])
+    # The UDP orderings survive TCP (Section 6.4's claim).
+    def psnr(gop, motion, name):
+        return next(float(r[3]) for r in rows
+                    if r[0] == gop and r[1] == motion and r[2] == name)
+    for gop in (30, 50):
+        assert psnr(gop, "slow", "I") < psnr(gop, "fast", "I") - 5.0
+        assert psnr(gop, "fast", "P") < psnr(gop, "slow", "P") - 5.0
+        for motion in ("slow", "fast"):
+            assert psnr(gop, motion, "all") < psnr(gop, motion, "none") - 15.0
+    return render_table(
+        ["GOP", "motion", "encryption level", "eavesdropper PSNR (dB)"],
+        rows,
+        title="Fig. 14 — eavesdropper distortion with HTTP/TCP"
+              " (AES256, Samsung S-II)",
+    )
+
+
+def build_fig15() -> str:
+    rows = []
+    for gop_size in (30, 50):
+        for motion in ("slow", "fast"):
+            for name in POLICY_ORDER:
+                cell = run_cell("samsung-s2", "AES256", motion, gop_size,
+                                name, True)
+                rows.append([
+                    gop_size, motion, name,
+                    f"{cell.eavesdropper_mos.mean:.2f}",
+                ])
+    return render_table(
+        ["GOP", "motion", "encryption level", "eavesdropper MOS"],
+        rows,
+        title="Fig. 15 — Mean Opinion Score with HTTP/TCP"
+              " (AES256, Samsung S-II)",
+    )
+
+
+def test_fig12_tcp_delay_samsung(benchmark):
+    text = benchmark.pedantic(
+        build_delay_figure, args=("samsung-s2", "Fig. 12"),
+        rounds=1, iterations=1,
+    )
+    publish("fig12_tcp_delay_samsung", text)
+
+
+def test_fig13_tcp_delay_htc(benchmark):
+    text = benchmark.pedantic(
+        build_delay_figure, args=("htc-amaze", "Fig. 13"),
+        rounds=1, iterations=1,
+    )
+    publish("fig13_tcp_delay_htc", text)
+
+
+def test_fig14_tcp_distortion(benchmark):
+    text = benchmark.pedantic(build_fig14, rounds=1, iterations=1)
+    publish("fig14_tcp_distortion", text)
+
+
+def test_fig15_tcp_mos(benchmark):
+    text = benchmark.pedantic(build_fig15, rounds=1, iterations=1)
+    publish("fig15_tcp_mos", text)
+
+
+def test_tcp_slower_than_udp(benchmark):
+    """Figs. 12/13 vs Figs. 7/8: TCP latency exceeds UDP latency under
+    the same conditions (retransmissions)."""
+    def compare():
+        policy = standard_policies("AES256")["none"]
+        from repro.testbed import UDP_RTP
+        common = dict(
+            device=DEVICES["samsung-s2"],
+            sensitivity_fraction=get_sensitivity("fast"),
+            link=tcp_link(), decode_video=False,
+        )
+        udp = run_repeated(
+            get_clip("fast"), get_bitstream("fast", 30),
+            ExperimentConfig(policy=policy, transport=UDP_RTP, **common),
+            repeats=REPEATS,
+        ).delay_ms.mean
+        tcp = run_repeated(
+            get_clip("fast"), get_bitstream("fast", 30),
+            ExperimentConfig(policy=policy, transport=HTTP_TCP, **common),
+            repeats=REPEATS,
+        ).delay_ms.mean
+        assert tcp > udp
+        return udp, tcp
+    udp_ms, tcp_ms = benchmark.pedantic(compare, rounds=1, iterations=1)
+    publish(
+        "fig12_15_tcp_vs_udp",
+        "Transport comparison (fast, GOP=30, no encryption, lossy link):\n"
+        f"  RTP/UDP:  {udp_ms:.2f} ms per packet (losses final)\n"
+        f"  HTTP/TCP: {tcp_ms:.2f} ms per packet (losses retransmitted)",
+    )

@@ -1,0 +1,111 @@
+"""Table 2 & Fig. 9: encrypting all I-frame packets plus a fraction of
+the P-frame packets (fast motion, GOP=30).
+
+Table 2 (Samsung S-II, AES256): delay / PSNR / MOS for I-only and
+I+{10,15,20,25,30,50}%P.  Shape: delay grows mildly with the fraction;
+PSNR and MOS fall; around I+20%P the flow is practically obfuscated
+(MOS ~ 1.2), which is the paper's recommendation for fast motion.
+
+Fig. 9a: upload latency vs fraction for five device x cipher series.
+Fig. 9b's screenshots are covered by the fig06 bench's PGM dumps.
+"""
+
+from functools import lru_cache
+
+from conftest import REPEATS, get_bitstream, get_clip, get_sensitivity, publish
+
+from repro.analysis import render_table
+from repro.core import EncryptionPolicy
+from repro.testbed import DEVICES, ExperimentConfig, run_repeated
+
+FRACTIONS = (0.10, 0.15, 0.20, 0.25, 0.30, 0.50)
+
+
+def _policy(algorithm: str, fraction: float) -> EncryptionPolicy:
+    if fraction == 0.0:
+        return EncryptionPolicy("i_frames", algorithm)
+    return EncryptionPolicy("i_plus_p_fraction", algorithm,
+                            fraction=fraction)
+
+
+@lru_cache(maxsize=None)
+def run_cell(device_key: str, algorithm: str, fraction: float,
+             decode: bool):
+    config = ExperimentConfig(
+        policy=_policy(algorithm, fraction),
+        device=DEVICES[device_key],
+        sensitivity_fraction=get_sensitivity("fast"),
+        decode_video=decode,
+    )
+    return run_repeated(get_clip("fast"), get_bitstream("fast", 30),
+                        config, repeats=REPEATS)
+
+
+def build_table2() -> str:
+    rows = []
+    for fraction in (0.0,) + FRACTIONS:
+        cell = run_cell("samsung-s2", "AES256", fraction, True)
+        label = "I" if fraction == 0.0 else f"I+{fraction:.0%} P"
+        rows.append([
+            label,
+            f"{cell.delay_ms.mean:.2f}",
+            f"{cell.eavesdropper_psnr_db.mean:.2f}",
+            f"{cell.eavesdropper_mos.mean:.2f}",
+        ])
+    # Shape assertions: delay rises, PSNR/MOS fall with the fraction.
+    delays = [float(r[1]) for r in rows]
+    psnrs = [float(r[2]) for r in rows]
+    assert delays == sorted(delays), "delay must grow with the fraction"
+    assert psnrs[0] > psnrs[-1] + 5.0, "distortion must deepen"
+    # I+20%P obfuscates: MOS near 1 (paper: 1.20).
+    mos_20 = float(rows[3][3])
+    assert mos_20 < 1.6
+    return render_table(
+        ["encryption", "delay (ms)", "PSNR (dB)", "MOS"],
+        rows,
+        title="Table 2 — delay vs distortion for I + fraction-of-P"
+              " (fast motion, AES256, Samsung S-II)",
+    )
+
+
+def build_fig09() -> str:
+    series = (
+        ("htc-amaze", "AES128"),
+        ("htc-amaze", "AES256"),
+        ("htc-amaze", "3DES"),
+        ("samsung-s2", "AES256"),
+        ("samsung-s2", "3DES"),
+    )
+    rows = []
+    for device_key, algorithm in series:
+        for fraction in FRACTIONS:
+            cell = run_cell(device_key, algorithm, fraction, False)
+            rows.append([
+                f"{DEVICES[device_key].name} / {algorithm}",
+                f"{fraction:.0%}",
+                f"{cell.delay_ms.mean:.2f}",
+            ])
+    # 3DES series sits above the AES series for the same device.
+    def last_delay(device_key, algorithm):
+        label = f"{DEVICES[device_key].name} / {algorithm}"
+        return max(float(r[2]) for r in rows if r[0] == label)
+    assert last_delay("samsung-s2", "3DES") > last_delay("samsung-s2",
+                                                         "AES256")
+    assert last_delay("htc-amaze", "3DES") > last_delay("htc-amaze",
+                                                        "AES256")
+    return render_table(
+        ["device / cipher", "% of P packets encrypted", "delay (ms)"],
+        rows,
+        title="Fig. 9a — upload latency vs fraction of P packets"
+              " encrypted (fast motion, GOP=30)",
+    )
+
+
+def test_table2_mixture(benchmark):
+    text = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    publish("table2_mixture", text)
+
+
+def test_fig09_fraction_p(benchmark):
+    text = benchmark.pedantic(build_fig09, rounds=1, iterations=1)
+    publish("fig09_fraction_p", text)

@@ -1,0 +1,100 @@
+"""Shared infrastructure for the figure/table benches.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the simulated testbed (and, where the figure shows "Analysis", the
+analytical framework) and renders the figure as an aligned text table,
+printed and written under ``benchmarks/results/``.
+
+Knobs (environment variables):
+
+- ``REPRO_BENCH_REPEATS``  repetitions per experimental cell (default 3;
+  the paper uses 20 — set 20 for paper-grade confidence intervals);
+- ``REPRO_BENCH_FRAMES``   clip length in frames (default 240; the paper
+  uses 300).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    blank_frame_distortion,
+    fit_distortion_polynomial,
+    measure_recovery_fraction,
+    measure_reference_distance_distortion,
+)
+from repro.core import FrameworkModel, calibrate_scenario
+from repro.testbed import DEVICES
+from repro.video import (
+    CodecConfig,
+    analyze_motion,
+    decode_bitstream,
+    encode_sequence,
+    generate_clip,
+    sensitivity_for,
+    sequence_mse,
+)
+
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+N_FRAMES = int(os.environ.get("REPRO_BENCH_FRAMES", "240"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SEEDS = {"slow": 2013, "medium": 2015, "fast": 2014}
+
+
+@lru_cache(maxsize=None)
+def get_clip(motion: str):
+    return generate_clip(motion, n_frames=N_FRAMES, seed=_SEEDS[motion])
+
+
+@lru_cache(maxsize=None)
+def get_bitstream(motion: str, gop_size: int):
+    return encode_sequence(get_clip(motion),
+                           CodecConfig(gop_size=gop_size, quantizer=8))
+
+
+@lru_cache(maxsize=None)
+def get_sensitivity(motion: str) -> float:
+    return sensitivity_for(analyze_motion(get_clip(motion)).motion_class)
+
+
+@lru_cache(maxsize=None)
+def get_framework(motion: str, gop_size: int, device_key: str
+                  ) -> FrameworkModel:
+    """Calibrated analytical model for one clip/GOP/device cell."""
+    clip = get_clip(motion)
+    bitstream = get_bitstream(motion, gop_size)
+    sensitivity = get_sensitivity(motion)
+    curve = measure_reference_distance_distortion(clip, max_distance=30)
+    polynomial = fit_distortion_polynomial(
+        curve, cap=blank_frame_distortion(clip)
+    )
+    recovery = measure_recovery_fraction(
+        clip, gop_size=gop_size, sensitivity_fraction=sensitivity
+    )
+    baseline = sequence_mse(clip, decode_bitstream(bitstream))
+    scenario = calibrate_scenario(
+        bitstream,
+        cipher_costs=DEVICES[device_key].cipher_costs,
+        polynomial=polynomial,
+        sensitivity_fraction=sensitivity,
+        recovery_fraction=recovery,
+        baseline_distortion=baseline,
+    )
+    return FrameworkModel(scenario)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered figure and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+@pytest.fixture(scope="session")
+def repeats() -> int:
+    return REPEATS

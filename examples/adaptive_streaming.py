@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Adaptive selective encryption on mixed-motion content (extension).
+
+The paper's Fig. 1 workflow classifies the clip's motion "in different
+parts of the video clip" but then applies one policy to the whole flow.
+This example runs the adaptive controller of :mod:`repro.core.adaptive`
+on a clip that alternates slow and fast segments, and compares it with
+the static choices:
+
+- static I-only: cheap, but the fast segments leak;
+- static I+20%P: confidential, but pays the mixture price everywhere;
+- adaptive: per-GOP-window classification, each window gets the cheapest
+  policy its motion class needs.
+
+Run:  python examples/adaptive_streaming.py
+"""
+
+from repro.analysis import render_table
+from repro.core import EncryptionPolicy, standard_policies
+from repro.core.adaptive import plan_adaptive_policy
+from repro.testbed import GALAXY_S2, SenderSimulator
+from repro.video import (
+    CodecConfig,
+    conceal_decode,
+    encode_sequence,
+    frames_decodable,
+    generate_mixed_clip,
+    sequence_mos,
+    sequence_psnr,
+)
+
+SEGMENTS = [("slow", 90), ("fast", 60), ("slow", 60), ("fast", 90)]
+SENSITIVITY = 0.9  # the fast segments set the bar
+
+
+def main() -> None:
+    print("Generating a clip that alternates slow and fast segments...")
+    clip = generate_mixed_clip(SEGMENTS, seed=41)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=30, quantizer=8))
+    simulator = SenderSimulator(bitstream, device=GALAXY_S2)
+
+    adaptive = plan_adaptive_policy(clip, window_frames=30)
+    print("Adaptive window plan:",
+          " ".join(f"{cls}x{n}" for cls, n in adaptive.summary()), "\n")
+
+    contenders = {
+        "static I-only": standard_policies("AES256")["I"],
+        "static I+20%P": EncryptionPolicy("i_plus_p_fraction", "AES256",
+                                          fraction=0.2),
+        "adaptive": adaptive,
+    }
+    rows = []
+    for name, policy in contenders.items():
+        run = simulator.run(policy, seed=0)
+        decodable = frames_decodable(
+            run.packets, run.usable_by_eavesdropper, SENSITIVITY
+        )
+        video = conceal_decode(bitstream, decodable,
+                               mode="best_effort").sequence
+        encrypted = sum(t.payload_bytes for t in run.trace if t.encrypted)
+        rows.append([
+            name,
+            f"{run.mean_delay_ms:.2f}",
+            f"{encrypted / 1024:.0f}",
+            f"{sequence_psnr(clip, video):.1f}",
+            f"{sequence_mos(clip, video):.2f}",
+        ])
+    print(render_table(
+        ["policy", "delay (ms)", "encrypted KiB", "eaves PSNR (dB)",
+         "eaves MOS"],
+        rows,
+        title="Mixed-motion clip (Samsung S-II, AES256)",
+    ))
+    print(
+        "\nThe adaptive plan matches the static mixture's confidentiality\n"
+        "while encrypting fewer bytes; static I-only is cheaper still but\n"
+        "leaks the fast segments (higher MOS at the eavesdropper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: selectively encrypt a video transfer and measure the cost.
+
+This walks the whole pipeline once:
+
+1. synthesize a slow-motion CIF clip and encode it (IPP...P, GOP 30);
+2. transfer it through the simulated sender under four encryption
+   policies (none / I-frames / P-frames / all, AES-256 OFB);
+3. report what the paper's Table 1 matrix reports: per-packet delay,
+   average power, and the video quality an eavesdropper recovers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.crypto import AES, OFBMode, derive_iv
+from repro.testbed import ExperimentConfig, GALAXY_S2, run_experiment
+from repro.video import CodecConfig, encode_sequence, generate_clip, packetize
+
+
+def main() -> None:
+    print("Generating a 5-second slow-motion CIF clip...")
+    clip = generate_clip("slow", n_frames=150, seed=2013)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=30, quantizer=8))
+    sizes = bitstream.size_summary()
+    print(f"  encoded: {len(bitstream)} frames, "
+          f"I-frames ~{sizes['mean_i_bytes']:.0f} B, "
+          f"P-frames ~{sizes['mean_p_bytes']:.0f} B")
+
+    # The actual crypto path: encrypt the first I-frame packet with
+    # AES-256 in OFB mode, exactly as the sender of Fig. 3 does.
+    key = bytes(range(32))
+    mode = OFBMode(AES(key))
+    packet = packetize(bitstream)[0]
+    iv = derive_iv(b"session-salt", packet.sequence_number, mode.block_size)
+    ciphertext = mode.encrypt(iv, packet.payload)
+    recovered = mode.decrypt(iv, ciphertext)
+    assert recovered == packet.payload
+    print(f"  AES-256/OFB round-trip on packet 0 "
+          f"({packet.payload_size} B): ok\n")
+
+    rows = []
+    for name, policy in standard_policies("AES256").items():
+        config = ExperimentConfig(
+            policy=policy,
+            device=GALAXY_S2,
+            sensitivity_fraction=0.55,   # slow-motion decoder sensitivity
+        )
+        result = run_experiment(clip, bitstream, config, seed=0)
+        rows.append([
+            name,
+            f"{result.mean_delay_ms:.2f}",
+            f"{result.average_power_w:.2f}",
+            f"{result.eavesdropper_psnr_db:.1f}",
+            f"{result.eavesdropper_mos:.2f}",
+            f"{result.receiver_psnr_db:.1f}",
+        ])
+
+    print(render_table(
+        ["policy", "delay (ms)", "power (W)", "eaves PSNR (dB)",
+         "eaves MOS", "receiver PSNR (dB)"],
+        rows,
+        title="Slow-motion clip, AES-256, Samsung Galaxy S-II (simulated)",
+    ))
+    print(
+        "\nReading the table: encrypting only the I-frames drives the\n"
+        "eavesdropper's video to MOS ~1 (unviewable) at a fraction of the\n"
+        "delay and power of encrypting everything — the paper's thesis."
+    )
+
+
+if __name__ == "__main__":
+    main()

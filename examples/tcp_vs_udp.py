@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""HTTP/TCP vs RTP/UDP transfers on a lossy hotspot (paper Section 6.4).
+
+The analysis assumes RTP/UDP; the paper shows experimentally that the
+selective-encryption trends survive HTTP/TCP, with somewhat higher
+latency from retransmissions.  This example reproduces that comparison
+on a link with residual loss (interference the MAC retries cannot fully
+absorb): TCP delivers everything but pays delay; UDP drops packets,
+which shows up as receiver-side distortion instead.
+
+Run:  python examples/tcp_vs_udp.py
+"""
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import (
+    ExperimentConfig,
+    GALAXY_S2,
+    HTTP_TCP,
+    LinkConfig,
+    UDP_RTP,
+    run_experiment,
+)
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+
+def lossy_link() -> LinkConfig:
+    """A contended hotspot with residual loss after one MAC retry."""
+    base = LinkConfig.default(n_stations=4, channel_error_rate=0.08)
+    return LinkConfig(phy=base.phy, dcf=base.dcf, retry_limit=1)
+
+
+def main() -> None:
+    clip = generate_clip("fast", n_frames=120, seed=7)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=30, quantizer=8))
+    link = lossy_link()
+    print(f"Link: per-attempt success {link.dcf.packet_success_rate:.2f}, "
+          f"no MAC retries -> delivery {link.delivery_rate:.2f}\n")
+
+    rows = []
+    for transport in (UDP_RTP, HTTP_TCP):
+        for name, policy in standard_policies("AES256").items():
+            config = ExperimentConfig(
+                policy=policy, device=GALAXY_S2,
+                sensitivity_fraction=0.9,
+                transport=transport, link=link,
+            )
+            result = run_experiment(clip, bitstream, config, seed=1)
+            rows.append([
+                transport.name, name,
+                f"{result.mean_delay_ms:.2f}",
+                f"{result.receiver_psnr_db:.1f}",
+                f"{result.eavesdropper_psnr_db:.1f}",
+                f"{result.eavesdropper_mos:.2f}",
+            ])
+
+    print(render_table(
+        ["transport", "policy", "delay (ms)", "receiver PSNR (dB)",
+         "eaves PSNR (dB)", "eaves MOS"],
+        rows,
+        title="Fast-motion clip over a lossy hotspot (Samsung S-II)",
+    ))
+    print(
+        "\nTCP pays retransmission latency but protects the receiver's\n"
+        "quality; the eavesdropper ordering (none > I > P > all) is the\n"
+        "same under both transports — Section 6.4's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: the execution environment has no `wheel` package and
+no network access, so PEP 517/660 editable installs cannot build; this shim
+lets `pip install -e . --no-build-isolation` fall back to `setup.py develop`.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

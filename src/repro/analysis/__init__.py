@@ -1,0 +1,25 @@
+"""Analysis helpers: the Fig. 2 distortion-distance regression, summary
+statistics with confidence intervals, and table rendering for benches."""
+
+from .regression import (
+    ReferenceDistanceCurve,
+    blank_frame_distortion,
+    fit_distortion_polynomial,
+    measure_recovery_fraction,
+    measure_reference_distance_distortion,
+)
+from .stats import Summary, relative_error, summarize
+from .tables import render_series, render_table
+
+__all__ = [
+    "ReferenceDistanceCurve",
+    "blank_frame_distortion",
+    "fit_distortion_polynomial",
+    "measure_recovery_fraction",
+    "measure_reference_distance_distortion",
+    "Summary",
+    "relative_error",
+    "summarize",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,58 @@
+"""Summary statistics: means and 95% confidence intervals.
+
+The paper repeats every experiment 20 times and reports averages with 95%
+confidence intervals (Section 6.1); the benches do the same.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["Summary", "summarize", "relative_error"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a symmetric confidence half-width."""
+
+    mean: float
+    ci_halfwidth: float
+    n: int
+    std: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci_halfwidth
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +/- {self.ci_halfwidth:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> Summary:
+    """Student-t confidence interval around the sample mean."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(np.mean(data))
+    if data.size == 1:
+        return Summary(mean=mean, ci_halfwidth=0.0, n=1, std=0.0)
+    std = float(np.std(data, ddof=1))
+    t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, data.size - 1))
+    halfwidth = t_value * std / math.sqrt(data.size)
+    return Summary(mean=mean, ci_halfwidth=halfwidth, n=data.size, std=std)
+
+
+def relative_error(model: float, measured: float) -> float:
+    """|model - measured| / |measured| (model-validation metric)."""
+    if measured == 0.0:
+        return math.inf if model != 0.0 else 0.0
+    return abs(model - measured) / abs(measured)

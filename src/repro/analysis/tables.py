@@ -1,0 +1,51 @@
+"""Plain-text table/figure rendering for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures; since the
+output medium is a terminal, figures become aligned tables whose rows are
+the bar groups / series points of the original plot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: Optional[str] = None) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float], *, unit: str = "") -> str:
+    """Render one figure series as 'name: x=y' pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = ", ".join(f"{x}={y:.4g}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

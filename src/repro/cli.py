@@ -1,0 +1,231 @@
+"""Command-line front end: the EvalVid-style workflow as one tool.
+
+The paper's toolchain was a pile of binaries (x264, MP4Box, EvalVid's
+mp4trace/etmp4/psnr, the Android app, tcpdump).  This CLI packs the
+reproduction's equivalents behind subcommands:
+
+    python -m repro.cli clip --motion fast --frames 150 --out clip.yuv
+    python -m repro.cli inspect --motion slow --gop 30
+    python -m repro.cli advise --motion fast --target-psnr 15
+    python -m repro.cli experiment --motion slow --policy I --device samsung-s2
+
+Every subcommand prints an aligned table; none requires network access
+or external binaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    blank_frame_distortion,
+    fit_distortion_polynomial,
+    measure_recovery_fraction,
+    measure_reference_distance_distortion,
+    render_table,
+)
+from .core import (
+    EncryptionPolicy,
+    PolicyAdvisor,
+    calibrate_scenario,
+    standard_policies,
+)
+from .testbed import DEVICES, ExperimentConfig, run_experiment
+from .video import (
+    CodecConfig,
+    analyze_motion,
+    decode_bitstream,
+    encode_sequence,
+    generate_clip,
+    sensitivity_for,
+    sequence_mse,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _clip_and_bitstream(args):
+    clip = generate_clip(args.motion, args.frames, seed=args.seed)
+    bitstream = encode_sequence(
+        clip, CodecConfig(gop_size=args.gop, quantizer=args.quantizer)
+    )
+    return clip, bitstream
+
+
+def _policy_from_name(name: str, algorithm: str) -> EncryptionPolicy:
+    table = standard_policies(algorithm)
+    if name in table:
+        return table[name]
+    if name.startswith("I+") and name.endswith("%P"):
+        fraction = float(name[2:-2]) / 100.0
+        return EncryptionPolicy("i_plus_p_fraction", algorithm,
+                                fraction=fraction)
+    raise SystemExit(
+        f"unknown policy {name!r}; use none/I/P/all or I+<percent>%P"
+    )
+
+
+def cmd_clip(args) -> int:
+    clip, bitstream = _clip_and_bitstream(args)
+    if args.out:
+        clip.save(args.out)
+        print(f"wrote {len(clip)} frames of raw I420 to {args.out}")
+    summary = bitstream.size_summary()
+    print(render_table(
+        ["frames", "GOP", "mean I bytes", "mean P bytes", "total KiB"],
+        [[len(clip), args.gop, f"{summary['mean_i_bytes']:.0f}",
+          f"{summary['mean_p_bytes']:.0f}",
+          f"{bitstream.total_bytes / 1024:.0f}"]],
+        title=f"{args.motion}-motion clip",
+    ))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    clip, bitstream = _clip_and_bitstream(args)
+    report = analyze_motion(clip)
+    baseline = sequence_mse(clip, decode_bitstream(bitstream))
+    summary = bitstream.size_summary()
+    rows = [
+        ["motion class", report.motion_class.value],
+        ["mean activity", f"{report.mean_activity:.2f}"],
+        ["decoder sensitivity", f"{sensitivity_for(report.motion_class):.2f}"],
+        ["mean I-frame bytes", f"{summary['mean_i_bytes']:.0f}"],
+        ["mean P-frame bytes", f"{summary['mean_p_bytes']:.0f}"],
+        ["encoder quality (MSE)", f"{baseline:.1f}"],
+    ]
+    print(render_table(["property", "value"], rows,
+                       title=f"{args.motion}-motion clip, GOP {args.gop}"))
+    return 0
+
+
+def _build_scenario(clip, bitstream, device, sensitivity):
+    curve = measure_reference_distance_distortion(clip, max_distance=30)
+    polynomial = fit_distortion_polynomial(
+        curve, cap=blank_frame_distortion(clip)
+    )
+    recovery = measure_recovery_fraction(
+        clip, gop_size=bitstream.gop_layout.gop_size,
+        sensitivity_fraction=sensitivity,
+    )
+    baseline = sequence_mse(clip, decode_bitstream(bitstream))
+    return calibrate_scenario(
+        bitstream,
+        cipher_costs=device.cipher_costs,
+        polynomial=polynomial,
+        sensitivity_fraction=sensitivity,
+        recovery_fraction=recovery,
+        baseline_distortion=baseline,
+    )
+
+
+def cmd_advise(args) -> int:
+    clip, bitstream = _clip_and_bitstream(args)
+    device = DEVICES[args.device]
+    sensitivity = sensitivity_for(analyze_motion(clip).motion_class)
+    scenario = _build_scenario(clip, bitstream, device, sensitivity)
+    choice = PolicyAdvisor(scenario).recommend(
+        target_psnr_db=args.target_psnr
+    )
+    rows = []
+    for label, prediction in choice.sweep.items():
+        marker = ("<= recommended"
+                  if choice.recommended is not None
+                  and prediction.policy == choice.recommended.policy else "")
+        rows.append([label, f"{prediction.delay_ms:.2f}",
+                     f"{prediction.eavesdropper_psnr_db:.1f}", marker])
+    print(render_table(
+        ["policy", "predicted delay (ms)", "predicted eaves PSNR (dB)", ""],
+        rows,
+        title=f"advisor sweep (target <= {args.target_psnr:.0f} dB,"
+              f" {device.name})",
+    ))
+    if not choice.satisfied:
+        print("no candidate met the target; encrypt everything.")
+        return 1
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    clip, bitstream = _clip_and_bitstream(args)
+    device = DEVICES[args.device]
+    sensitivity = sensitivity_for(analyze_motion(clip).motion_class)
+    policy = _policy_from_name(args.policy, args.algorithm)
+    config = ExperimentConfig(policy=policy, device=device,
+                              sensitivity_fraction=sensitivity)
+    result = run_experiment(clip, bitstream, config, seed=args.seed)
+    rows = [[
+        policy.label,
+        f"{result.mean_delay_ms:.2f}",
+        f"{result.average_power_w:.2f}",
+        f"{result.eavesdropper_psnr_db:.1f}",
+        f"{result.eavesdropper_mos:.2f}",
+        f"{result.receiver_psnr_db:.1f}",
+    ]]
+    print(render_table(
+        ["policy", "delay (ms)", "power (W)", "eaves PSNR", "eaves MOS",
+         "receiver PSNR"],
+        rows,
+        title=f"{args.motion}-motion transfer on {device.name}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Selective video encryption toolkit (CoNEXT'13"
+                    " reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--motion", choices=("slow", "medium", "fast"),
+                       default="slow")
+        p.add_argument("--frames", type=int, default=150)
+        p.add_argument("--gop", type=int, default=30)
+        p.add_argument("--quantizer", type=int, default=8)
+        p.add_argument("--seed", type=int, default=2013)
+
+    p_clip = sub.add_parser("clip", help="generate a synthetic clip")
+    common(p_clip)
+    p_clip.add_argument("--out", help="write raw I420 YUV to this path")
+    p_clip.set_defaults(func=cmd_clip)
+
+    p_inspect = sub.add_parser("inspect",
+                               help="motion/structure analysis of a clip")
+    common(p_inspect)
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_advise = sub.add_parser("advise",
+                              help="run the Fig. 1 policy advisor")
+    common(p_advise)
+    p_advise.add_argument("--device", choices=sorted(DEVICES),
+                          default="samsung-s2")
+    p_advise.add_argument("--target-psnr", type=float, default=15.0)
+    p_advise.set_defaults(func=cmd_advise)
+
+    p_exp = sub.add_parser("experiment",
+                           help="one simulated transfer with full metrics")
+    common(p_exp)
+    p_exp.add_argument("--device", choices=sorted(DEVICES),
+                       default="samsung-s2")
+    p_exp.add_argument("--policy", default="I",
+                       help="none/I/P/all or I+<percent>%%P")
+    p_exp.add_argument("--algorithm",
+                       choices=("AES128", "AES256", "3DES"),
+                       default="AES256")
+    p_exp.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's analytical framework (Section 4).
+
+- :mod:`policies` — which packets a policy encrypts (Section 3);
+- :mod:`mmpp` — the 2-MMPP arrival process (Section 4.2.1);
+- :mod:`service` — the T = T_e + T_b + T_t service time (Section 4.2.2);
+- :mod:`queueing` — the 2-MMPP/G/1 solver and eq. (19) (Section 4.2.3);
+- :mod:`frame_success` — eq. (20) (Section 4.3.1);
+- :mod:`distortion` — eqs. (21)-(28) (Sections 4.3.2-4.3.4);
+- :mod:`calibration` / :mod:`scenario` — parameter estimation (Section 6.1);
+- :mod:`delay` — the FrameworkModel facade;
+- :mod:`advisor` — the Fig. 1 policy-selection workflow.
+"""
+
+from .adaptive import (
+    AdaptivePolicy,
+    WindowPlan,
+    classify_windows,
+    plan_adaptive_policy,
+)
+from .advisor import AdvisorChoice, PolicyAdvisor, default_candidates
+from .calibration import (
+    estimate_success_rate,
+    fit_gaussian_atom,
+    fit_mmpp_from_trace,
+)
+from .delay import FrameworkModel, PolicyPrediction
+from .distortion import (
+    DistortionEstimate,
+    DistortionModel,
+    DistortionPolynomial,
+    gop_state_probabilities,
+    intra_gop_distortion_linear,
+)
+from .frame_success import (
+    FrameSuccessModel,
+    decryption_rate,
+    frame_success_probability,
+)
+from .mmpp import MMPP2, MmppSample
+from .policies import EncryptionPolicy, standard_policies
+from .queueing import (
+    QueueSolution,
+    SimulationResult,
+    compute_g_matrix,
+    idle_phase_vector,
+    mean_waiting_time,
+    pollaczek_khinchine,
+    simulate_mmpp_g1,
+    solve_mmpp_g1,
+)
+from .scenario import Scenario, calibrate_scenario
+from .waiting_distribution import (
+    WaitingTimeDistribution,
+    waiting_time_distribution,
+)
+from .service import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    ServiceTimeModel,
+    TransmissionComponent,
+)
+
+__all__ = [
+    "AdaptivePolicy", "WindowPlan", "classify_windows",
+    "plan_adaptive_policy",
+    "AdvisorChoice", "PolicyAdvisor", "default_candidates",
+    "estimate_success_rate", "fit_gaussian_atom", "fit_mmpp_from_trace",
+    "FrameworkModel", "PolicyPrediction",
+    "DistortionEstimate", "DistortionModel", "DistortionPolynomial",
+    "gop_state_probabilities", "intra_gop_distortion_linear",
+    "FrameSuccessModel", "decryption_rate", "frame_success_probability",
+    "MMPP2", "MmppSample",
+    "EncryptionPolicy", "standard_policies",
+    "QueueSolution", "SimulationResult", "compute_g_matrix",
+    "idle_phase_vector", "mean_waiting_time", "pollaczek_khinchine",
+    "simulate_mmpp_g1", "solve_mmpp_g1",
+    "Scenario", "calibrate_scenario",
+    "BackoffComponent", "EncryptionComponent", "GaussianAtom",
+    "ServiceTimeModel", "TransmissionComponent",
+    "WaitingTimeDistribution", "waiting_time_distribution",
+]

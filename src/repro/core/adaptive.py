@@ -1,0 +1,176 @@
+"""Adaptive per-window policy selection (an extension of Fig. 1).
+
+The paper's workflow uses AForge "to dynamically categorize the motion
+level in different parts of the video clip", but its evaluation applies
+one policy to the whole flow.  For mixed content that forces a bad
+choice: I-only leaks the fast parts, I+20%P over-pays on the slow parts.
+
+This module closes the loop: classify the clip window by window, give
+each window the cheapest policy its motion class needs, and wrap the
+result in an :class:`AdaptivePolicy` the sender (and the testbed
+simulator) can apply per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..video.motion import MotionClass, frame_activity
+from ..video.packetizer import Packet
+from ..video.yuv import Sequence420
+from .policies import EncryptionPolicy
+
+__all__ = [
+    "WindowPlan",
+    "AdaptivePolicy",
+    "classify_windows",
+    "plan_adaptive_policy",
+    "DEFAULT_CLASS_POLICIES",
+]
+
+# The per-class recommendations Section 6.2 arrives at: I-frames suffice
+# for slow motion; fast motion needs a fraction of the P packets too.
+DEFAULT_CLASS_POLICIES: Dict[MotionClass, EncryptionPolicy] = {
+    MotionClass.LOW: EncryptionPolicy("i_frames", "AES256"),
+    MotionClass.MEDIUM: EncryptionPolicy("i_plus_p_fraction", "AES256",
+                                         fraction=0.10),
+    MotionClass.HIGH: EncryptionPolicy("i_plus_p_fraction", "AES256",
+                                       fraction=0.20),
+}
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """One window's classification and assigned policy."""
+
+    start_frame: int
+    end_frame: int  # exclusive
+    motion_class: MotionClass
+    policy: EncryptionPolicy
+    mean_activity: float
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """A frame-indexed composition of per-window policies.
+
+    Duck-types the parts of :class:`EncryptionPolicy` the sender pipeline
+    uses (``algorithm``, ``mode``, ``encrypts``), so it can drive
+    :class:`repro.testbed.simulator.SenderSimulator` directly.
+    """
+
+    windows: Tuple[WindowPlan, ...]
+    algorithm: str
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("an adaptive policy needs at least one window")
+        previous_end = 0
+        for window in self.windows:
+            if window.start_frame != previous_end:
+                raise ValueError("windows must be contiguous from frame 0")
+            if window.end_frame <= window.start_frame:
+                raise ValueError("windows must be non-empty")
+            previous_end = window.end_frame
+
+    @property
+    def mode(self) -> str:
+        return "adaptive"
+
+    @property
+    def n_frames(self) -> int:
+        return self.windows[-1].end_frame
+
+    def policy_for_frame(self, frame_index: int) -> EncryptionPolicy:
+        """The window policy covering ``frame_index`` (last window covers
+        any overrun, e.g. trailing frames)."""
+        if frame_index < 0:
+            raise ValueError("frame index must be non-negative")
+        for window in self.windows:
+            if window.start_frame <= frame_index < window.end_frame:
+                return window.policy
+        return self.windows[-1].policy
+
+    def encrypts(self, packet: Packet) -> bool:
+        return self.policy_for_frame(packet.frame_index).encrypts(packet)
+
+    @property
+    def label(self) -> str:
+        parts = ",".join(
+            f"{w.motion_class.value}:{w.policy.label}" for w in self.windows
+        )
+        return f"adaptive[{parts}]"
+
+    def summary(self) -> List[Tuple[str, int]]:
+        """(class, frame-count) run-length view for reporting."""
+        return [(w.motion_class.value, w.end_frame - w.start_frame)
+                for w in self.windows]
+
+
+def classify_windows(sequence: Sequence420, *, window_frames: int = 30,
+                     low_threshold: float = 2.0,
+                     high_threshold: float = 10.0
+                     ) -> List[Tuple[int, int, MotionClass, float]]:
+    """Per-window motion classification (the dynamic AForge step).
+
+    Returns (start, end, class, mean activity) per window.  Thresholds
+    match :mod:`repro.video.motion`'s clip-level classifier.
+    """
+    if window_frames < 2:
+        raise ValueError("windows need at least 2 frames")
+    if len(sequence) < 2:
+        raise ValueError("need at least two frames")
+    lumas = sequence.luma_stack()
+    results = []
+    for start in range(0, len(sequence), window_frames):
+        end = min(start + window_frames, len(sequence))
+        if end - start < 2:
+            # Fold a trailing sliver into the previous window.
+            if results:
+                prev = results.pop()
+                results.append((prev[0], end, prev[2], prev[3]))
+            break
+        activities = [
+            frame_activity(lumas[i - 1], lumas[i])
+            for i in range(start + 1, end)
+        ]
+        mean_activity = float(np.mean(activities))
+        if mean_activity < low_threshold:
+            motion_class = MotionClass.LOW
+        elif mean_activity < high_threshold:
+            motion_class = MotionClass.MEDIUM
+        else:
+            motion_class = MotionClass.HIGH
+        results.append((start, end, motion_class, mean_activity))
+    return results
+
+
+def plan_adaptive_policy(
+    sequence: Sequence420,
+    *,
+    algorithm: str = "AES256",
+    window_frames: int = 30,
+    class_policies: Optional[Dict[MotionClass, EncryptionPolicy]] = None,
+) -> AdaptivePolicy:
+    """Classify the clip and assign each window its class policy.
+
+    ``window_frames`` defaults to one GOP so policy switches align with
+    GOP boundaries (switching mid-GOP would leave a GOP half-protected).
+    """
+    table = class_policies or DEFAULT_CLASS_POLICIES
+    windows = []
+    for start, end, motion_class, activity in classify_windows(
+            sequence, window_frames=window_frames):
+        base = table[motion_class]
+        if base.algorithm != algorithm:
+            base = EncryptionPolicy(base.mode, algorithm,
+                                    fraction=base.fraction)
+        windows.append(WindowPlan(
+            start_frame=start, end_frame=end,
+            motion_class=motion_class, policy=base,
+            mean_activity=activity,
+        ))
+    return AdaptivePolicy(windows=tuple(windows), algorithm=algorithm)

@@ -1,0 +1,92 @@
+"""The policy advisor: the user-facing workflow of Fig. 1.
+
+"The UI prompts her with the choices available with respect to privacy ...
+A third choice would allow the user to minimize performance penalties
+while largely preserving confidentiality.  If this option is chosen, the
+analytical framework is used to determine the appropriate encryption
+policy."
+
+Given a calibrated scenario, the advisor sweeps a candidate policy set
+and returns the cheapest policy (by modelled per-packet delay) whose
+predicted eavesdropper PSNR falls below a confidentiality target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .delay import FrameworkModel, PolicyPrediction
+from .policies import EncryptionPolicy
+from .scenario import Scenario
+
+__all__ = ["AdvisorChoice", "PolicyAdvisor", "default_candidates"]
+
+# An eavesdropper PSNR at or below this is "practically unviewable"
+# (MOS ~= 1; the paper's partially encrypted flows land here, Section 6.2).
+DEFAULT_PSNR_TARGET_DB = 19.0
+
+
+def default_candidates(algorithm: str = "AES256",
+                       fractions: Sequence[float] = (0.1, 0.15, 0.2, 0.25,
+                                                     0.3, 0.5)
+                       ) -> List[EncryptionPolicy]:
+    """The policy ladder the paper explores, cheapest-first intent:
+    I-only, I plus increasing fractions of P packets, P-only, all."""
+    candidates = [EncryptionPolicy("i_frames", algorithm)]
+    candidates.extend(
+        EncryptionPolicy("i_plus_p_fraction", algorithm, fraction=f)
+        for f in fractions
+    )
+    candidates.append(EncryptionPolicy("p_frames", algorithm))
+    candidates.append(EncryptionPolicy("all", algorithm))
+    return candidates
+
+
+@dataclass(frozen=True)
+class AdvisorChoice:
+    """The advisor's recommendation plus the full sweep for transparency."""
+
+    recommended: Optional[PolicyPrediction]
+    target_psnr_db: float
+    sweep: Dict[str, PolicyPrediction]
+
+    @property
+    def satisfied(self) -> bool:
+        return self.recommended is not None
+
+
+class PolicyAdvisor:
+    """Sweep candidate policies and pick the cheapest confidential one."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.model = FrameworkModel(scenario)
+
+    def recommend(
+        self,
+        *,
+        target_psnr_db: float = DEFAULT_PSNR_TARGET_DB,
+        candidates: Optional[Sequence[EncryptionPolicy]] = None,
+    ) -> AdvisorChoice:
+        """Cheapest policy whose predicted eavesdropper PSNR <= target.
+
+        "Cheapest" is by modelled per-packet delay, the proxy the paper
+        uses for the encryption penalty (energy tracks encrypted bytes,
+        which delay also tracks).
+        """
+        candidates = list(candidates) if candidates is not None else (
+            default_candidates()
+        )
+        sweep: Dict[str, PolicyPrediction] = {}
+        best: Optional[PolicyPrediction] = None
+        for policy in candidates:
+            prediction = self.model.predict(policy)
+            sweep[policy.label] = prediction
+            if prediction.eavesdropper_psnr_db <= target_psnr_db:
+                if best is None or prediction.delay_ms < best.delay_ms:
+                    best = prediction
+        return AdvisorChoice(
+            recommended=best,
+            target_psnr_db=target_psnr_db,
+            sweep=sweep,
+        )

@@ -1,0 +1,99 @@
+"""Trace-based parameter estimation (Section 6.1, "Applying the
+mathematical framework").
+
+The paper tunes the model from an initial sequence of events: segment
+insertion times and types give the 2-MMPP parameters; encryption timings
+of an initial packet set give the mean/variance of ``T_e``; observed
+transmissions give ``T_t`` and the backoff rate.  These estimators do
+exactly that from the traces the testbed (or a real sender) produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .mmpp import MMPP2
+from .service import GaussianAtom
+
+__all__ = [
+    "fit_mmpp_from_trace",
+    "fit_gaussian_atom",
+    "estimate_success_rate",
+]
+
+
+def fit_mmpp_from_trace(arrival_times: Sequence[float],
+                        phases: Sequence[int]) -> MMPP2:
+    """Moment-match a 2-MMPP to a phased arrival trace.
+
+    ``phases[i]`` is 0 when arrival ``i`` belongs to an I-frame burst and
+    1 when it belongs to the P-frame trickle.
+
+    Per-phase rates are estimated from *same-phase* interarrival gaps only
+    (a gap whose endpoints sit in different phases straddles a phase
+    switch and would bias the estimate); phase-switch rates come from the
+    observed number of flips over the estimated time spent in each phase.
+    """
+    times = np.asarray(arrival_times, dtype=float)
+    phase_array = np.asarray(phases, dtype=int)
+    if times.ndim != 1 or times.shape != phase_array.shape:
+        raise ValueError("arrival_times and phases must be equal-length 1-D")
+    if len(times) < 4:
+        raise ValueError("need at least 4 arrivals to fit an MMPP")
+    if not np.all(np.diff(times) >= 0):
+        raise ValueError("arrival times must be non-decreasing")
+    if set(np.unique(phase_array)) - {0, 1}:
+        raise ValueError("phases must be 0 (I-burst) or 1 (P-trickle)")
+    if len(np.unique(phase_array)) < 2:
+        raise ValueError("trace never changes phase; cannot fit a 2-MMPP")
+
+    gaps = np.diff(times)
+    from_phase = phase_array[:-1]
+    to_phase = phase_array[1:]
+    same_phase = from_phase == to_phase
+
+    rates = np.zeros(2)
+    counts = np.zeros(2)
+    for phase in (0, 1):
+        mask = same_phase & (to_phase == phase)
+        total = float(gaps[mask].sum())
+        counts[phase] = int(mask.sum())
+        if counts[phase] == 0 or total <= 0.0:
+            raise ValueError(
+                f"phase {phase} has no same-phase gaps; trace too short"
+            )
+        rates[phase] = counts[phase] / total
+
+    # Time spent in each phase ~ arrivals in that phase over its rate.
+    arrivals_in = np.array([np.sum(phase_array == 0),
+                            np.sum(phase_array == 1)], dtype=float)
+    time_in = arrivals_in / rates
+    flips = np.zeros(2)
+    flips[0] = int(np.sum((from_phase == 0) & (to_phase == 1)))
+    flips[1] = int(np.sum((from_phase == 1) & (to_phase == 0)))
+    p1 = max(flips[0], 0.5) / time_in[0]
+    p2 = max(flips[1], 0.5) / time_in[1]
+    return MMPP2(p1=p1, p2=p2, lambda1=rates[0], lambda2=rates[1])
+
+
+def fit_gaussian_atom(samples: Sequence[float]) -> GaussianAtom:
+    """Mean/std estimate of a timing component (eq. 15's mu and sigma)."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot fit an atom to an empty sample")
+    if np.any(data < 0):
+        raise ValueError("durations must be non-negative")
+    mu = float(np.mean(data))
+    sigma = float(np.std(data, ddof=1)) if data.size > 1 else 0.0
+    return GaussianAtom(mu=mu, sigma=sigma)
+
+
+def estimate_success_rate(outcomes: Sequence[bool]) -> float:
+    """Empirical packet success rate from transmission outcomes."""
+    data = np.asarray(outcomes, dtype=bool)
+    if data.size == 0:
+        raise ValueError("cannot estimate from an empty sample")
+    return float(np.mean(data))

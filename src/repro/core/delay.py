@@ -1,0 +1,83 @@
+"""DelayModel / DistortionModel facades: policy in, predictions out.
+
+This is the programmatic surface of the paper's framework: given a
+calibrated :class:`~repro.core.scenario.Scenario`, predict for any
+encryption policy the per-packet delay at the sender (Section 4.2) and
+the PSNR at the legitimate receiver and at an eavesdropper (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .distortion import DistortionEstimate
+from .policies import EncryptionPolicy
+from .queueing import QueueSolution, solve_mmpp_g1
+from .scenario import Scenario
+
+__all__ = ["PolicyPrediction", "FrameworkModel"]
+
+
+@dataclass(frozen=True)
+class PolicyPrediction:
+    """Model outputs for one policy."""
+
+    policy: EncryptionPolicy
+    queue: QueueSolution
+    receiver: DistortionEstimate
+    eavesdropper: DistortionEstimate
+
+    @property
+    def delay_ms(self) -> float:
+        """Per-packet delay at the sender (queueing + service), in ms."""
+        return self.queue.mean_sojourn_time_s * 1e3
+
+    @property
+    def eavesdropper_psnr_db(self) -> float:
+        return self.eavesdropper.psnr_db
+
+    @property
+    def receiver_psnr_db(self) -> float:
+        return self.receiver.psnr_db
+
+
+class FrameworkModel:
+    """The complete analytical framework over a calibrated scenario."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self._distortion_model = scenario.distortion_model()
+        self._frame_success = scenario.frame_success_model()
+
+    def delay(self, policy: EncryptionPolicy) -> QueueSolution:
+        """Section 4.2: solve the 2-MMPP/G/1 queue under the policy."""
+        service = self.scenario.service_model(policy)
+        return solve_mmpp_g1(self.scenario.mmpp, service)
+
+    def distortion(self, policy: EncryptionPolicy, *,
+                   eavesdropper: bool) -> DistortionEstimate:
+        """Section 4.3: expected distortion for an observer."""
+        p_i = self._frame_success.i_frame_success(
+            policy, eavesdropper=eavesdropper
+        )
+        p_p = self._frame_success.p_frame_success(
+            policy, eavesdropper=eavesdropper
+        )
+        return self._distortion_model.expected(
+            p_i, p_p, baseline_distortion=self.scenario.baseline_distortion
+        )
+
+    def predict(self, policy: EncryptionPolicy) -> PolicyPrediction:
+        """Everything the Fig. 1 workflow needs for one policy."""
+        return PolicyPrediction(
+            policy=policy,
+            queue=self.delay(policy),
+            receiver=self.distortion(policy, eavesdropper=False),
+            eavesdropper=self.distortion(policy, eavesdropper=True),
+        )
+
+    def predict_many(self, policies: Dict[str, EncryptionPolicy]
+                     ) -> Dict[str, PolicyPrediction]:
+        return {name: self.predict(policy)
+                for name, policy in policies.items()}

@@ -1,0 +1,282 @@
+"""The distortion model of Section 4.3.2-4.3.4 (eqs. 21-28).
+
+Given the frame success probabilities ``P_I``/``P_P`` (eq. 20), the GOP
+size G, and a motion-class distortion-vs-reference-distance polynomial
+(Fig. 2), this module computes the expected average distortion of the
+video at an observer and maps it to PSNR.
+
+GOP state space (eq. 23): ``S = 0`` if the I-frame is unrecoverable,
+``S = k`` if the k-th P-frame is the first unrecoverable frame,
+``S = G`` if nothing is lost; probabilities per eq. (24).
+
+GOP distortion:
+
+- *Case 1 (intra-GOP, S = k >= 1)*: frames k..G-1 freeze at frame k-1;
+  the GOP's mean-square distortion is the average of D(d) over the freeze
+  distances d = 1..G-k.  Eq. (21) is a linear interpolation of the same
+  quantity between d_min/d_max; both forms are implemented and compared
+  in an ablation bench (eq. 21's typesetting is ambiguous in the source
+  text — see DESIGN.md).
+- *Case 2 (inter-GOP, S = 0)*: the whole GOP freezes at the last good
+  frame of an earlier GOP, at an age that grows by G per consecutive
+  I-loss; distortion saturates at ``d_cap``.
+- *Case 3 (initial)*: no reference ever decoded: distortion is ``d_cap``.
+
+The chain over GOPs (eqs. 25-26) factorises because GOP states are
+independent; the only coupling is the age of the reference frame, handled
+with an exact dynamic program over the age distribution.  Eq. (27)
+averages over GOPs; eq. (28) maps to PSNR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..video.quality import psnr_from_distortion
+
+__all__ = [
+    "DistortionPolynomial",
+    "gop_state_probabilities",
+    "intra_gop_distortion_linear",
+    "DistortionModel",
+    "DistortionEstimate",
+]
+
+
+@dataclass(frozen=True)
+class DistortionPolynomial:
+    """Degree-5 polynomial D(d): distortion of showing a frame that is
+    ``d`` frames older than the one intended (Fig. 2).
+
+    ``cap`` bounds the extrapolation: real distortion saturates once the
+    substitute is entirely unrelated to the content (it cannot exceed the
+    blank-frame MSE).  Coefficients are lowest-order first.
+    """
+
+    coefficients: Tuple[float, ...]
+    cap: float
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) == 0:
+            raise ValueError("need at least one coefficient")
+        if self.cap <= 0:
+            raise ValueError("cap must be positive")
+
+    def __call__(self, distance: float) -> float:
+        if distance <= 0:
+            return 0.0
+        value = 0.0
+        power = 1.0
+        for coefficient in self.coefficients:
+            value += coefficient * power
+            power *= distance
+        return float(min(max(value, 0.0), self.cap))
+
+    def mean_over(self, distances: Sequence[float]) -> float:
+        if len(distances) == 0:
+            return 0.0
+        return float(np.mean([self(d) for d in distances]))
+
+
+def gop_state_probabilities(gop_size: int, p_i: float, p_p: float
+                            ) -> np.ndarray:
+    """Eq. (24): probabilities of states 0..G for one GOP.
+
+    index 0: I-frame lost; index k in 1..G-1: k-th P-frame is the first
+    loss; index G: whole GOP received.
+    """
+    if gop_size < 2:
+        raise ValueError("GOP size must be >= 2")
+    for name, value in (("p_i", p_i), ("p_p", p_p)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]")
+    probabilities = np.empty(gop_size + 1)
+    probabilities[0] = 1.0 - p_i
+    for k in range(1, gop_size):
+        probabilities[k] = p_i * p_p ** (k - 1) * (1.0 - p_p)
+    probabilities[gop_size] = p_i * p_p ** (gop_size - 1)
+    return probabilities
+
+
+def intra_gop_distortion_linear(gop_size: int, first_loss: int,
+                                d_min: float, d_max: float) -> float:
+    """Eq. (21) in our reading (see DESIGN.md):
+
+        d_i = (G - i) (i d_min + (G - i - 1) d_max) / (G (G - 1))
+
+    Monotone decreasing in i, ~d_max when the first P-frame of a long GOP
+    is lost, proportional to d_min when only the last frame is lost.
+    """
+    g = gop_size
+    i = first_loss
+    if not 1 <= i <= g - 1:
+        raise ValueError(f"first_loss must be in [1, {g - 1}]")
+    return (g - i) * (i * d_min + (g - i - 1) * d_max) / (g * (g - 1.0))
+
+
+@dataclass(frozen=True)
+class DistortionEstimate:
+    """Model output for one observer/policy."""
+
+    average_distortion: float     # eq. (27), MSE units
+    psnr_db: float                # eq. (28)
+    p_i_success: float
+    p_p_success: float
+    per_gop_distortion: Tuple[float, ...]
+
+
+class DistortionModel:
+    """Expected distortion of an observed flow (eqs. 21-28).
+
+    ``recovery_fraction`` is an empirically calibrated constant (per
+    motion class, like the polynomial): the fraction of the freeze
+    distortion that *survives* when a best-effort decoder reconstructs a
+    frame across a broken prediction chain (a P-frame decoded against the
+    wrong reference).  Real decoders (ffmpeg at the paper's eavesdropper)
+    decode whatever arrives rather than freezing; fast-motion P-frames are
+    largely intra-coded, so almost none of the reference error survives
+    (fraction ~0), while slow-motion P-frames carry near-empty residuals,
+    so nearly all of it does (fraction ~1).  This single constant is what
+    makes the model reproduce the paper's central asymmetry: I-frame
+    encryption devastates slow motion but only dents fast motion (Fig. 4b
+    vs 4a).  With ``recovery_fraction=None`` the model is the pure freeze
+    model (the strict Section 4.3.2 policy); the ablation bench compares
+    both.
+    """
+
+    def __init__(self, *, gop_size: int, n_gops: int,
+                 polynomial: DistortionPolynomial,
+                 recovery_fraction: Optional[float] = None,
+                 max_reference_age: int = 600) -> None:
+        if gop_size < 2:
+            raise ValueError("GOP size must be >= 2")
+        if n_gops < 1:
+            raise ValueError("need at least one GOP")
+        if recovery_fraction is not None and not 0.0 <= recovery_fraction <= 1.0:
+            raise ValueError("recovery fraction must be in [0, 1]")
+        self.gop_size = gop_size
+        self.n_gops = n_gops
+        self.polynomial = polynomial
+        self.recovery_fraction = recovery_fraction
+        # Ages beyond this are lumped together (the polynomial has long
+        # since saturated at its cap).
+        self.max_reference_age = max_reference_age
+
+    def _per_frame_loss(self, p_p_success: float, freeze_distance: float,
+                        *, freeze_value: Optional[float] = None) -> float:
+        """Expected distortion of one frame past a broken chain.
+
+        With probability ``p_p_success`` the frame's own packets arrive
+        and a best-effort decoder attenuates the reference error to the
+        calibrated ``recovery_fraction`` of the freeze distortion;
+        otherwise the viewer sees the frozen reference at
+        ``freeze_distance``.
+        """
+        freeze = (self.polynomial(freeze_distance) if freeze_value is None
+                  else freeze_value)
+        if self.recovery_fraction is None:
+            return freeze
+        return freeze * (1.0 - p_p_success * (1.0 - self.recovery_fraction))
+
+    def _intra_distortion(self, first_loss: int, p_p_success: float) -> float:
+        """Case 1: GOP mean distortion when the first loss is P-frame
+        ``first_loss`` (frames before it are pristine)."""
+        g = self.gop_size
+        total = 0.0
+        # Frame at first_loss is known lost (freeze at distance 1);
+        # later frames arrive independently.
+        total += self.polynomial(1)
+        for j in range(first_loss + 1, g):
+            total += self._per_frame_loss(p_p_success, j - first_loss + 1)
+        return total / g
+
+    def _case2_distortion(self, age: int, p_p_success: float) -> float:
+        """Case 2: the GOP's I-frame is unrecoverable; reference is ``age``
+        frames before the GOP start."""
+        g = self.gop_size
+        total = self.polynomial(age)  # the I-frame slot itself
+        for j in range(1, g):
+            total += self._per_frame_loss(p_p_success, age + j)
+        return total / g
+
+    def _case3_distortion(self, p_p_success: float) -> float:
+        """Case 3: no reference has ever decoded; frozen frames show blank."""
+        g = self.gop_size
+        cap = self.polynomial.cap
+        total = cap  # the I-frame slot
+        for _ in range(1, g):
+            total += self._per_frame_loss(p_p_success, 0.0, freeze_value=cap)
+        return total / g
+
+    def expected(self, p_i_success: float, p_p_success: float,
+                 *, baseline_distortion: float = 0.0) -> DistortionEstimate:
+        """Run the age DP over the GOP chain and average (eqs. 25-27).
+
+        ``baseline_distortion`` is the codec's loss-free quantization MSE;
+        the model's loss distortion adds to it.  The paper's model ignores
+        it (their "none" PSNR is the encoder's own quality); we expose it
+        so model and experiment share a common zero point.
+        """
+        g = self.gop_size
+        states = gop_state_probabilities(g, p_i_success, p_p_success)
+        intra = np.zeros(g + 1)
+        for k in range(1, g):
+            intra[k] = self._intra_distortion(k, p_p_success)
+
+        # Age distribution: age = distance from the *start* of the current
+        # GOP back to the last correctly displayed frame.  Age 0 encodes
+        # "no reference has ever been decoded" (Case 3).
+        ages: Dict[int, float] = {0: 1.0}
+        per_gop: List[float] = []
+
+        for _ in range(self.n_gops):
+            gop_distortion = 0.0
+            next_ages: Dict[int, float] = {}
+
+            def credit(age: int, probability: float) -> None:
+                if probability <= 0.0:
+                    return
+                age = min(age, self.max_reference_age)
+                next_ages[age] = next_ages.get(age, 0.0) + probability
+
+            for age, age_probability in ages.items():
+                if age_probability <= 0.0:
+                    continue
+                # State 0: I-frame unrecoverable.
+                p0 = states[0]
+                if age == 0:
+                    gop_distortion += (age_probability * p0
+                                       * self._case3_distortion(p_p_success))
+                else:
+                    gop_distortion += (age_probability * p0
+                                       * self._case2_distortion(age, p_p_success))
+                credit((age + g) if age > 0 else 0, age_probability * p0)
+
+                # States 1..G-1: intra-GOP loss at position k; the last
+                # good frame is k-1, i.e. age G-(k-1) for the next GOP.
+                for k in range(1, g):
+                    pk = states[k]
+                    if pk == 0.0:
+                        continue
+                    gop_distortion += age_probability * pk * intra[k]
+                    credit(g - (k - 1), age_probability * pk)
+
+                # State G: clean GOP, reference is its last frame.
+                gop_distortion += 0.0
+                credit(1, age_probability * states[g])
+
+            per_gop.append(gop_distortion)
+            ages = next_ages
+
+        average = float(np.mean(per_gop)) + baseline_distortion
+        return DistortionEstimate(
+            average_distortion=average,
+            psnr_db=psnr_from_distortion(average),
+            p_i_success=p_i_success,
+            p_p_success=p_p_success,
+            per_gop_distortion=tuple(per_gop),
+        )

@@ -1,0 +1,99 @@
+"""Frame success probabilities (Section 4.3.1, eq. 20).
+
+A frame fragmented into ``n`` packets decodes iff its *first* packet is
+received and decryptable and at least ``s`` of the remaining ``n - 1``
+are too:
+
+    P_f = p_d * sum_{j=s}^{n-1} C(n-1, j) p_d^j (1 - p_d)^{n-1-j}
+
+``p_d`` is the packet decryption rate: ``p_s`` for the legitimate receiver
+and ``(1 - q) p_s`` for an eavesdropper facing a policy that encrypts a
+fraction ``q`` of the packets of that frame type (encrypted packets are
+erasures for the eavesdropper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .policies import EncryptionPolicy
+
+__all__ = [
+    "frame_success_probability",
+    "decryption_rate",
+    "FrameSuccessModel",
+]
+
+
+def frame_success_probability(n_packets: int, sensitivity: int,
+                              p_d: float) -> float:
+    """Eq. (20) for a frame of ``n_packets`` total packets."""
+    if n_packets < 1:
+        raise ValueError("a frame has at least one packet")
+    if not 0 <= sensitivity <= max(n_packets - 1, 0):
+        raise ValueError(
+            f"sensitivity must be in [0, {n_packets - 1}], got {sensitivity}"
+        )
+    if not 0.0 <= p_d <= 1.0:
+        raise ValueError("p_d must be in [0, 1]")
+    rest = n_packets - 1
+    tail = sum(
+        math.comb(rest, j) * p_d ** j * (1.0 - p_d) ** (rest - j)
+        for j in range(sensitivity, rest + 1)
+    )
+    return p_d * tail
+
+
+def decryption_rate(p_s: float, encrypted_fraction: float,
+                    *, eavesdropper: bool) -> float:
+    """Packet decryption rate (Section 4.3).
+
+    Legitimate receiver: ``p_d = p_s`` (it can decrypt everything).
+    Eavesdropper: ``p_d = (1 - q) p_s`` — encrypted packets are useless.
+    """
+    if not 0.0 <= p_s <= 1.0:
+        raise ValueError("p_s must be in [0, 1]")
+    if not 0.0 <= encrypted_fraction <= 1.0:
+        raise ValueError("encrypted fraction must be in [0, 1]")
+    if not eavesdropper:
+        return p_s
+    return (1.0 - encrypted_fraction) * p_s
+
+
+@dataclass(frozen=True)
+class FrameSuccessModel:
+    """Per-frame-type success rates for one observer and one policy.
+
+    ``n_i``/``n_p`` are the packet counts of I- and P-frames (P-frames are
+    typically a single packet, Section 4.2.1); ``sensitivity_fraction``
+    maps to the absolute ``s`` of eq. (20) as ``ceil(f * (n - 1))``.
+    """
+
+    n_i: int
+    n_p: int
+    sensitivity_fraction: float
+    p_s: float
+
+    def __post_init__(self) -> None:
+        if self.n_i < 1 or self.n_p < 1:
+            raise ValueError("packet counts must be >= 1")
+        if not 0.0 <= self.sensitivity_fraction <= 1.0:
+            raise ValueError("sensitivity fraction must be in [0, 1]")
+        if not 0.0 <= self.p_s <= 1.0:
+            raise ValueError("p_s must be in [0, 1]")
+
+    def _sensitivity(self, n: int) -> int:
+        return math.ceil(self.sensitivity_fraction * (n - 1))
+
+    def i_frame_success(self, policy: EncryptionPolicy,
+                        *, eavesdropper: bool) -> float:
+        """P_I: success probability of an I-frame for this observer."""
+        p_d = decryption_rate(self.p_s, policy.q_i, eavesdropper=eavesdropper)
+        return frame_success_probability(self.n_i, self._sensitivity(self.n_i), p_d)
+
+    def p_frame_success(self, policy: EncryptionPolicy,
+                        *, eavesdropper: bool) -> float:
+        """P_P: success probability of a P-frame for this observer."""
+        p_d = decryption_rate(self.p_s, policy.q_p, eavesdropper=eavesdropper)
+        return frame_success_probability(self.n_p, self._sensitivity(self.n_p), p_d)

@@ -1,0 +1,159 @@
+"""The two-state Markov-modulated Poisson process of Section 4.2.1.
+
+Packet arrivals at the sender's queue alternate between two phases: a
+burst phase while an I-frame's MTU fragments are read from disk (state 1,
+high rate lambda_1) and a trickle phase while single-packet P-frames
+arrive at the frame rate (state 2, lower rate lambda_2).  The 2-MMPP is
+parameterised by the infinitesimal generator R and rate matrix Lambda of
+eq. (1); its equilibrium vector is eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MMPP2", "MmppSample"]
+
+
+@dataclass(frozen=True)
+class MmppSample:
+    """A sampled arrival trace: absolute times and the phase of each arrival."""
+
+    arrival_times: np.ndarray
+    phases: np.ndarray  # 0 for state 1 (I-burst), 1 for state 2 (P-trickle)
+
+    def interarrival_times(self) -> np.ndarray:
+        return np.diff(self.arrival_times, prepend=0.0)
+
+    def __len__(self) -> int:
+        return len(self.arrival_times)
+
+
+@dataclass(frozen=True)
+class MMPP2:
+    """2-state MMPP with transition rates ``p1`` (1->2) and ``p2`` (2->1)
+    and Poisson rates ``lambda1``/``lambda2`` in the two states."""
+
+    p1: float
+    p2: float
+    lambda1: float
+    lambda2: float
+
+    def __post_init__(self) -> None:
+        for name in ("p1", "p2", "lambda1", "lambda2"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+
+    # -- matrix views (eq. 1) -------------------------------------------------
+
+    @property
+    def generator(self) -> np.ndarray:
+        """Infinitesimal generator R of the modulating chain."""
+        return np.array([[-self.p1, self.p1],
+                         [self.p2, -self.p2]], dtype=float)
+
+    @property
+    def rate_matrix(self) -> np.ndarray:
+        """Diagonal rate matrix Lambda."""
+        return np.diag([self.lambda1, self.lambda2])
+
+    @property
+    def rate_vector(self) -> np.ndarray:
+        return np.array([self.lambda1, self.lambda2], dtype=float)
+
+    # -- stationary behaviour (eq. 2) -----------------------------------------
+
+    @property
+    def stationary_distribution(self) -> np.ndarray:
+        """pi = (p2, p1) / (p1 + p2)."""
+        total = self.p1 + self.p2
+        return np.array([self.p2 / total, self.p1 / total])
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run arrival rate pi . lambda."""
+        return float(self.stationary_distribution @ self.rate_vector)
+
+    def index_of_dispersion(self) -> float:
+        """Limiting index of dispersion of counts (burstiness measure).
+
+        For a 2-MMPP, IDC(inf) = 1 + 2 p1 p2 (l1-l2)^2 /
+        ((p1+p2)^2 (p2 l1 + p1 l2)); equals 1 for a Poisson process.
+        """
+        l1, l2 = self.lambda1, self.lambda2
+        p1, p2 = self.p1, self.p2
+        numerator = 2.0 * p1 * p2 * (l1 - l2) ** 2
+        denominator = (p1 + p2) ** 2 * (p2 * l1 + p1 * l2)
+        return 1.0 + numerator / denominator
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self, n_arrivals: int, *,
+               rng: Optional[np.random.Generator] = None,
+               initial_phase: Optional[int] = None) -> MmppSample:
+        """Draw a trace of ``n_arrivals`` arrivals.
+
+        Competing-exponentials simulation: in phase ``j`` the next event is
+        an arrival with rate ``lambda_j`` or a phase flip with the chain's
+        exit rate, whichever fires first.
+        """
+        if n_arrivals < 1:
+            raise ValueError("need at least one arrival")
+        rng = rng or np.random.default_rng()
+        pi = self.stationary_distribution
+        phase = (int(rng.random() < pi[1]) if initial_phase is None
+                 else int(initial_phase))
+        if phase not in (0, 1):
+            raise ValueError("phase must be 0 or 1")
+
+        rates = (self.lambda1, self.lambda2)
+        exits = (self.p1, self.p2)
+        times = np.empty(n_arrivals)
+        phases = np.empty(n_arrivals, dtype=np.int8)
+        now = 0.0
+        count = 0
+        while count < n_arrivals:
+            arrival_rate = rates[phase]
+            exit_rate = exits[phase]
+            total = arrival_rate + exit_rate
+            now += rng.exponential(1.0 / total)
+            if rng.random() < arrival_rate / total:
+                times[count] = now
+                phases[count] = phase
+                count += 1
+            else:
+                phase = 1 - phase
+        return MmppSample(arrival_times=times, phases=phases)
+
+    # -- convenience constructors ----------------------------------------------
+
+    @classmethod
+    def from_video_structure(
+        cls,
+        *,
+        fps: float,
+        gop_size: int,
+        i_frame_packets: float,
+        burst_rate: float,
+    ) -> "MMPP2":
+        """Build the arrival process implied by a GOP structure.
+
+        While an I-frame is read from disk its ``i_frame_packets`` MTU
+        fragments arrive back-to-back at ``burst_rate`` packets/s (state 1);
+        for the rest of the GOP, one P-frame packet arrives per frame
+        period (state 2, rate = fps).  The phase-change rates are the
+        inverses of the mean time spent in each phase.
+        """
+        if fps <= 0 or gop_size < 2 or i_frame_packets < 1 or burst_rate <= 0:
+            raise ValueError("invalid video structure parameters")
+        burst_duration = i_frame_packets / burst_rate
+        trickle_duration = (gop_size - 1) / fps
+        return cls(
+            p1=1.0 / burst_duration,
+            p2=1.0 / trickle_duration,
+            lambda1=burst_rate,
+            lambda2=fps,
+        )

@@ -1,0 +1,151 @@
+"""Encryption policies: which packets of a video flow get encrypted.
+
+Section 3 defines a selection policy P as (i) the symmetric-key algorithm
+and (ii) the set of packets to encrypt.  The paper evaluates twelve
+policies — {AES128, AES256, 3DES} x {none, I-frames, P-frames, all} — plus
+the finer-grained "all I-frame packets + a fraction alpha of P-frame
+packets" mixture of Section 6.2 (Table 2 / Fig. 9) and the half-I policy
+it dismisses at the end of Section 6.2.
+
+A policy exposes two complementary views:
+
+- a *per-packet rule* (:meth:`EncryptionPolicy.encrypts`) used by the
+  testbed sender, deterministic per packet so repeated runs agree;
+- the *selection probabilities* ``q_I``/``q_P`` the analytical model
+  consumes (the ``q^(P)`` of eqs. 4 and Section 4.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..video.gop import FrameType
+from ..video.packetizer import Packet
+
+__all__ = ["EncryptionPolicy", "POLICY_MODES", "standard_policies"]
+
+POLICY_MODES = ("none", "i_frames", "p_frames", "all", "i_plus_p_fraction",
+                "partial_i")
+
+
+def _stable_unit_interval(key: str) -> float:
+    """Deterministic pseudo-uniform in [0, 1) from a string key.
+
+    Used to pick "a fraction alpha of the P-frame packets" reproducibly:
+    the same packet is selected in every run and on both sender and model.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class EncryptionPolicy:
+    """An encryption policy P = (algorithm, packet-selection rule).
+
+    ``fraction`` parameterises the partial modes: for
+    ``i_plus_p_fraction`` it is the alpha of Section 6.2 (fraction of
+    P-frame packets encrypted on top of all I-frame packets); for
+    ``partial_i`` it is the fraction of I-frame packets encrypted (the
+    paper tried 0.5 and found it inadequate).
+    """
+
+    mode: str
+    algorithm: Optional[str] = "AES256"
+    fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICY_MODES:
+            raise ValueError(
+                f"unknown policy mode {self.mode!r}; expected one of"
+                f" {POLICY_MODES}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.mode != "none" and self.algorithm is None:
+            raise ValueError(f"mode {self.mode!r} requires an algorithm")
+        if self.mode in ("i_plus_p_fraction", "partial_i") and self.fraction == 0.0:
+            raise ValueError(f"mode {self.mode!r} requires a positive fraction")
+
+    # -- model view ----------------------------------------------------------
+
+    @property
+    def q_i(self) -> float:
+        """Probability an I-frame packet is selected for encryption."""
+        return {
+            "none": 0.0,
+            "i_frames": 1.0,
+            "p_frames": 0.0,
+            "all": 1.0,
+            "i_plus_p_fraction": 1.0,
+            "partial_i": self.fraction,
+        }[self.mode]
+
+    @property
+    def q_p(self) -> float:
+        """Probability a P-frame packet is selected for encryption."""
+        return {
+            "none": 0.0,
+            "i_frames": 0.0,
+            "p_frames": 1.0,
+            "all": 1.0,
+            "i_plus_p_fraction": self.fraction,
+            "partial_i": 0.0,
+        }[self.mode]
+
+    def encrypted_fraction(self, p_i: float) -> float:
+        """Overall q^(P): fraction of packets encrypted when a packet is an
+        I-frame packet with probability ``p_i`` (Section 4.3)."""
+        if not 0.0 <= p_i <= 1.0:
+            raise ValueError("p_i must be in [0, 1]")
+        return self.q_i * p_i + self.q_p * (1.0 - p_i)
+
+    # -- sender view ---------------------------------------------------------
+
+    def encrypts(self, packet: Packet) -> bool:
+        """Deterministic per-packet selection rule (the sender's check in
+        Fig. 3: "encryption policy satisfied?")."""
+        if self.mode == "none":
+            return False
+        if self.mode == "all":
+            return True
+        if self.mode == "i_frames":
+            return packet.frame_type is FrameType.I
+        if self.mode == "p_frames":
+            return packet.frame_type is FrameType.P
+        if self.mode == "i_plus_p_fraction":
+            if packet.frame_type is FrameType.I:
+                return True
+            key = f"p-select:{packet.frame_index}:{packet.fragment_index}"
+            return _stable_unit_interval(key) < self.fraction
+        # partial_i
+        if packet.frame_type is not FrameType.I:
+            return False
+        key = f"i-select:{packet.frame_index}:{packet.fragment_index}"
+        return _stable_unit_interval(key) < self.fraction
+
+    @property
+    def label(self) -> str:
+        """Short name matching the paper's x-axis labels."""
+        base = {
+            "none": "none",
+            "i_frames": "I",
+            "p_frames": "P",
+            "all": "all",
+            "i_plus_p_fraction": f"I+{self.fraction:.0%}P",
+            "partial_i": f"{self.fraction:.0%}I",
+        }[self.mode]
+        if self.mode == "none" or self.algorithm is None:
+            return base
+        return f"{base}({self.algorithm})"
+
+
+def standard_policies(algorithm: str = "AES256") -> dict:
+    """The paper's four packet-selection modes under one algorithm."""
+    return {
+        "none": EncryptionPolicy("none", None),
+        "I": EncryptionPolicy("i_frames", algorithm),
+        "P": EncryptionPolicy("p_frames", algorithm),
+        "all": EncryptionPolicy("all", algorithm),
+    }

@@ -1,0 +1,223 @@
+"""The calibrated scenario: everything the analytical framework needs.
+
+Fig. 1's workflow calibrates the model with "minimal measurements
+(arrival rates, packet lengths, PDR)" plus device capabilities.  A
+:class:`Scenario` bundles those calibrated quantities; from it the model
+builds, for any policy, the service-time model (delay side) and the frame
+success/distortion models (confidentiality side).
+
+:func:`calibrate_scenario` derives a scenario from a concrete encoded
+clip, a set of cipher cost models and a WiFi link description — the same
+information the Android client has locally (Section 6.1: "the client has
+access locally to all the necessary information to compute these
+estimates").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..crypto.timing import CipherCost
+from ..video.gop import Bitstream, FrameType
+from ..video.packetizer import (
+    DEFAULT_MTU,
+    RTP_HEADER_BYTES,
+    UDP_IP_HEADER_BYTES,
+    packetize,
+)
+from ..wifi.dcf import DcfParameters, DcfSolution, solve_dcf
+from ..wifi.phy import Phy80211g
+from .distortion import DistortionModel, DistortionPolynomial
+from .frame_success import FrameSuccessModel
+from .mmpp import MMPP2
+from .policies import EncryptionPolicy
+from .service import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    ServiceTimeModel,
+    TransmissionComponent,
+)
+
+__all__ = ["Scenario", "calibrate_scenario"]
+
+# Relative timing jitter applied when deriving Gaussian atoms from affine
+# cost models (matches the small variations eq. 15 models).
+_TX_JITTER_FRACTION = 0.03
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Calibrated inputs of the analytical framework for one clip/link/device."""
+
+    # Arrival side (Section 4.2.1)
+    mmpp: MMPP2
+    p_i: float                      # P(a packet belongs to an I-frame)
+    # Frame structure (Sections 4.2.2 / 4.3.1)
+    n_i_packets: int                # packets per I-frame (mean, >= 1)
+    n_p_packets: int                # packets per P-frame (>= 1)
+    i_packet_payload_bytes: int     # typical I-fragment payload (~MTU)
+    p_packet_payload_bytes: int     # typical P-packet payload
+    # Device (encryption costs per algorithm)
+    cipher_costs: Dict[str, CipherCost]
+    # Link (Sections 4.1 / 4.2.2)
+    p_s: float                      # per-attempt MAC success rate (backoff)
+    p_delivery: float               # end-to-end delivery rate after retries
+    lambda_b: float                 # backoff rate of eq. (7)
+    tx_atom_i: GaussianAtom
+    tx_atom_p: GaussianAtom
+    # Content (Section 4.3)
+    sensitivity_fraction: float
+    gop_size: int
+    n_gops: int
+    polynomial: DistortionPolynomial
+    recovery_fraction: Optional[float] = None
+    baseline_distortion: float = 0.0
+
+    # -- delay side ------------------------------------------------------------
+
+    def encryption_atoms(self, algorithm: str
+                         ) -> "tuple[GaussianAtom, GaussianAtom]":
+        """Per-packet encryption-time atoms (I-fragment, P-packet)."""
+        try:
+            cost = self.cipher_costs[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"no cipher cost calibrated for {algorithm!r}; have"
+                f" {sorted(self.cipher_costs)}"
+            ) from None
+        atom_i = GaussianAtom(
+            mu=cost.time_for(self.i_packet_payload_bytes),
+            sigma=cost.sigma_for(self.i_packet_payload_bytes),
+        )
+        atom_p = GaussianAtom(
+            mu=cost.time_for(self.p_packet_payload_bytes),
+            sigma=cost.sigma_for(self.p_packet_payload_bytes),
+        )
+        return atom_i, atom_p
+
+    def service_model(self, policy: EncryptionPolicy) -> ServiceTimeModel:
+        """Assemble eq. (3)'s service time for a policy."""
+        if policy.mode == "none" or policy.algorithm is None:
+            zero = GaussianAtom(0.0, 0.0)
+            encryption = EncryptionComponent(0.0, 0.0, zero, zero)
+        else:
+            atom_i, atom_p = self.encryption_atoms(policy.algorithm)
+            encryption = EncryptionComponent.from_policy(
+                policy, self.p_i, atom_i, atom_p
+            )
+        backoff = BackoffComponent(p_s=self.p_s, lambda_b=self.lambda_b)
+        transmission = TransmissionComponent(
+            p_i=self.p_i, atom_i=self.tx_atom_i, atom_p=self.tx_atom_p
+        )
+        return ServiceTimeModel(encryption, backoff, transmission)
+
+    # -- distortion side ---------------------------------------------------------
+
+    def frame_success_model(self) -> FrameSuccessModel:
+        # Distortion depends on what ultimately arrives, i.e. the delivery
+        # rate after MAC retries; the per-attempt rate only shapes backoff.
+        return FrameSuccessModel(
+            n_i=self.n_i_packets,
+            n_p=self.n_p_packets,
+            sensitivity_fraction=self.sensitivity_fraction,
+            p_s=self.p_delivery,
+        )
+
+    def distortion_model(self) -> DistortionModel:
+        return DistortionModel(
+            gop_size=self.gop_size,
+            n_gops=self.n_gops,
+            polynomial=self.polynomial,
+            recovery_fraction=self.recovery_fraction,
+        )
+
+    def with_delivery_rate(self, p_delivery: float) -> "Scenario":
+        """A copy under different end-to-end channel conditions."""
+        return replace(self, p_delivery=p_delivery)
+
+
+def calibrate_scenario(
+    bitstream: Bitstream,
+    *,
+    cipher_costs: Dict[str, CipherCost],
+    polynomial: DistortionPolynomial,
+    sensitivity_fraction: float,
+    dcf: Optional[DcfSolution] = None,
+    dcf_params: Optional[DcfParameters] = None,
+    phy: Optional[Phy80211g] = None,
+    mtu: int = DEFAULT_MTU,
+    disk_read_rate_pkts_per_s: float = 600.0,
+    recovery_fraction: Optional[float] = None,
+    baseline_distortion: float = 0.0,
+    retry_limit: int = 7,
+) -> Scenario:
+    """Calibrate a :class:`Scenario` from an encoded clip and a link.
+
+    ``disk_read_rate_pkts_per_s`` is the I-burst arrival rate lambda_1:
+    how fast MTU fragments of an I-frame are produced while the producer
+    thread reads it from flash (Section 5's producer/consumer queue).
+
+    The per-attempt success rate from the DCF fixed point shapes the
+    backoff component of the service time; end-to-end *delivery* after up
+    to ``retry_limit`` MAC retransmissions is what the distortion side
+    sees: ``p_delivery = 1 - (1 - p_s)^(retry_limit + 1)``.
+    """
+    dcf_params = dcf_params or DcfParameters()
+    phy = phy or dcf_params.phy
+    if dcf is None:
+        dcf = solve_dcf(dcf_params)
+
+    packets = packetize(bitstream, mtu=mtu, carry_payload=False)
+    i_packets = [p for p in packets if p.frame_type is FrameType.I]
+    p_packets = [p for p in packets if p.frame_type is FrameType.P]
+    if not i_packets or not p_packets:
+        raise ValueError("clip must contain both I- and P-frame packets")
+    p_i = len(i_packets) / len(packets)
+
+    n_i_frames = sum(1 for f in bitstream if f.is_intra)
+    n_p_frames = len(bitstream) - n_i_frames
+    n_i_packets = max(1, round(len(i_packets) / n_i_frames))
+    n_p_packets = max(1, round(len(p_packets) / n_p_frames))
+
+    i_payload = int(np.mean([p.payload_size for p in i_packets]))
+    p_payload = int(np.mean([p.payload_size for p in p_packets]))
+
+    wire_i = i_payload + RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES
+    wire_p = p_payload + RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES
+    tx_i = phy.packet_transmission_time_s(wire_i)
+    tx_p = phy.packet_transmission_time_s(wire_p)
+
+    mmpp = MMPP2.from_video_structure(
+        fps=bitstream.fps,
+        gop_size=bitstream.gop_layout.gop_size,
+        i_frame_packets=n_i_packets,
+        burst_rate=disk_read_rate_pkts_per_s,
+    )
+
+    p_delivery = 1.0 - (1.0 - dcf.packet_success_rate) ** (retry_limit + 1)
+
+    return Scenario(
+        mmpp=mmpp,
+        p_i=p_i,
+        n_i_packets=n_i_packets,
+        n_p_packets=n_p_packets,
+        i_packet_payload_bytes=i_payload,
+        p_packet_payload_bytes=p_payload,
+        cipher_costs=dict(cipher_costs),
+        p_s=dcf.packet_success_rate,
+        p_delivery=p_delivery,
+        lambda_b=dcf.backoff_rate_per_s,
+        tx_atom_i=GaussianAtom(tx_i, _TX_JITTER_FRACTION * tx_i),
+        tx_atom_p=GaussianAtom(tx_p, _TX_JITTER_FRACTION * tx_p),
+        sensitivity_fraction=sensitivity_fraction,
+        gop_size=bitstream.gop_layout.gop_size,
+        n_gops=bitstream.gop_layout.n_gops(len(bitstream)),
+        polynomial=polynomial,
+        recovery_fraction=recovery_fraction,
+        baseline_distortion=baseline_distortion,
+    )

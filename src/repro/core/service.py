@@ -1,0 +1,278 @@
+"""Service-time model of Section 4.2.2.
+
+The service time of a packet at the sender is
+
+    T = T_e^(P) + T_b + T_t                                   (eq. 3)
+
+- ``T_e``: encryption time; zero unless the policy selects the packet,
+  and a Gaussian around a type-dependent typical value when it does
+  (eqs. 4-5, 15, 17);
+- ``T_b``: 802.11 backoff, a geometric number of exponential waits
+  (eqs. 6-7);
+- ``T_t``: transmission time, a Gaussian mixture over the I/P packet
+  sizes (eqs. 8-9, 16, 18).
+
+Every component exposes its Laplace-Stieltjes transform both as a scalar
+function (for direct comparison with the paper's formulas) and as a
+*matrix* function, because the MMPP/G/1 solver needs ``E[exp(M T)]`` for
+2x2 generator-like matrices M.  All components also know how to sample
+themselves so the analytical solution can be validated against discrete-
+event simulation of the very same service process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import expm
+
+from .policies import EncryptionPolicy
+
+__all__ = [
+    "GaussianAtom",
+    "EncryptionComponent",
+    "BackoffComponent",
+    "TransmissionComponent",
+    "ServiceTimeModel",
+]
+
+
+@dataclass(frozen=True)
+class GaussianAtom:
+    """A typical duration with small Gaussian variation (eq. 15/16).
+
+    With ``sigma = 0`` this degenerates to the constant-time special case
+    (eqs. 11-14).  The Gaussian can formally go negative; the paper uses it
+    regardless because sigma << mu in practice, and sampling clamps at 0.
+    """
+
+    mu: float
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mu < 0.0:
+            raise ValueError("mean duration must be non-negative")
+        if self.sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+
+    def scalar_lst(self, s: float) -> float:
+        """E[e^{-sT}] = exp(-mu s + sigma^2 s^2 / 2)."""
+        return math.exp(-self.mu * s + 0.5 * (self.sigma * s) ** 2)
+
+    def matrix_lst(self, m: np.ndarray) -> np.ndarray:
+        """E[e^{MT}] = expm(mu M + sigma^2 M^2 / 2)."""
+        return expm(self.mu * m + 0.5 * self.sigma ** 2 * (m @ m))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.sigma == 0.0:
+            return self.mu
+        return max(0.0, rng.normal(self.mu, self.sigma))
+
+    @property
+    def second_moment(self) -> float:
+        return self.mu ** 2 + self.sigma ** 2
+
+
+@dataclass(frozen=True)
+class EncryptionComponent:
+    """T_e^(P): zero w.p. 1 - q_I' - q_P', else the I or P Gaussian atom.
+
+    ``q_i_effective`` = P(packet is I-frame packet AND selected) = q_I p_I;
+    ``q_p_effective`` = q_P (1 - p_I)  (notation of eq. 4).
+    """
+
+    q_i_effective: float
+    q_p_effective: float
+    atom_i: GaussianAtom
+    atom_p: GaussianAtom
+
+    def __post_init__(self) -> None:
+        if self.q_i_effective < 0 or self.q_p_effective < 0:
+            raise ValueError("selection probabilities must be non-negative")
+        if self.q_i_effective + self.q_p_effective > 1.0 + 1e-12:
+            raise ValueError("selection probabilities exceed 1")
+
+    @classmethod
+    def from_policy(cls, policy: EncryptionPolicy, p_i: float,
+                    atom_i: GaussianAtom, atom_p: GaussianAtom
+                    ) -> "EncryptionComponent":
+        """Assemble eq. (4)'s mixture from a policy and P(I-packet)=p_i."""
+        return cls(
+            q_i_effective=policy.q_i * p_i,
+            q_p_effective=policy.q_p * (1.0 - p_i),
+            atom_i=atom_i,
+            atom_p=atom_p,
+        )
+
+    @property
+    def mean(self) -> float:
+        return (self.q_i_effective * self.atom_i.mu
+                + self.q_p_effective * self.atom_p.mu)
+
+    @property
+    def second_moment(self) -> float:
+        return (self.q_i_effective * self.atom_i.second_moment
+                + self.q_p_effective * self.atom_p.second_moment)
+
+    def scalar_lst(self, s: float) -> float:
+        """Eq. (17)."""
+        q0 = 1.0 - self.q_i_effective - self.q_p_effective
+        return (q0
+                + self.q_i_effective * self.atom_i.scalar_lst(s)
+                + self.q_p_effective * self.atom_p.scalar_lst(s))
+
+    def matrix_lst(self, m: np.ndarray) -> np.ndarray:
+        q0 = 1.0 - self.q_i_effective - self.q_p_effective
+        identity = np.eye(m.shape[0])
+        return (q0 * identity
+                + self.q_i_effective * self.atom_i.matrix_lst(m)
+                + self.q_p_effective * self.atom_p.matrix_lst(m))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        if u < self.q_i_effective:
+            return self.atom_i.sample(rng)
+        if u < self.q_i_effective + self.q_p_effective:
+            return self.atom_p.sample(rng)
+        return 0.0
+
+
+@dataclass(frozen=True)
+class BackoffComponent:
+    """T_b: sum of K iid Exp(lambda_b) waits, K geometric (eqs. 6-7).
+
+    ``P{K = k} = (1 - p_s)^k p_s``: with probability ``p_s`` the packet
+    goes out without collision and T_b = 0.
+    """
+
+    p_s: float
+    lambda_b: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_s <= 1.0:
+            raise ValueError("p_s must be in (0, 1]")
+        if self.lambda_b <= 0.0:
+            raise ValueError("lambda_b must be positive")
+
+    @property
+    def mean(self) -> float:
+        # E[K]/lambda_b with E[K] = (1 - p_s)/p_s.
+        return (1.0 - self.p_s) / (self.p_s * self.lambda_b)
+
+    @property
+    def second_moment(self) -> float:
+        # E[T_b^2] = E[K(K+1)] / lambda_b^2 for a sum of K iid exponentials.
+        p = self.p_s
+        ek = (1.0 - p) / p
+        ek2 = (1.0 - p) * (2.0 - p) / (p * p)
+        return (ek2 + ek) / self.lambda_b ** 2
+
+    def scalar_lst(self, s: float) -> float:
+        """Eq. (7): H_b(s) = p_s (lambda_b + s) / (s + p_s lambda_b)."""
+        return (self.p_s * (self.lambda_b + s)) / (s + self.p_s * self.lambda_b)
+
+    def matrix_lst(self, m: np.ndarray) -> np.ndarray:
+        identity = np.eye(m.shape[0])
+        numerator = self.lambda_b * identity - m
+        denominator = self.p_s * self.lambda_b * identity - m
+        return self.p_s * numerator @ np.linalg.inv(denominator)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        collisions = rng.geometric(self.p_s) - 1  # numpy: support {1,2,..}
+        if collisions == 0:
+            return 0.0
+        return float(rng.exponential(1.0 / self.lambda_b, collisions).sum())
+
+
+@dataclass(frozen=True)
+class TransmissionComponent:
+    """T_t: Gaussian mixture over I- and P-frame packet sizes (eqs. 8/18)."""
+
+    p_i: float
+    atom_i: GaussianAtom
+    atom_p: GaussianAtom
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_i <= 1.0:
+            raise ValueError("p_i must be in [0, 1]")
+
+    @property
+    def mean(self) -> float:
+        return self.p_i * self.atom_i.mu + (1.0 - self.p_i) * self.atom_p.mu
+
+    @property
+    def second_moment(self) -> float:
+        return (self.p_i * self.atom_i.second_moment
+                + (1.0 - self.p_i) * self.atom_p.second_moment)
+
+    def scalar_lst(self, s: float) -> float:
+        """Eq. (18)."""
+        return (self.p_i * self.atom_i.scalar_lst(s)
+                + (1.0 - self.p_i) * self.atom_p.scalar_lst(s))
+
+    def matrix_lst(self, m: np.ndarray) -> np.ndarray:
+        return (self.p_i * self.atom_i.matrix_lst(m)
+                + (1.0 - self.p_i) * self.atom_p.matrix_lst(m))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        atom = self.atom_i if rng.random() < self.p_i else self.atom_p
+        return atom.sample(rng)
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """T = T_e + T_b + T_t with the three parts mutually independent.
+
+    The paper's eq. (10): the LST of T is the product of the component
+    LSTs.  Moments follow from independence; the matrix LST is the product
+    of commuting matrix functions of the same argument.
+    """
+
+    encryption: EncryptionComponent
+    backoff: BackoffComponent
+    transmission: TransmissionComponent
+
+    @property
+    def mean(self) -> float:
+        """mu^(1): first moment of the service time."""
+        return self.encryption.mean + self.backoff.mean + self.transmission.mean
+
+    @property
+    def second_moment(self) -> float:
+        """mu^(2): second moment about the origin."""
+        parts = (self.encryption, self.backoff, self.transmission)
+        total = sum(part.second_moment for part in parts)
+        # Cross terms 2 E[X]E[Y] from independence.
+        means = [part.mean for part in parts]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                total += 2.0 * means[i] * means[j]
+        return total
+
+    @property
+    def variance(self) -> float:
+        return self.second_moment - self.mean ** 2
+
+    def scalar_lst(self, s: float) -> float:
+        """Eq. (10): H(s) = H_e(s) H_b(s) H_t(s)."""
+        return (self.encryption.scalar_lst(s)
+                * self.backoff.scalar_lst(s)
+                * self.transmission.scalar_lst(s))
+
+    def matrix_lst(self, m: np.ndarray) -> np.ndarray:
+        """E[e^{MT}]: the matrix version of eq. (10).
+
+        The three factors are analytic functions of the same matrix M, so
+        they commute and their product equals the transform of the sum.
+        """
+        return (self.encryption.matrix_lst(m)
+                @ self.backoff.matrix_lst(m)
+                @ self.transmission.matrix_lst(m))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return (self.encryption.sample(rng)
+                + self.backoff.sample(rng)
+                + self.transmission.sample(rng))

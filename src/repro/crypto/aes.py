@@ -1,0 +1,240 @@
+"""From-scratch AES (FIPS-197) block cipher.
+
+The paper's Android app encrypts selected RTP payloads with AES-128 or
+AES-256 in OFB mode (Section 5).  This module implements the raw block
+cipher for all three standard key sizes.  The S-box is *derived* (GF(2^8)
+inverse followed by the FIPS-197 affine map) rather than transcribed, and
+the implementation is validated against the FIPS-197 appendix vectors in
+the test suite.
+
+The implementation is deliberately a plain, readable byte-oriented one: the
+reproduction uses it both for actual payload protection in the examples and
+as the ground truth that :mod:`repro.crypto.timing` micro-benchmarks to
+build per-device encryption-time models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+_ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Carry-less multiplication in GF(2^8) with the AES reduction."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[bytes, bytes]:
+    """Construct the AES S-box and its inverse from first principles.
+
+    Each byte is mapped to its multiplicative inverse in GF(2^8) (0 maps to
+    0) and then through the FIPS-197 affine transformation
+    ``b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i`` with
+    ``c = 0x63``.
+    """
+    # Build inverses via exhaustive search; 256^2 work once at import time.
+    inverse = [0] * 256
+    for a in range(1, 256):
+        if inverse[a]:
+            continue
+        for b in range(1, 256):
+            if _gf_mul(a, b) == 1:
+                inverse[a] = b
+                inverse[b] = a
+                break
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for value in range(256):
+        b = inverse[value]
+        transformed = 0
+        for bit in range(8):
+            parity = (
+                (b >> bit)
+                ^ (b >> ((bit + 4) % 8))
+                ^ (b >> ((bit + 5) % 8))
+                ^ (b >> ((bit + 6) % 8))
+                ^ (b >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= parity << bit
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants: rcon[i] = x^(i-1) in GF(2^8).
+_RCON = [0] * 15
+_RCON[1] = 1
+for _i in range(2, 15):
+    _RCON[_i] = _xtime(_RCON[_i - 1])
+
+
+class AES:
+    """AES block cipher with a 128-, 192- or 256-bit key.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 raw key bytes.
+
+    The public surface is :meth:`encrypt_block` / :meth:`decrypt_block` on
+    exactly 16 bytes; use :class:`repro.crypto.ofb.OFBMode` for streams.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        key = bytes(key)
+        if len(key) not in _ROUNDS_BY_KEY_LEN:
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        self.rounds = _ROUNDS_BY_KEY_LEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule ------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS-197 key expansion into (rounds + 1) 16-byte round keys."""
+        nk = len(key) // 4
+        total_words = 4 * (self.rounds + 1)
+        words: List[List[int]] = [
+            list(key[4 * i : 4 * i + 4]) for i in range(nk)
+        ]
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(self.rounds + 1):
+            rk: List[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # -- round primitives (state is a flat 16-byte column-major list) -------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # state[col * 4 + row]; row r rotates left by r.
+        for row in range(1, 4):
+            rotated = [state[((col + row) % 4) * 4 + row] for col in range(4)]
+            for col in range(4):
+                state[col * 4 + row] = rotated[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            rotated = [state[((col - row) % 4) * 4 + row] for col in range(4)]
+            for col in range(4):
+                state[col * 4 + row] = rotated[col]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+            state[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+            state[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+            state[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = (
+                _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11)
+                ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+            )
+            state[4 * col + 1] = (
+                _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14)
+                ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+            )
+            state[4 * col + 2] = (
+                _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9)
+                ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+            )
+            state[4 * col + 3] = (
+                _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13)
+                ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+            )
+
+    # -- public block operations --------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"AES block must be {BLOCK_SIZE} bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"AES block must be {BLOCK_SIZE} bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    @property
+    def block_size(self) -> int:
+        return BLOCK_SIZE

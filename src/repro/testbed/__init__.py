@@ -1,0 +1,27 @@
+"""The simulated Android testbed (Sections 5-6): device profiles, the
+Fig. 3 sender pipeline as a discrete-event simulation, RTP/UDP and
+HTTP/TCP transports, per-packet tracing, the power model, and the
+end-to-end experiment runner."""
+
+from .devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G, DeviceProfile
+from .energy import EnergyBreakdown, average_power_w, microamp_hours_to_watts
+from .experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    RepeatedResult,
+    run_experiment,
+    run_repeated,
+)
+from .simulator import LinkConfig, SenderSimulator, SimulationRun
+from .tracing import PacketTrace, TraceLog
+from .transport import HTTP_TCP, UDP_RTP, TransportConfig, delivery_outcome
+
+__all__ = [
+    "DEVICES", "GALAXY_S2", "HTC_AMAZE_4G", "DeviceProfile",
+    "EnergyBreakdown", "average_power_w", "microamp_hours_to_watts",
+    "ExperimentConfig", "ExperimentResult", "RepeatedResult",
+    "run_experiment", "run_repeated",
+    "LinkConfig", "SenderSimulator", "SimulationRun",
+    "PacketTrace", "TraceLog",
+    "HTTP_TCP", "UDP_RTP", "TransportConfig", "delivery_outcome",
+]

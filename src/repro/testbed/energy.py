@@ -1,0 +1,85 @@
+"""The power model: the Monsoon power monitor substitute (Section 6.3).
+
+The paper measures whole-phone energy during the streaming run and
+converts the monitor reading to Watts with eq. (29):
+
+    W = v * Voltage * 3600 * 10^-3 / stream_duration     (v in uAh)
+
+Our substitute integrates the three draws the measurement is sensitive
+to — baseline, CPU-while-encrypting, radio-while-transmitting — over the
+transfer and reports the same average-Watts quantity.  The policy
+dependence enters exactly where it does on the phone: encrypted bytes
+cost CPU time, all bytes cost airtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .devices import DeviceProfile
+
+__all__ = ["EnergyBreakdown", "average_power_w", "microamp_hours_to_watts"]
+
+MONITOR_VOLTAGE = 3.9  # Volts, as set in Section 6.3.
+
+
+def microamp_hours_to_watts(reading_uah: float, duration_s: float,
+                            voltage: float = MONITOR_VOLTAGE) -> float:
+    """Eq. (29): convert a Monsoon uAh reading to average Watts."""
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if reading_uah < 0:
+        raise ValueError("monitor reading must be non-negative")
+    return reading_uah * voltage * 3600e-6 / duration_s
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy accounting for one transfer."""
+
+    duration_s: float
+    crypto_time_s: float
+    airtime_s: float
+    base_energy_j: float
+    crypto_energy_j: float
+    radio_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.base_energy_j + self.crypto_energy_j + self.radio_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        """The Fig. 10/11 metric."""
+        return self.total_energy_j / self.duration_s
+
+    def equivalent_monitor_reading_uah(
+            self, voltage: float = MONITOR_VOLTAGE) -> float:
+        """The uAh a Monsoon monitor would have displayed (inverse eq. 29)."""
+        return self.total_energy_j / (voltage * 3600e-6)
+
+
+def average_power_w(device: DeviceProfile, *, duration_s: float,
+                    crypto_time_s: float, airtime_s: float
+                    ) -> EnergyBreakdown:
+    """Integrate the device's power model over one transfer.
+
+    ``duration_s`` is the wall-clock transfer time (which itself stretches
+    when encryption is the bottleneck — that is why fully encrypted
+    transfers converge to base + cpu power); ``crypto_time_s`` and
+    ``airtime_s`` are busy times of the CPU crypto path and the radio.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if crypto_time_s < 0 or airtime_s < 0:
+        raise ValueError("busy times must be non-negative")
+    if crypto_time_s > duration_s + 1e-9 or airtime_s > duration_s + 1e-9:
+        raise ValueError("busy time cannot exceed the transfer duration")
+    return EnergyBreakdown(
+        duration_s=duration_s,
+        crypto_time_s=crypto_time_s,
+        airtime_s=airtime_s,
+        base_energy_j=device.base_power_w * duration_s,
+        crypto_energy_j=device.cpu_power_w * crypto_time_s,
+        radio_energy_j=device.radio_tx_power_w * airtime_s,
+    )

@@ -1,0 +1,189 @@
+"""Discrete-event simulation of the Fig. 3 sender pipeline.
+
+The producer thread reads video segments from disk into a queue; the
+consumer thread takes the head-of-line segment, encrypts it if the policy
+says so, and hands it to the transport, where it contends for the WiFi
+channel (backoff) and is finally transmitted.  This module simulates that
+pipeline packet by packet and emits the same traces the paper's
+instrumented Android app logged.
+
+Arrival process: frame ``f`` is read at ``f / fps``; an I-frame's MTU
+fragments are enqueued back to back at the disk read rate, which is what
+creates the two-phase (burst/trickle) structure the 2-MMPP models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.policies import EncryptionPolicy
+from ..crypto.timing import CipherCost
+from ..video.gop import Bitstream
+from ..video.packetizer import DEFAULT_MTU, Packet, packetize
+from ..wifi.dcf import DcfParameters, DcfSolution, solve_dcf
+from ..wifi.phy import Phy80211g
+from .devices import DeviceProfile
+from .tracing import PacketTrace, TraceLog
+from .transport import UDP_RTP, TransportConfig, delivery_outcome
+
+__all__ = ["LinkConfig", "SenderSimulator", "SimulationRun"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """The WiFi link as the sender experiences it."""
+
+    phy: Phy80211g
+    dcf: DcfSolution
+    retry_limit: int = 7
+
+    @classmethod
+    def default(cls, *, n_stations: int = 2,
+                channel_error_rate: float = 0.0) -> "LinkConfig":
+        params = DcfParameters(n_stations=n_stations,
+                               channel_error_rate=channel_error_rate)
+        return cls(phy=params.phy, dcf=solve_dcf(params))
+
+    @property
+    def delivery_rate(self) -> float:
+        """End-to-end per-packet delivery after MAC retries."""
+        p = self.dcf.packet_success_rate
+        return 1.0 - (1.0 - p) ** (self.retry_limit + 1)
+
+
+@dataclass
+class SimulationRun:
+    """Everything one sender run produced."""
+
+    trace: TraceLog
+    packets: List[Packet]
+    usable_by_receiver: List[bool]
+    usable_by_eavesdropper: List[bool]
+
+    @property
+    def mean_delay_ms(self) -> float:
+        return self.trace.mean_delay_s() * 1e3
+
+
+class SenderSimulator:
+    """Simulate transfers of one encoded clip under one policy."""
+
+    def __init__(
+        self,
+        bitstream: Bitstream,
+        *,
+        device: DeviceProfile,
+        link: Optional[LinkConfig] = None,
+        transport: TransportConfig = UDP_RTP,
+        mtu: int = DEFAULT_MTU,
+        disk_read_rate_pkts_per_s: float = 600.0,
+        padding: str = "none",
+    ) -> None:
+        self.bitstream = bitstream
+        self.device = device
+        self.link = link or LinkConfig.default()
+        self.transport = transport
+        self.mtu = mtu
+        self.disk_read_rate = disk_read_rate_pkts_per_s
+        self.packets = packetize(bitstream, mtu=mtu, carry_payload=False)
+        if padding != "none":
+            # Traffic-analysis countermeasure (see testbed.traffic_analysis):
+            # padded payloads cost real airtime and crypto time here.
+            from .traffic_analysis import pad_packets
+            self.packets = pad_packets(self.packets, padding, mtu=mtu)
+
+    # -- arrival process --------------------------------------------------------
+
+    def _arrival_times(self) -> np.ndarray:
+        """Enqueue instant of every packet (producer side of Fig. 3)."""
+        fps = self.bitstream.fps
+        times = np.empty(len(self.packets))
+        fragment_gap = 1.0 / self.disk_read_rate
+        for i, packet in enumerate(self.packets):
+            frame_time = packet.frame_index / fps
+            times[i] = frame_time + packet.fragment_index * fragment_gap
+        return times
+
+    # -- service components -----------------------------------------------------
+
+    def _encryption_time(self, packet: Packet, cost: Optional[CipherCost],
+                         policy: EncryptionPolicy,
+                         rng: np.random.Generator) -> float:
+        if cost is None or not policy.encrypts(packet):
+            return 0.0
+        mean = cost.time_for(packet.payload_size)
+        sigma = cost.sigma_for(packet.payload_size)
+        return max(0.0, rng.normal(mean, sigma)) if sigma > 0 else mean
+
+    def _backoff_time(self, rng: np.random.Generator) -> float:
+        """Geometric collisions, exponential waits (the eq. 6-7 process)."""
+        p_s = self.link.dcf.packet_success_rate
+        collisions = rng.geometric(p_s) - 1
+        if collisions == 0:
+            return 0.0
+        lam = self.link.dcf.backoff_rate_per_s
+        return float(rng.exponential(1.0 / lam, collisions).sum())
+
+    def _transmission_time(self, packet: Packet,
+                           rng: np.random.Generator) -> float:
+        wire = packet.payload_size + self.transport.header_bytes
+        mean = self.link.phy.packet_transmission_time_s(wire)
+        return max(0.0, rng.normal(mean, 0.03 * mean))
+
+    # -- the run ------------------------------------------------------------------
+
+    def run(self, policy: EncryptionPolicy, *,
+            seed: Optional[int] = None) -> SimulationRun:
+        """One transfer of the whole clip under ``policy``."""
+        rng = np.random.default_rng(seed)
+        cost = (self.device.cipher_cost(policy.algorithm)
+                if policy.algorithm is not None and policy.mode != "none"
+                else None)
+        arrivals = self._arrival_times()
+
+        traces: List[PacketTrace] = []
+        usable_receiver: List[bool] = []
+        usable_eavesdropper: List[bool] = []
+        server_free_at = 0.0
+
+        for packet, arrival in zip(self.packets, arrivals):
+            start = max(arrival, server_free_at)
+            encryption = self._encryption_time(packet, cost, policy, rng)
+            backoff = self._backoff_time(rng)
+            outcome = delivery_outcome(
+                self.transport, self.link.delivery_rate, rng
+            )
+            transmission = (self._transmission_time(packet, rng)
+                            * outcome.attempts)
+            transmit_at = start + encryption + backoff + outcome.extra_delay_s
+            departure = transmit_at + transmission
+            server_free_at = departure
+
+            encrypted = bool(encryption > 0.0 or
+                             (cost is not None and policy.encrypts(packet)))
+            traces.append(PacketTrace(
+                sequence_number=packet.sequence_number,
+                frame_index=packet.frame_index,
+                frame_type=packet.frame_type,
+                payload_bytes=packet.payload_size,
+                encrypted=encrypted,
+                enqueue_time_s=float(arrival),
+                service_start_s=float(start),
+                encryption_time_s=float(encryption),
+                transmit_time_s=float(transmit_at),
+                departure_time_s=float(departure),
+                delivered=outcome.delivered,
+                attempts=outcome.attempts,
+            ))
+            usable_receiver.append(outcome.delivered)
+            usable_eavesdropper.append(outcome.delivered and not encrypted)
+
+        return SimulationRun(
+            trace=TraceLog(traces),
+            packets=self.packets,
+            usable_by_receiver=usable_receiver,
+            usable_by_eavesdropper=usable_eavesdropper,
+        )

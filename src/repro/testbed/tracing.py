@@ -1,0 +1,115 @@
+"""Per-packet event traces: the tcpdump + app-instrumentation substitute.
+
+Section 6.1: "We keep track of the time instances at which each packet
+reaches different parts of our application ... when the packet enters and
+leaves the queue ... the time duration needed to encrypt the packet ...
+and the time instance when the packet is forwarded to the transport
+layer.  Furthermore, we use tcpdump to capture the time instance the
+packet is transmitted over the wireless link."
+
+A :class:`PacketTrace` records the same touch points for every simulated
+packet; the calibration estimators in :mod:`repro.core.calibration`
+consume these traces exactly as the paper's model-tuning phase consumed
+the Android logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..video.gop import FrameType
+
+__all__ = ["PacketTrace", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class PacketTrace:
+    """Timeline of one packet through the Fig. 3 sender pipeline."""
+
+    sequence_number: int
+    frame_index: int
+    frame_type: FrameType
+    payload_bytes: int
+    encrypted: bool
+    enqueue_time_s: float          # producer put the segment in the queue
+    service_start_s: float         # consumer picked it up
+    encryption_time_s: float       # 0 when not selected by the policy
+    transmit_time_s: float         # handed to the radio (tcpdump timestamp)
+    departure_time_s: float        # transmission finished
+    delivered: bool                # survived the channel (after transport)
+    attempts: int = 1
+
+    @property
+    def waiting_time_s(self) -> float:
+        return self.service_start_s - self.enqueue_time_s
+
+    @property
+    def sojourn_time_s(self) -> float:
+        """The per-packet delay the paper's Figs. 7-9 report."""
+        return self.departure_time_s - self.enqueue_time_s
+
+
+class TraceLog:
+    """All packet traces of one run plus aggregate views."""
+
+    def __init__(self, traces: Sequence[PacketTrace]) -> None:
+        self.traces: List[PacketTrace] = list(traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def mean_delay_s(self) -> float:
+        return float(np.mean([t.sojourn_time_s for t in self.traces]))
+
+    def mean_waiting_s(self) -> float:
+        return float(np.mean([t.waiting_time_s for t in self.traces]))
+
+    def total_crypto_time_s(self) -> float:
+        return float(sum(t.encryption_time_s for t in self.traces))
+
+    def total_airtime_s(self) -> float:
+        return float(sum(t.departure_time_s - t.transmit_time_s
+                         for t in self.traces))
+
+    def makespan_s(self) -> float:
+        return float(max(t.departure_time_s for t in self.traces))
+
+    def encrypted_fraction(self) -> float:
+        return float(np.mean([t.encrypted for t in self.traces]))
+
+    # -- calibration views (Section 6.1) --------------------------------------
+
+    def arrival_trace(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(arrival times, phases) for the MMPP estimator: phase 0 for
+        I-frame packets, 1 for P-frame packets."""
+        times = np.array([t.enqueue_time_s for t in self.traces])
+        phases = np.array(
+            [0 if t.frame_type is FrameType.I else 1 for t in self.traces],
+            dtype=int,
+        )
+        order = np.argsort(times, kind="stable")
+        return times[order], phases[order]
+
+    def encryption_samples(self, frame_type: Optional[FrameType] = None
+                           ) -> List[float]:
+        """Observed encryption durations (only packets that were encrypted)."""
+        return [
+            t.encryption_time_s for t in self.traces
+            if t.encrypted and (frame_type is None or t.frame_type is frame_type)
+        ]
+
+    def transmission_samples(self, frame_type: Optional[FrameType] = None
+                             ) -> List[float]:
+        return [
+            t.departure_time_s - t.transmit_time_s for t in self.traces
+            if frame_type is None or t.frame_type is frame_type
+        ]
+
+    def delivery_outcomes(self) -> List[bool]:
+        return [t.delivered for t in self.traces]

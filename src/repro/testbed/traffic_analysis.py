@@ -1,0 +1,157 @@
+"""Traffic analysis on selectively encrypted flows, and padding defences.
+
+The paper's threat model (Section 3) explicitly leaves this open:
+
+    "The eavesdropper may be able to distinguish packets as belonging to
+    either I-frames or P-frames based on their size or other
+    characteristics.  While the sender can obfuscate these features by
+    using techniques such as padding the payload, we do not consider
+    these possibilities in this work."
+
+This module implements both sides of that arms race as an extension:
+
+- :class:`SizePacketClassifier` — the attack: a threshold classifier on
+  payload sizes that tells I-fragments (MTU-sized) from P-packets, which
+  would let an eavesdropper target the valuable packets or fingerprint
+  the content's motion level;
+- :func:`pad_packets` — the defence: grow payloads to the MTU or to a
+  small set of size buckets, which blinds the classifier at a bandwidth,
+  delay and energy cost the testbed can then quantify
+  (``benchmarks/bench_ext_traffic_analysis.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..video.gop import FrameType
+from ..video.packetizer import (
+    DEFAULT_MTU,
+    RTP_HEADER_BYTES,
+    UDP_IP_HEADER_BYTES,
+    Packet,
+)
+
+__all__ = [
+    "PADDING_MODES",
+    "pad_packets",
+    "SizePacketClassifier",
+    "ClassifierReport",
+    "evaluate_classifier",
+]
+
+PADDING_MODES = ("none", "mtu", "buckets")
+
+# Bucket edges for the cheaper "buckets" defence: payloads are padded up
+# to the next edge, so the eavesdropper only learns the bucket.
+_DEFAULT_BUCKETS = (256, 1432)
+
+
+def pad_packets(packets: Sequence[Packet], mode: str = "mtu",
+                *, mtu: int = DEFAULT_MTU,
+                buckets: Tuple[int, ...] = _DEFAULT_BUCKETS) -> List[Packet]:
+    """Return a padded copy of a packet list.
+
+    ``mode="mtu"`` pads every payload to the maximum payload size (full
+    obfuscation, maximum overhead); ``mode="buckets"`` pads to the next
+    bucket edge (partial obfuscation, modest overhead); ``mode="none"``
+    returns the packets unchanged.
+    """
+    if mode not in PADDING_MODES:
+        raise ValueError(
+            f"unknown padding mode {mode!r}; expected one of {PADDING_MODES}"
+        )
+    if mode == "none":
+        return list(packets)
+    max_payload = mtu - RTP_HEADER_BYTES - UDP_IP_HEADER_BYTES
+    if mode == "buckets":
+        edges = tuple(sorted(set(buckets) | {max_payload}))
+    padded: List[Packet] = []
+    for packet in packets:
+        if packet.payload_size > max_payload:
+            raise ValueError(
+                f"packet {packet.sequence_number} exceeds the MTU payload"
+            )
+        if mode == "mtu":
+            target = max_payload
+        else:
+            target = next(edge for edge in edges
+                          if packet.payload_size <= edge)
+        pad = target - packet.payload_size
+        payload = packet.payload + b"\x00" * pad if packet.payload else b""
+        padded.append(replace(packet, payload_size=target, payload=payload))
+    return padded
+
+
+@dataclass(frozen=True)
+class ClassifierReport:
+    """How well the eavesdropper separates I- from P-frame packets."""
+
+    accuracy: float
+    i_recall: float        # fraction of I-fragments identified
+    p_recall: float
+    threshold_bytes: float
+
+    @property
+    def advantage(self) -> float:
+        """Attacker advantage over always guessing the majority class,
+        measured as balanced accuracy minus 1/2 (0 = blind)."""
+        return (self.i_recall + self.p_recall) / 2.0 - 0.5
+
+
+class SizePacketClassifier:
+    """Threshold attack: large payloads are I-fragments.
+
+    ``fit`` finds the midpoint threshold that best separates a labelled
+    training flow (the eavesdropper can label a flow of her own making,
+    or use the well-known MTU-burst structure); ``predict`` then labels
+    unseen packets.
+    """
+
+    def __init__(self) -> None:
+        self.threshold_bytes: Optional[float] = None
+
+    def fit(self, packets: Sequence[Packet]) -> "SizePacketClassifier":
+        sizes = np.array([p.payload_size for p in packets], dtype=float)
+        labels = np.array([p.frame_type is FrameType.I for p in packets])
+        if not labels.any() or labels.all():
+            raise ValueError("training flow needs both I and P packets")
+        candidates = np.unique(sizes)
+        best_threshold = candidates[0]
+        best_balanced = -1.0
+        for threshold in candidates:
+            predicted = sizes >= threshold
+            i_recall = float(np.mean(predicted[labels]))
+            p_recall = float(np.mean(~predicted[~labels]))
+            balanced = (i_recall + p_recall) / 2.0
+            if balanced > best_balanced:
+                best_balanced = balanced
+                best_threshold = threshold
+        self.threshold_bytes = float(best_threshold)
+        return self
+
+    def predict(self, packets: Sequence[Packet]) -> np.ndarray:
+        """True where the packet is classified as an I-fragment."""
+        if self.threshold_bytes is None:
+            raise RuntimeError("classifier is not fitted")
+        sizes = np.array([p.payload_size for p in packets], dtype=float)
+        return sizes >= self.threshold_bytes
+
+
+def evaluate_classifier(classifier: SizePacketClassifier,
+                        packets: Sequence[Packet]) -> ClassifierReport:
+    """Score the attack on a (possibly padded) flow."""
+    predicted = classifier.predict(packets)
+    labels = np.array([p.frame_type is FrameType.I for p in packets])
+    accuracy = float(np.mean(predicted == labels))
+    i_recall = float(np.mean(predicted[labels])) if labels.any() else 0.0
+    p_recall = float(np.mean(~predicted[~labels])) if (~labels).any() else 0.0
+    return ClassifierReport(
+        accuracy=accuracy,
+        i_recall=i_recall,
+        p_recall=p_recall,
+        threshold_bytes=float(classifier.threshold_bytes or 0.0),
+    )

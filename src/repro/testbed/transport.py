@@ -1,0 +1,78 @@
+"""Transport models: RTP/UDP (the paper's default) and HTTP/TCP (§6.4).
+
+The analysis assumes RTP over UDP for tractability; Section 6.4 then
+shows experimentally that the trends survive HTTP/TCP, with slightly
+higher latency from retransmissions.  The two transports differ in:
+
+- header overhead per packet (IP+UDP+RTP = 40 B vs IP+TCP = 52 B with
+  options for the Marker bit);
+- loss semantics: UDP losses are final; TCP retransmits until delivery,
+  converting loss into extra delay (retransmission rounds spaced by an
+  RTO) and stretching the transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TransportConfig", "UDP_RTP", "HTTP_TCP", "delivery_outcome"]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Transport behaviour knobs for the sender simulation."""
+
+    name: str
+    header_bytes: int            # network + transport (+ RTP) headers
+    reliable: bool               # retransmit-until-delivered
+    rto_s: float = 0.030         # retransmission timeout when reliable
+    max_retransmissions: int = 10
+
+    def __post_init__(self) -> None:
+        if self.header_bytes < 0:
+            raise ValueError("header bytes must be non-negative")
+        if self.reliable and self.rto_s <= 0:
+            raise ValueError("reliable transport needs a positive RTO")
+
+
+UDP_RTP = TransportConfig(name="RTP/UDP", header_bytes=40, reliable=False)
+# 20 B IP + 20 B TCP + 12 B options (timestamps + the Marker flag §6.4).
+HTTP_TCP = TransportConfig(name="HTTP/TCP", header_bytes=52, reliable=True)
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """What the channel+transport did to one packet."""
+
+    delivered: bool
+    attempts: int
+    extra_delay_s: float   # retransmission delay beyond the first attempt
+
+
+def delivery_outcome(config: TransportConfig, delivery_rate: float,
+                     rng: np.random.Generator) -> DeliveryOutcome:
+    """Sample the fate of one packet.
+
+    ``delivery_rate`` is the end-to-end per-attempt delivery probability
+    (MAC retries already folded in).  Unreliable transport: one attempt.
+    Reliable transport: geometric attempts capped at
+    ``max_retransmissions``, each failed round costing one RTO.
+    """
+    if not 0.0 <= delivery_rate <= 1.0:
+        raise ValueError("delivery rate must be in [0, 1]")
+    if rng.random() < delivery_rate:
+        return DeliveryOutcome(delivered=True, attempts=1, extra_delay_s=0.0)
+    if not config.reliable:
+        return DeliveryOutcome(delivered=False, attempts=1, extra_delay_s=0.0)
+    attempts = 1
+    extra = 0.0
+    while attempts <= config.max_retransmissions:
+        attempts += 1
+        extra += config.rto_s
+        if rng.random() < delivery_rate:
+            return DeliveryOutcome(delivered=True, attempts=attempts,
+                                   extra_delay_s=extra)
+    return DeliveryOutcome(delivered=False, attempts=attempts,
+                           extra_delay_s=extra)

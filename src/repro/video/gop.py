@@ -1,0 +1,143 @@
+"""GOP/frame/bitstream structure types shared across the video pipeline.
+
+The paper assumes an ``IPP...P`` GOP (Section 2): one intra-coded I-frame
+followed by ``G-1`` predictively coded P-frames, with the "GOP size" G
+being the distance between consecutive I-frames (30 or 50 in Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+__all__ = ["FrameType", "EncodedFrame", "GopLayout", "Bitstream"]
+
+
+class FrameType(enum.Enum):
+    """Frame role inside a GOP."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class GopLayout:
+    """Static description of the encoding structure.
+
+    The paper assumes ``IPP...P`` (``b_frames = 0``).  With
+    ``b_frames = n`` the layout becomes ``I BB..B P BB..B P ...``: every
+    (n+1)-th position after the I-frame is a P reference and the frames
+    between references are bidirectionally predicted B-frames (Section 2
+    notes B-frames are optional in the standards; the extension benches
+    study what they change).
+    """
+
+    gop_size: int
+    b_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gop_size < 1:
+            raise ValueError("GOP size must be >= 1")
+        if self.b_frames < 0:
+            raise ValueError("b_frames must be >= 0")
+        if self.b_frames and self.gop_size <= self.b_frames + 1:
+            raise ValueError("GOP too small for the B-frame pattern")
+
+    def frame_type(self, frame_index: int) -> FrameType:
+        """Type of the frame at absolute index ``frame_index``."""
+        if frame_index < 0:
+            raise ValueError("frame index must be non-negative")
+        position = frame_index % self.gop_size
+        if position == 0:
+            return FrameType.I
+        if self.b_frames == 0:
+            return FrameType.P
+        if position % (self.b_frames + 1) == 0:
+            return FrameType.P
+        # Trailing positions with no later reference in the GOP are coded
+        # as P (a B-frame needs a future reference).
+        next_reference = ((position // (self.b_frames + 1)) + 1) * (
+            self.b_frames + 1
+        )
+        if next_reference >= self.gop_size:
+            return FrameType.P
+        return FrameType.B
+
+    def gop_index(self, frame_index: int) -> int:
+        return frame_index // self.gop_size
+
+    def position_in_gop(self, frame_index: int) -> int:
+        """0 for the I-frame, 1..G-1 for the P-frames."""
+        return frame_index % self.gop_size
+
+    def n_gops(self, n_frames: int) -> int:
+        return (n_frames + self.gop_size - 1) // self.gop_size
+
+
+@dataclass
+class EncodedFrame:
+    """One compressed frame: its bytes plus its place in the GOP grid."""
+
+    index: int
+    frame_type: FrameType
+    payload: bytes
+    gop_index: int
+    position_in_gop: int
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def is_intra(self) -> bool:
+        return self.frame_type is FrameType.I
+
+
+@dataclass
+class Bitstream:
+    """A whole encoded clip: ordered frames plus geometry metadata."""
+
+    frames: List[EncodedFrame]
+    width: int
+    height: int
+    fps: float
+    gop_layout: GopLayout
+    quantizer: int
+    name: str = "clip"
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[EncodedFrame]:
+        return iter(self.frames)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(frame.size_bytes for frame in self.frames)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.frames) / self.fps
+
+    def frames_of_type(self, frame_type: FrameType) -> List[EncodedFrame]:
+        return [f for f in self.frames if f.frame_type is frame_type]
+
+    def size_summary(self) -> Dict[str, float]:
+        """Mean I- and P-frame sizes — the asymmetry Section 4.2 leans on."""
+        i_sizes = [f.size_bytes for f in self.frames if f.is_intra]
+        p_sizes = [f.size_bytes for f in self.frames if not f.is_intra]
+        return {
+            "mean_i_bytes": float(sum(i_sizes)) / len(i_sizes) if i_sizes else 0.0,
+            "mean_p_bytes": float(sum(p_sizes)) / len(p_sizes) if p_sizes else 0.0,
+            "n_i": float(len(i_sizes)),
+            "n_p": float(len(p_sizes)),
+        }
+
+    def gops(self) -> List[List[EncodedFrame]]:
+        """Frames grouped by GOP, in display order."""
+        grouped: Dict[int, List[EncodedFrame]] = {}
+        for frame in self.frames:
+            grouped.setdefault(frame.gop_index, []).append(frame)
+        return [grouped[key] for key in sorted(grouped)]

@@ -1,0 +1,156 @@
+"""MTU fragmentation and the RTP-like packet format of Section 5.
+
+Each encoded frame is segmented at the network MTU: an I-frame becomes a
+burst of MTU-sized packets, a P-frame typically a single small packet
+(Section 4.2.1).  The RTP header carries a Marker bit the sender sets on
+encrypted payloads so the legitimate receiver knows to decrypt them —
+exactly the mechanism of Fig. 3.
+
+This module also implements the frame-success rule the distortion model
+formalises in eq. (20): a frame is decodable iff its *first* packet and at
+least ``s`` of its remaining ``n-1`` packets arrive (and are decryptable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .gop import Bitstream, EncodedFrame, FrameType
+
+__all__ = [
+    "DEFAULT_MTU",
+    "RTP_HEADER_BYTES",
+    "UDP_IP_HEADER_BYTES",
+    "Packet",
+    "packetize",
+    "packetize_frame",
+    "frames_decodable",
+    "required_packets",
+]
+
+DEFAULT_MTU = 1500
+RTP_HEADER_BYTES = 12
+UDP_IP_HEADER_BYTES = 28  # IPv4 (20) + UDP (8)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One RTP packet of the video flow.
+
+    ``encrypted`` mirrors the RTP Marker bit of Section 5; ``payload`` is
+    the carried fragment (possibly ciphertext).  ``payload_size`` is kept
+    explicit so size-only simulations can drop the bytes.
+    """
+
+    sequence_number: int
+    frame_index: int
+    frame_type: FrameType
+    gop_index: int
+    position_in_gop: int
+    fragment_index: int
+    n_fragments: int
+    payload_size: int
+    encrypted: bool = False
+    payload: bytes = b""
+    timestamp: float = 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the air including RTP/UDP/IP headers."""
+        return self.payload_size + RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES
+
+    @property
+    def is_first_fragment(self) -> bool:
+        return self.fragment_index == 0
+
+    def with_encryption(self, payload: bytes) -> "Packet":
+        """The encrypted twin of this packet (Marker bit set)."""
+        return replace(self, encrypted=True, payload=payload,
+                       payload_size=len(payload))
+
+
+def packetize_frame(frame: EncodedFrame, *, mtu: int = DEFAULT_MTU,
+                    first_sequence_number: int = 0,
+                    carry_payload: bool = True) -> List[Packet]:
+    """Fragment one encoded frame at the MTU."""
+    max_payload = mtu - RTP_HEADER_BYTES - UDP_IP_HEADER_BYTES
+    if max_payload <= 0:
+        raise ValueError(f"MTU {mtu} cannot fit the protocol headers")
+    data = frame.payload
+    n_fragments = max(1, math.ceil(len(data) / max_payload))
+    packets = []
+    for fragment in range(n_fragments):
+        chunk = data[fragment * max_payload:(fragment + 1) * max_payload]
+        packets.append(Packet(
+            sequence_number=first_sequence_number + fragment,
+            frame_index=frame.index,
+            frame_type=frame.frame_type,
+            gop_index=frame.gop_index,
+            position_in_gop=frame.position_in_gop,
+            fragment_index=fragment,
+            n_fragments=n_fragments,
+            payload_size=len(chunk),
+            payload=chunk if carry_payload else b"",
+        ))
+    return packets
+
+
+def packetize(bitstream: Bitstream, *, mtu: int = DEFAULT_MTU,
+              carry_payload: bool = True) -> List[Packet]:
+    """Fragment a whole bitstream into its transmission-order packet list."""
+    packets: List[Packet] = []
+    for frame in bitstream:
+        packets.extend(packetize_frame(
+            frame, mtu=mtu, first_sequence_number=len(packets),
+            carry_payload=carry_payload,
+        ))
+    return packets
+
+
+def required_packets(n_fragments: int, sensitivity_fraction: float) -> int:
+    """Absolute sensitivity ``s`` of eq. (20) for a frame of ``n`` packets.
+
+    ``s = ceil(fraction * (n-1))`` additional packets beyond the mandatory
+    first one.
+    """
+    if not 0.0 <= sensitivity_fraction <= 1.0:
+        raise ValueError("sensitivity fraction must be in [0, 1]")
+    if n_fragments < 1:
+        raise ValueError("a frame has at least one packet")
+    return math.ceil(sensitivity_fraction * (n_fragments - 1))
+
+
+def frames_decodable(
+    packets: Sequence[Packet],
+    usable: Iterable[bool],
+    sensitivity_fraction: float,
+) -> Set[int]:
+    """Apply the eq. (20) frame-success rule to a received packet set.
+
+    ``usable[i]`` says whether packet ``i`` both survived the channel and
+    is decryptable by the observer (always true for plaintext packets; for
+    an eavesdropper, false for every encrypted packet).  Returns the set
+    of frame indices the observer can decode.
+    """
+    got_first: Dict[int, bool] = {}
+    got_rest: Dict[int, int] = {}
+    fragments: Dict[int, int] = {}
+    for packet, ok in zip(packets, usable):
+        fragments[packet.frame_index] = packet.n_fragments
+        if not ok:
+            continue
+        if packet.is_first_fragment:
+            got_first[packet.frame_index] = True
+        else:
+            got_rest[packet.frame_index] = got_rest.get(packet.frame_index, 0) + 1
+
+    decodable: Set[int] = set()
+    for frame_index, n_fragments in fragments.items():
+        if not got_first.get(frame_index, False):
+            continue
+        needed = required_packets(n_fragments, sensitivity_fraction)
+        if got_rest.get(frame_index, 0) >= needed:
+            decodable.add(frame_index)
+    return decodable

@@ -1,0 +1,113 @@
+"""Video quality metrics: MSE, PSNR (paper eq. 28) and EvalVid's MOS map.
+
+The paper reports eavesdropper quality as luma PSNR computed by EvalVid
+and as the Mean Opinion Score EvalVid derives from PSNR.  Both metrics are
+reproduced here with the same definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .yuv import Frame, Sequence420
+
+__all__ = [
+    "mse",
+    "psnr_from_distortion",
+    "distortion_from_psnr",
+    "frame_psnr",
+    "sequence_mse",
+    "sequence_psnr",
+    "mos_from_psnr",
+    "sequence_mos",
+    "MAX_PSNR_DB",
+]
+
+# PSNR of a bit-exact frame is infinite; EvalVid caps it for averaging.
+MAX_PSNR_DB = 100.0
+
+
+def mse(reference: np.ndarray, degraded: np.ndarray) -> float:
+    """Mean squared error between two luma planes."""
+    if reference.shape != degraded.shape:
+        raise ValueError(
+            f"shape mismatch {reference.shape} vs {degraded.shape}"
+        )
+    diff = reference.astype(np.float64) - degraded.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr_from_distortion(distortion: float) -> float:
+    """Paper eq. (28): ``PSNR = 20*log10(255 / sqrt(D))`` in dB."""
+    if distortion < 0:
+        raise ValueError("distortion must be non-negative")
+    if distortion == 0:
+        return MAX_PSNR_DB
+    return min(20.0 * math.log10(255.0 / math.sqrt(distortion)), MAX_PSNR_DB)
+
+
+def distortion_from_psnr(psnr_db: float) -> float:
+    """Inverse of eq. (28): the MSE corresponding to a PSNR value."""
+    return (255.0 / (10.0 ** (psnr_db / 20.0))) ** 2
+
+
+def frame_psnr(reference: Frame, degraded: Frame) -> float:
+    """Luma PSNR of one frame pair."""
+    return psnr_from_distortion(mse(reference.y, degraded.y))
+
+
+def sequence_mse(reference: Sequence420, degraded: Sequence420) -> float:
+    """Mean per-frame luma MSE across a clip (the paper's average distortion,
+    eq. 27, measured instead of modelled)."""
+    if len(reference) != len(degraded):
+        raise ValueError(
+            f"length mismatch: {len(reference)} vs {len(degraded)} frames"
+        )
+    total = 0.0
+    for ref_frame, deg_frame in zip(reference, degraded):
+        total += mse(ref_frame.y, deg_frame.y)
+    return total / len(reference)
+
+
+def sequence_psnr(reference: Sequence420, degraded: Sequence420) -> float:
+    """Clip-level PSNR: average distortion mapped through eq. (28).
+
+    The paper converts its *average* distortion to PSNR (Section 4.3.4),
+    so we do the same rather than averaging per-frame PSNRs (which would
+    overweight pristine frames).
+    """
+    return psnr_from_distortion(sequence_mse(reference, degraded))
+
+
+def mos_from_psnr(psnr_db: float) -> int:
+    """EvalVid's PSNR-to-MOS bucket map (ITU-R heuristic).
+
+    > 37 dB -> 5 (excellent), 31-37 -> 4, 25-31 -> 3, 20-25 -> 2,
+    < 20 dB -> 1 (bad).  The paper's Figs. 5/15 use this scale.
+    """
+    if psnr_db > 37.0:
+        return 5
+    if psnr_db > 31.0:
+        return 4
+    if psnr_db > 25.0:
+        return 3
+    if psnr_db > 20.0:
+        return 2
+    return 1
+
+
+def sequence_mos(reference: Sequence420, degraded: Sequence420) -> float:
+    """Mean per-frame MOS across a clip, as EvalVid reports it.
+
+    Per-frame PSNRs are bucketed individually and averaged, which is why
+    the paper's MOS values are fractional (e.g. 1.26 in Table 2).
+    """
+    if len(reference) != len(degraded):
+        raise ValueError("sequences must have equal length")
+    scores: List[int] = []
+    for ref_frame, deg_frame in zip(reference, degraded):
+        scores.append(mos_from_psnr(frame_psnr(ref_frame, deg_frame)))
+    return float(np.mean(scores))

@@ -1,0 +1,234 @@
+"""Synthetic YUV clip generators with controllable motion level.
+
+The paper evaluates on slow-motion and fast-motion CIF clips from the TKN
+reference set (Section 6.1) and classifies motion with AForge.  We cannot
+ship those clips, so this module synthesizes sequences whose *structural*
+properties match what the paper exploits:
+
+- slow motion  -> consecutive frames nearly identical -> tiny P-frames,
+  I-frames carrying almost all information;
+- fast motion  -> large inter-frame changes and occasional scene cuts ->
+  large P-frames that carry real content.
+
+Each generator is deterministic given a seed, so experiments and their
+analytical counterparts see the same content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .yuv import CIF_HEIGHT, CIF_WIDTH, Frame, Sequence420
+
+__all__ = [
+    "MotionProfile",
+    "SLOW_MOTION",
+    "MEDIUM_MOTION",
+    "FAST_MOTION",
+    "SceneConfig",
+    "generate_clip",
+    "make_reference_clips",
+]
+
+
+@dataclass(frozen=True)
+class MotionProfile:
+    """Knobs that set how violently the scene changes frame to frame.
+
+    ``pan_speed``        background translation in pixels/frame;
+    ``object_speed``     foreground object speed in pixels/frame;
+    ``cut_probability``  per-frame probability of a full scene change;
+    ``texture_churn``    fraction of background texture re-randomised per
+                         frame (models detail appearing/disappearing).
+    """
+
+    name: str
+    pan_speed: float
+    object_speed: float
+    cut_probability: float
+    texture_churn: float
+
+
+# Slow motion has a static camera: a fractional pan would cross integer
+# rounding boundaries every few dozen frames, producing whole-frame 1-px
+# jumps that an MC-less codec intra-codes (and that would leak content to
+# an eavesdropper through re-keyed prediction chains).
+SLOW_MOTION = MotionProfile(
+    name="slow", pan_speed=0.0, object_speed=0.2,
+    cut_probability=0.0, texture_churn=0.0,
+)
+MEDIUM_MOTION = MotionProfile(
+    name="medium", pan_speed=0.8, object_speed=2.0,
+    cut_probability=0.004, texture_churn=0.004,
+)
+FAST_MOTION = MotionProfile(
+    name="fast", pan_speed=2.0, object_speed=5.0,
+    cut_probability=0.02, texture_churn=0.005,
+)
+
+_PROFILES = {p.name: p for p in (SLOW_MOTION, MEDIUM_MOTION, FAST_MOTION)}
+
+
+@dataclass
+class SceneConfig:
+    """Geometry and content parameters for the synthetic scene."""
+
+    width: int = CIF_WIDTH
+    height: int = CIF_HEIGHT
+    n_objects: int = 4
+    object_size: int = 40
+    fps: float = 30.0
+
+
+def _textured_background(rng: np.random.Generator, height: int,
+                         width: int) -> np.ndarray:
+    """Smooth low-frequency texture so I-frames have realistic entropy."""
+    coarse = rng.integers(40, 216, size=(height // 8 + 2, width // 8 + 2))
+    # Bilinear-ish upsample by repetition then box blur keeps it cheap.
+    up = np.repeat(np.repeat(coarse, 8, axis=0), 8, axis=1)[:height, :width]
+    blurred = up.astype(np.float32)
+    for axis in (0, 1):
+        blurred = (
+            np.roll(blurred, 1, axis=axis)
+            + blurred
+            + np.roll(blurred, -1, axis=axis)
+        ) / 3.0
+    return blurred.astype(np.uint8)
+
+
+def _render(background: np.ndarray, pan: Tuple[float, float],
+            objects: List[dict], luma_offset: int) -> np.ndarray:
+    height, width = background.shape
+    dy, dx = int(round(pan[0])) % height, int(round(pan[1])) % width
+    canvas = np.roll(background, (dy, dx), axis=(0, 1)).copy()
+    for obj in objects:
+        top = int(round(obj["y"])) % height
+        left = int(round(obj["x"])) % width
+        size = obj["size"]
+        rows = (np.arange(top, top + size)) % height
+        cols = (np.arange(left, left + size)) % width
+        canvas[np.ix_(rows, cols)] = obj["luma"]
+    if luma_offset:
+        canvas = np.clip(canvas.astype(np.int16) + luma_offset, 0, 255)
+    return canvas.astype(np.uint8)
+
+
+def generate_clip(
+    motion: "MotionProfile | str",
+    n_frames: int = 300,
+    *,
+    scene: Optional[SceneConfig] = None,
+    seed: int = 2013,
+    name: Optional[str] = None,
+) -> Sequence420:
+    """Generate a deterministic synthetic clip at the given motion level.
+
+    Defaults mirror the paper's clips: 300 frames at 30 fps, CIF geometry.
+    """
+    if isinstance(motion, str):
+        try:
+            motion = _PROFILES[motion]
+        except KeyError:
+            raise ValueError(
+                f"unknown motion profile {motion!r}; expected one of"
+                f" {sorted(_PROFILES)}"
+            ) from None
+    scene = scene or SceneConfig()
+    rng = np.random.default_rng(seed)
+
+    background = _textured_background(rng, scene.height, scene.width)
+    objects = [
+        {
+            "y": float(rng.integers(0, scene.height)),
+            "x": float(rng.integers(0, scene.width)),
+            "vy": float(rng.uniform(-1, 1)) * motion.object_speed,
+            "vx": float(rng.uniform(-1, 1)) * motion.object_speed,
+            "size": scene.object_size,
+            "luma": int(rng.integers(0, 256)),
+        }
+        for _ in range(scene.n_objects)
+    ]
+    pan = [0.0, 0.0]
+    pan_velocity = [motion.pan_speed, motion.pan_speed * 0.6]
+
+    frames: List[Frame] = []
+    for index in range(n_frames):
+        if index > 0 and rng.random() < motion.cut_probability:
+            background = _textured_background(rng, scene.height, scene.width)
+            for obj in objects:
+                obj["y"] = float(rng.integers(0, scene.height))
+                obj["x"] = float(rng.integers(0, scene.width))
+                obj["luma"] = int(rng.integers(0, 256))
+        if motion.texture_churn > 0:
+            # Transient per-frame detail churn: the noise does not persist
+            # into later frames (otherwise the clip would degenerate into
+            # accumulated salt-and-pepper noise), but every frame pair
+            # differs by two churn layers, keeping P-frames large.
+            frame_background = background.copy()
+            churn_mask = rng.random(background.shape) < motion.texture_churn
+            frame_background[churn_mask] = rng.integers(
+                0, 256, size=int(churn_mask.sum()), dtype=np.uint8
+            )
+        else:
+            frame_background = background
+        luma = _render(frame_background, (pan[0], pan[1]), objects,
+                       luma_offset=0)
+        chroma_shape = (scene.height // 2, scene.width // 2)
+        u = np.full(chroma_shape, 128, dtype=np.uint8)
+        v = np.full(chroma_shape, 128, dtype=np.uint8)
+        frames.append(Frame(luma, u, v))
+
+        pan[0] += pan_velocity[0]
+        pan[1] += pan_velocity[1]
+        for obj in objects:
+            obj["y"] += obj["vy"]
+            obj["x"] += obj["vx"]
+
+    clip_name = name or f"synthetic-{motion.name}"
+    return Sequence420(frames, fps=scene.fps, name=clip_name)
+
+
+def generate_mixed_clip(
+    segments: "List[Tuple[str, int]]",
+    *,
+    scene: Optional[SceneConfig] = None,
+    seed: int = 2013,
+    name: str = "synthetic-mixed",
+) -> Sequence420:
+    """A clip whose motion level changes over time.
+
+    ``segments`` is a list of (profile name, frame count) pairs, e.g.
+    ``[("slow", 90), ("fast", 90), ("slow", 60)]`` — the content an
+    adaptive policy controller (Fig. 1's dynamic motion categorisation)
+    is built for.  Segment boundaries behave like scene cuts, which is
+    realistic (a camera switching from an interview to a chase).
+    """
+    if not segments:
+        raise ValueError("need at least one segment")
+    frames: List[Frame] = []
+    for offset, (profile_name, n_frames) in enumerate(segments):
+        if n_frames < 1:
+            raise ValueError("each segment needs at least one frame")
+        part = generate_clip(profile_name, n_frames, scene=scene,
+                             seed=seed + offset)
+        frames.extend(frame.copy() for frame in part)
+    fps = (scene or SceneConfig()).fps
+    return Sequence420(frames, fps=fps, name=name)
+
+
+def make_reference_clips(
+    n_frames: int = 300, seed: int = 2013,
+    scene: Optional[SceneConfig] = None,
+) -> dict:
+    """The three motion classes of Fig. 2 as a name->clip mapping."""
+    return {
+        profile.name: generate_clip(
+            profile, n_frames, seed=seed + offset, scene=scene
+        )
+        for offset, profile in enumerate(
+            (SLOW_MOTION, MEDIUM_MOTION, FAST_MOTION)
+        )
+    }

@@ -1,0 +1,156 @@
+"""YUV 4:2:0 frames and sequence containers.
+
+The paper's pipeline starts from uncompressed YUV CIF (352x288) clips from
+the TKN reference set, converts them with FFmpeg/x264, and measures
+distortion on the decoded YUV.  This module provides the uncompressed
+representation: a luma plane plus half-resolution chroma planes, all uint8,
+with helpers to load/store the planar ``.yuv`` layout those tools use.
+
+Distortion (Section 4.3.4) is computed on the luma plane, as EvalVid does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["CIF_WIDTH", "CIF_HEIGHT", "Frame", "Sequence420", "write_pgm"]
+
+CIF_WIDTH = 352
+CIF_HEIGHT = 288
+
+
+@dataclass
+class Frame:
+    """One YUV 4:2:0 picture.  ``y`` is (H, W); ``u``/``v`` are (H/2, W/2)."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.y.dtype != np.uint8 or self.u.dtype != np.uint8 or self.v.dtype != np.uint8:
+            raise ValueError("YUV planes must be uint8")
+        h, w = self.y.shape
+        if h % 2 or w % 2:
+            raise ValueError("frame dimensions must be even for 4:2:0")
+        if self.u.shape != (h // 2, w // 2) or self.v.shape != (h // 2, w // 2):
+            raise ValueError("chroma planes must be half resolution")
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @classmethod
+    def blank(cls, width: int = CIF_WIDTH, height: int = CIF_HEIGHT,
+              luma: int = 16) -> "Frame":
+        """A uniform frame (the decoder's bootstrap reference)."""
+        return cls(
+            y=np.full((height, width), luma, dtype=np.uint8),
+            u=np.full((height // 2, width // 2), 128, dtype=np.uint8),
+            v=np.full((height // 2, width // 2), 128, dtype=np.uint8),
+        )
+
+    def copy(self) -> "Frame":
+        return Frame(self.y.copy(), self.u.copy(), self.v.copy())
+
+    def to_planar_bytes(self) -> bytes:
+        """Serialize in the standard planar I420 order (Y then U then V)."""
+        return self.y.tobytes() + self.u.tobytes() + self.v.tobytes()
+
+    @classmethod
+    def from_planar_bytes(cls, data: bytes, width: int, height: int) -> "Frame":
+        y_size = width * height
+        c_size = y_size // 4
+        if len(data) != y_size + 2 * c_size:
+            raise ValueError(
+                f"expected {y_size + 2 * c_size} bytes for {width}x{height} I420,"
+                f" got {len(data)}"
+            )
+        y = np.frombuffer(data, np.uint8, y_size).reshape(height, width)
+        u = np.frombuffer(data, np.uint8, c_size, y_size).reshape(
+            height // 2, width // 2
+        )
+        v = np.frombuffer(data, np.uint8, c_size, y_size + c_size).reshape(
+            height // 2, width // 2
+        )
+        return cls(y.copy(), u.copy(), v.copy())
+
+
+class Sequence420:
+    """An in-memory uncompressed 4:2:0 sequence (the ``.yuv`` file analogue)."""
+
+    def __init__(self, frames: Sequence[Frame], fps: float = 30.0,
+                 name: str = "clip") -> None:
+        if not frames:
+            raise ValueError("a sequence needs at least one frame")
+        width, height = frames[0].width, frames[0].height
+        for frame in frames:
+            if frame.width != width or frame.height != height:
+                raise ValueError("all frames must share one geometry")
+        self.frames: List[Frame] = list(frames)
+        self.fps = float(fps)
+        self.name = name
+
+    @property
+    def width(self) -> int:
+        return self.frames[0].width
+
+    @property
+    def height(self) -> int:
+        return self.frames[0].height
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.frames) / self.fps
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frames[index]
+
+    def luma_stack(self) -> np.ndarray:
+        """All luma planes as one (N, H, W) uint8 array."""
+        return np.stack([frame.y for frame in self.frames])
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the raw planar YUV file (what FFmpeg calls ``yuv420p``)."""
+        with open(path, "wb") as handle:
+            for frame in self.frames:
+                handle.write(frame.to_planar_bytes())
+
+    @classmethod
+    def load(cls, path: Union[str, Path], width: int, height: int,
+             fps: float = 30.0) -> "Sequence420":
+        frame_bytes = width * height * 3 // 2
+        frames = []
+        with open(path, "rb") as handle:
+            while True:
+                chunk = handle.read(frame_bytes)
+                if not chunk:
+                    break
+                if len(chunk) != frame_bytes:
+                    raise ValueError("truncated YUV file")
+                frames.append(Frame.from_planar_bytes(chunk, width, height))
+        return cls(frames, fps=fps, name=Path(path).stem)
+
+
+def write_pgm(path: Union[str, Path], luma: np.ndarray) -> None:
+    """Dump one luma plane as a binary PGM (the Fig. 6 screenshot substitute)."""
+    if luma.dtype != np.uint8 or luma.ndim != 2:
+        raise ValueError("PGM dump expects a 2-D uint8 plane")
+    height, width = luma.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(luma.tobytes())

@@ -1,0 +1,18 @@
+"""WiFi substrate: 802.11g PHY timing, the DCF fixed-point model of
+Section 4.1 (packet success rate, backoff parameters), and loss channels.
+"""
+
+from .channel import GilbertElliottChannel, IidLossChannel, LossChannel
+from .dcf import DcfParameters, DcfSolution, solve_dcf
+from .phy import DEFAULT_PHY, Phy80211g
+
+__all__ = [
+    "GilbertElliottChannel",
+    "IidLossChannel",
+    "LossChannel",
+    "DcfParameters",
+    "DcfSolution",
+    "solve_dcf",
+    "DEFAULT_PHY",
+    "Phy80211g",
+]

@@ -1,0 +1,99 @@
+"""Packet-loss channel models for the simulated WiFi link.
+
+The analytical framework reduces the channel to a single packet success
+rate ``p_s`` (Section 4.1), i.e. independent losses.  The testbed also
+offers a Gilbert-Elliott two-state bursty channel so the sensitivity of
+the model to the independence assumption can be measured (an ablation the
+paper does not run but that its eq. (20) silently assumes away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LossChannel", "IidLossChannel", "GilbertElliottChannel"]
+
+
+class LossChannel:
+    """Interface: per-packet Bernoulli delivery decisions."""
+
+    def deliver(self) -> bool:
+        """True when the next packet survives the channel."""
+        raise NotImplementedError
+
+    def deliver_many(self, count: int) -> np.ndarray:
+        """Vectorised convenience: ``count`` delivery decisions."""
+        return np.array([self.deliver() for _ in range(count)], dtype=bool)
+
+    @property
+    def long_run_success_rate(self) -> float:
+        """Stationary per-packet success probability."""
+        raise NotImplementedError
+
+
+class IidLossChannel(LossChannel):
+    """Independent losses at rate ``1 - success_rate`` (the model's view)."""
+
+    def __init__(self, success_rate: float, *, seed: Optional[int] = None) -> None:
+        if not 0.0 <= success_rate <= 1.0:
+            raise ValueError("success rate must be in [0, 1]")
+        self._success_rate = success_rate
+        self._rng = np.random.default_rng(seed)
+
+    def deliver(self) -> bool:
+        return bool(self._rng.random() < self._success_rate)
+
+    def deliver_many(self, count: int) -> np.ndarray:
+        return self._rng.random(count) < self._success_rate
+
+    @property
+    def long_run_success_rate(self) -> float:
+        return self._success_rate
+
+
+class GilbertElliottChannel(LossChannel):
+    """Two-state bursty channel: a good state and a bad state.
+
+    ``p_gb``/``p_bg`` are per-packet transition probabilities; each state
+    has its own success rate.  With ``p_gb = 1 - p_bg`` it degenerates to
+    iid losses.
+    """
+
+    def __init__(self, *, p_gb: float, p_bg: float,
+                 good_success: float = 1.0, bad_success: float = 0.2,
+                 seed: Optional[int] = None) -> None:
+        for name, value in (("p_gb", p_gb), ("p_bg", p_bg),
+                            ("good_success", good_success),
+                            ("bad_success", bad_success)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if p_gb + p_bg == 0.0:
+            raise ValueError("the chain must be able to move between states")
+        self._p_gb = p_gb
+        self._p_bg = p_bg
+        self._good_success = good_success
+        self._bad_success = bad_success
+        self._rng = np.random.default_rng(seed)
+        self._in_good_state = True
+
+    def deliver(self) -> bool:
+        success_rate = (self._good_success if self._in_good_state
+                        else self._bad_success)
+        outcome = bool(self._rng.random() < success_rate)
+        flip_probability = self._p_gb if self._in_good_state else self._p_bg
+        if self._rng.random() < flip_probability:
+            self._in_good_state = not self._in_good_state
+        return outcome
+
+    @property
+    def stationary_good_probability(self) -> float:
+        return self._p_bg / (self._p_gb + self._p_bg)
+
+    @property
+    def long_run_success_rate(self) -> float:
+        pi_good = self.stationary_good_probability
+        return (pi_good * self._good_success
+                + (1.0 - pi_good) * self._bad_success)

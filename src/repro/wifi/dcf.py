@@ -1,0 +1,135 @@
+"""Bianchi-style DCF fixed point: the paper's packet-success-rate model.
+
+Section 4.1: "There are various models that attempt to capture the
+operations of the IEEE 802.11 protocol.  We use the model in [13] ...
+The model consists of three sets of equations (representing scheduling,
+channel access and routing) which are solved through a fixed point method.
+The solution is an approximation to the packet success rate p_s under the
+assumption that the traffic at the source nodes are persistent."
+
+Reference [13] builds on the classic Bianchi decoupling analysis for
+saturated DCF.  We implement that fixed point for a single-hop WLAN (the
+paper's open-WiFi scenario has no routing component):
+
+- *channel access*: a station attempts in a random slot with probability
+  ``tau``, a function of the conditional collision probability ``p``
+  through the binary-exponential-backoff window;
+- *scheduling/coupling*: ``p = 1 - (1 - tau)^(n-1)`` with ``n`` persistent
+  contenders;
+- the solution is found by damped fixed-point iteration (it is a
+  contraction in [0, 1]).
+
+The packet success rate combines the collision probability with an
+independent channel-error probability: ``p_s = (1 - p) * (1 - p_err)``.
+The fixed point also yields the mean backoff rate ``lambda_b`` the queueing
+model's eq. (7) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .phy import DEFAULT_PHY, Phy80211g
+
+__all__ = ["DcfParameters", "DcfSolution", "solve_dcf"]
+
+
+@dataclass(frozen=True)
+class DcfParameters:
+    """Scenario parameters for the DCF fixed point."""
+
+    n_stations: int = 2
+    cw_min: int = 16
+    max_backoff_stages: int = 6
+    channel_error_rate: float = 0.0
+    phy: Phy80211g = DEFAULT_PHY
+
+    def __post_init__(self) -> None:
+        if self.n_stations < 1:
+            raise ValueError("need at least one station")
+        if self.cw_min < 2:
+            raise ValueError("CWmin must be >= 2")
+        if self.max_backoff_stages < 0:
+            raise ValueError("backoff stages must be >= 0")
+        if not 0.0 <= self.channel_error_rate < 1.0:
+            raise ValueError("channel error rate must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class DcfSolution:
+    """Output of the fixed point."""
+
+    tau: float                  # per-slot attempt probability
+    collision_probability: float
+    packet_success_rate: float  # the p_s of Section 4.1
+    mean_backoff_slots: float   # expected backoff counter per attempt
+    backoff_rate_per_s: float   # lambda_b for eq. (7)
+
+
+def _tau_of_p(p: float, cw_min: int, m: int) -> float:
+    """Bianchi's attempt probability for collision probability ``p``.
+
+    ``tau = 2(1-2p) / ((1-2p)(W+1) + pW(1-(2p)^m))`` with W = CWmin and m
+    backoff stages.
+    """
+    w = float(cw_min)
+    if abs(1.0 - 2.0 * p) < 1e-12:
+        # Removable singularity at p = 1/2; take the limit.
+        denominator = (w + 1.0) + p * w * m
+        return 2.0 / (1.0 + denominator)
+    numerator = 2.0 * (1.0 - 2.0 * p)
+    denominator = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p) ** m)
+    return numerator / denominator
+
+
+def solve_dcf(params: DcfParameters, *, tolerance: float = 1e-12,
+              max_iterations: int = 10_000) -> DcfSolution:
+    """Solve the DCF fixed point by damped iteration.
+
+    Returns the attempt probability, collision probability, the packet
+    success rate ``p_s`` (collisions plus channel errors), and the backoff
+    parameters the delay model consumes.
+    """
+    n = params.n_stations
+    p = 0.1 if n > 1 else 0.0
+    damping = 0.5
+    for _ in range(max_iterations):
+        tau = _tau_of_p(p, params.cw_min, params.max_backoff_stages)
+        new_p = 1.0 - (1.0 - tau) ** (n - 1) if n > 1 else 0.0
+        if abs(new_p - p) < tolerance:
+            p = new_p
+            break
+        p = damping * p + (1.0 - damping) * new_p
+    tau = _tau_of_p(p, params.cw_min, params.max_backoff_stages)
+
+    packet_success = (1.0 - p) * (1.0 - params.channel_error_rate)
+
+    # Mean backoff counter: average the per-stage window means weighted by
+    # the probability of reaching each stage (geometric in p).
+    w = float(params.cw_min)
+    m = params.max_backoff_stages
+    weight_total = 0.0
+    slots_total = 0.0
+    reach = 1.0
+    for stage in range(m + 1):
+        window = w * (2 ** min(stage, m))
+        mean_slots = (window - 1.0) / 2.0
+        probability = reach * (1.0 - p) if stage < m else reach
+        weight_total += probability
+        slots_total += probability * mean_slots
+        reach *= p
+    mean_backoff_slots = slots_total / weight_total if weight_total else 0.0
+
+    # lambda_b: the model approximates each post-collision wait as an
+    # exponential; match its mean to the mean backoff duration in slots.
+    mean_wait_s = max(mean_backoff_slots, 0.5) * params.phy.slot_time_s
+    backoff_rate = 1.0 / mean_wait_s
+
+    return DcfSolution(
+        tau=tau,
+        collision_probability=p,
+        packet_success_rate=packet_success,
+        mean_backoff_slots=mean_backoff_slots,
+        backoff_rate_per_s=backoff_rate,
+    )

@@ -1,0 +1,86 @@
+"""IEEE 802.11g PHY timing: how long a packet occupies the air.
+
+The delay model needs the transmission-time distribution ``T_t`` (paper
+eq. 13/16): approximately constant for MTU-sized I-frame packets and a
+smaller typical value for P-frame packets.  This module computes those
+times from the 802.11g (ERP-OFDM) frame format, so the model's inputs are
+derived from the standard rather than invented.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Phy80211g", "DEFAULT_PHY"]
+
+# 802.11g ERP-OFDM data rates in Mb/s.
+_VALID_RATES = (6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+
+
+@dataclass(frozen=True)
+class Phy80211g:
+    """Timing parameters of an 802.11g BSS.
+
+    All times in seconds.  Defaults follow the ERP-OFDM numbers: 9 us
+    slots, 16 us SIFS, 20 us PLCP preamble+header, 6 Mb/s control rate for
+    ACKs (conservative), DIFS = SIFS + 2 slots.
+    """
+
+    data_rate_bps: float = 54e6
+    control_rate_bps: float = 6e6
+    slot_time_s: float = 9e-6
+    sifs_s: float = 16e-6
+    plcp_overhead_s: float = 20e-6
+    mac_header_bytes: int = 28  # MAC header (24) + FCS (4)
+    ack_bytes: int = 14
+    signal_extension_s: float = 6e-6  # 802.11g OFDM signal extension
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps / 1e6 not in _VALID_RATES:
+            raise ValueError(
+                f"{self.data_rate_bps / 1e6:g} Mb/s is not an 802.11g rate;"
+                f" valid: {_VALID_RATES}"
+            )
+
+    @property
+    def difs_s(self) -> float:
+        return self.sifs_s + 2.0 * self.slot_time_s
+
+    def payload_airtime_s(self, payload_bytes: int) -> float:
+        """Airtime of the MPDU data portion (payload + MAC framing).
+
+        OFDM transmissions are an integer number of symbols (4 us each);
+        we include that rounding since it is visible at small sizes.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        bits = 8 * (payload_bytes + self.mac_header_bytes) + 22  # service+tail
+        symbol_s = 4e-6
+        bits_per_symbol = self.data_rate_bps * symbol_s
+        n_symbols = math.ceil(bits / bits_per_symbol)
+        return self.plcp_overhead_s + n_symbols * symbol_s + self.signal_extension_s
+
+    def ack_airtime_s(self) -> float:
+        bits = 8 * self.ack_bytes + 22
+        symbol_s = 4e-6
+        bits_per_symbol = self.control_rate_bps * symbol_s
+        return (self.plcp_overhead_s + math.ceil(bits / bits_per_symbol) * symbol_s
+                + self.signal_extension_s)
+
+    def packet_transmission_time_s(self, payload_bytes: int) -> float:
+        """Full successful exchange: DIFS + DATA + SIFS + ACK.
+
+        This is the ``T_t`` the service-time model consumes for a packet of
+        the given IP payload size.
+        """
+        return (
+            self.difs_s
+            + self.payload_airtime_s(payload_bytes)
+            + self.sifs_s
+            + self.ack_airtime_s()
+        )
+
+
+DEFAULT_PHY = Phy80211g()

@@ -1,0 +1,34 @@
+"""Shared fixtures: clips and bitstreams are expensive to build, so they
+are session-scoped and sized for test speed (the benches use the paper's
+full 300-frame clips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+
+@pytest.fixture(scope="session")
+def slow_clip():
+    return generate_clip("slow", 90, seed=1)
+
+
+@pytest.fixture(scope="session")
+def fast_clip():
+    return generate_clip("fast", 90, seed=2)
+
+
+@pytest.fixture(scope="session")
+def medium_clip():
+    return generate_clip("medium", 90, seed=3)
+
+
+@pytest.fixture(scope="session")
+def slow_bitstream(slow_clip):
+    return encode_sequence(slow_clip, CodecConfig(gop_size=30, quantizer=8))
+
+
+@pytest.fixture(scope="session")
+def fast_bitstream(fast_clip):
+    return encode_sequence(fast_clip, CodecConfig(gop_size=30, quantizer=8))

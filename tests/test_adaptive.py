@@ -1,0 +1,135 @@
+"""Adaptive per-window policy selection on mixed-motion content."""
+
+import pytest
+
+from repro.core import EncryptionPolicy, standard_policies
+from repro.core.adaptive import (
+    AdaptivePolicy,
+    DEFAULT_CLASS_POLICIES,
+    WindowPlan,
+    classify_windows,
+    plan_adaptive_policy,
+)
+from repro.testbed import ExperimentConfig, GALAXY_S2, SenderSimulator
+from repro.video import CodecConfig, encode_sequence, packetize
+from repro.video.motion import MotionClass
+from repro.video.synth import generate_mixed_clip
+
+
+@pytest.fixture(scope="module")
+def mixed_clip():
+    return generate_mixed_clip([("slow", 60), ("fast", 60), ("slow", 60)],
+                               seed=77)
+
+
+@pytest.fixture(scope="module")
+def mixed_bitstream(mixed_clip):
+    return encode_sequence(mixed_clip, CodecConfig(gop_size=30, quantizer=8))
+
+
+class TestMixedClip:
+    def test_segment_lengths(self, mixed_clip):
+        assert len(mixed_clip) == 180
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            generate_mixed_clip([])
+        with pytest.raises(ValueError):
+            generate_mixed_clip([("slow", 0)])
+
+
+class TestClassification:
+    def test_windows_cover_clip(self, mixed_clip):
+        windows = classify_windows(mixed_clip, window_frames=30)
+        assert windows[0][0] == 0
+        assert windows[-1][1] == len(mixed_clip)
+        for (_, end_a, _, _), (start_b, _, _, _) in zip(windows, windows[1:]):
+            assert end_a == start_b
+
+    def test_detects_the_motion_pattern(self, mixed_clip):
+        windows = classify_windows(mixed_clip, window_frames=30)
+        classes = [w[2] for w in windows]
+        # slow-slow-fast-fast-slow-slow (60-frame segments, 30-frame windows);
+        # the boundary windows may classify medium due to the cut.
+        assert classes[0] is MotionClass.LOW
+        assert classes[2] in (MotionClass.HIGH, MotionClass.MEDIUM)
+        assert classes[3] is MotionClass.HIGH
+        assert classes[-1] is MotionClass.LOW
+
+    def test_window_size_validated(self, mixed_clip):
+        with pytest.raises(ValueError):
+            classify_windows(mixed_clip, window_frames=1)
+
+
+class TestAdaptivePolicy:
+    def test_plan_assigns_per_class_policies(self, mixed_clip):
+        plan = plan_adaptive_policy(mixed_clip, window_frames=30)
+        for window in plan.windows:
+            expected = DEFAULT_CLASS_POLICIES[window.motion_class]
+            assert window.policy.mode == expected.mode
+            assert window.policy.fraction == expected.fraction
+
+    def test_policy_for_frame_boundaries(self, mixed_clip):
+        plan = plan_adaptive_policy(mixed_clip, window_frames=30)
+        first = plan.windows[0]
+        assert plan.policy_for_frame(first.start_frame) is first.policy
+        assert plan.policy_for_frame(first.end_frame - 1) is first.policy
+        # Overrun falls into the last window.
+        assert plan.policy_for_frame(10_000) is plan.windows[-1].policy
+        with pytest.raises(ValueError):
+            plan.policy_for_frame(-1)
+
+    def test_encrypts_respects_windows(self, mixed_clip, mixed_bitstream):
+        plan = plan_adaptive_policy(mixed_clip, window_frames=30)
+        packets = packetize(mixed_bitstream, carry_payload=False)
+        slow_window_p = [
+            p for p in packets
+            if p.frame_type.value == "P"
+            and plan.policy_for_frame(p.frame_index).mode == "i_frames"
+        ]
+        # In slow windows no P packet is encrypted.
+        assert not any(plan.encrypts(p) for p in slow_window_p)
+        fast_window_p = [
+            p for p in packets
+            if p.frame_type.value == "P"
+            and plan.policy_for_frame(p.frame_index).mode
+            == "i_plus_p_fraction"
+        ]
+        fraction = sum(plan.encrypts(p) for p in fast_window_p) / len(
+            fast_window_p
+        )
+        assert 0.05 < fraction < 0.4
+
+    def test_algorithm_override(self, mixed_clip):
+        plan = plan_adaptive_policy(mixed_clip, algorithm="3DES")
+        assert all(w.policy.algorithm == "3DES" for w in plan.windows)
+
+    def test_contiguity_enforced(self):
+        policy = EncryptionPolicy("i_frames", "AES256")
+        windows = (
+            WindowPlan(0, 30, MotionClass.LOW, policy, 1.0),
+            WindowPlan(40, 60, MotionClass.LOW, policy, 1.0),
+        )
+        with pytest.raises(ValueError):
+            AdaptivePolicy(windows=windows, algorithm="AES256")
+
+    def test_summary_runs(self, mixed_clip):
+        plan = plan_adaptive_policy(mixed_clip, window_frames=30)
+        summary = plan.summary()
+        assert sum(count for _, count in summary) == len(mixed_clip)
+
+
+class TestDrivesSimulator:
+    def test_simulator_accepts_adaptive_policy(self, mixed_clip,
+                                               mixed_bitstream):
+        plan = plan_adaptive_policy(mixed_clip, window_frames=30)
+        simulator = SenderSimulator(mixed_bitstream, device=GALAXY_S2)
+        run = simulator.run(plan, seed=0)
+        static_i = simulator.run(standard_policies("AES256")["I"], seed=0)
+        static_mix = simulator.run(
+            EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.2),
+            seed=0,
+        )
+        # Adaptive sits between always-I (cheapest) and always-I+20%P.
+        assert static_i.mean_delay_ms <= run.mean_delay_ms
+        assert run.mean_delay_ms <= static_mix.mean_delay_ms

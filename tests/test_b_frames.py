@@ -1,0 +1,148 @@
+"""B-frame extension: IBB..P layouts, codec and concealment behaviour.
+
+The paper assumes IPP...P (Section 2 notes B-frames are optional); this
+extension implements them and verifies the security-relevant structure:
+B-frames are prediction-tree leaves, so their loss (or encryption) costs
+almost nothing, while the reference frames keep their criticality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    CodecConfig,
+    conceal_decode,
+    decode_bitstream,
+    encode_sequence,
+    frames_decodable,
+    generate_clip,
+    packetize,
+    sequence_psnr,
+)
+from repro.video.gop import FrameType, GopLayout
+
+
+@pytest.fixture(scope="module")
+def b_config():
+    return CodecConfig(gop_size=30, quantizer=8, b_frames=2)
+
+
+@pytest.fixture(scope="module")
+def slow_b_bitstream(slow_clip, b_config):
+    return encode_sequence(slow_clip, b_config)
+
+
+class TestLayout:
+    def test_pattern(self):
+        layout = GopLayout(30, b_frames=2)
+        pattern = "".join(layout.frame_type(i).value for i in range(10))
+        assert pattern == "IBBPBBPBBP"
+
+    def test_trailing_positions_are_references(self):
+        # GOP of 8 with 2 B-frames: positions 7 has no later in-GOP
+        # reference, so it must be P.
+        layout = GopLayout(8, b_frames=2)
+        pattern = "".join(layout.frame_type(i).value for i in range(8))
+        assert pattern == "IBBPBBPP"
+
+    def test_zero_b_frames_is_ipp(self):
+        layout = GopLayout(30, b_frames=0)
+        assert all(layout.frame_type(i) is FrameType.P
+                   for i in range(1, 30))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GopLayout(3, b_frames=2)
+        with pytest.raises(ValueError):
+            GopLayout(30, b_frames=-1)
+
+
+class TestCodec:
+    def test_clean_roundtrip_quality(self, slow_clip, slow_b_bitstream):
+        decoded = decode_bitstream(slow_b_bitstream)
+        assert sequence_psnr(slow_clip, decoded) > 32.0
+
+    def test_stream_contains_all_types(self, slow_b_bitstream):
+        types = {f.frame_type for f in slow_b_bitstream}
+        assert types == {FrameType.I, FrameType.P, FrameType.B}
+
+    def test_display_order_preserved(self, slow_b_bitstream):
+        assert [f.index for f in slow_b_bitstream] == list(
+            range(len(slow_b_bitstream))
+        )
+
+    def test_b_frames_small_for_slow_motion(self, slow_b_bitstream):
+        sizes = {}
+        for frame in slow_b_bitstream:
+            sizes.setdefault(frame.frame_type, []).append(frame.size_bytes)
+        assert np.mean(sizes[FrameType.B]) < 0.2 * np.mean(sizes[FrameType.I])
+
+    def test_fast_motion_roundtrip(self, fast_clip, b_config):
+        bitstream = encode_sequence(fast_clip, b_config)
+        decoded = decode_bitstream(bitstream)
+        assert sequence_psnr(fast_clip, decoded) > 32.0
+
+    def test_decode_frame_rejects_b(self, slow_b_bitstream, b_config):
+        from repro.video.codec import Decoder
+        decoder = Decoder(b_config)
+        b_frame = next(f for f in slow_b_bitstream
+                       if f.frame_type is FrameType.B)
+        with pytest.raises(ValueError):
+            decoder.decode_frame(b_frame)
+
+
+class TestConcealment:
+    def _eavesdrop(self, clip, bitstream, dropped_type, mode="strict",
+                   sensitivity=0.55):
+        packets = packetize(bitstream)
+        usable = [p.frame_type.value != dropped_type for p in packets]
+        decodable = frames_decodable(packets, usable, sensitivity)
+        config = CodecConfig(
+            gop_size=bitstream.gop_layout.gop_size,
+            quantizer=bitstream.quantizer,
+            b_frames=bitstream.gop_layout.b_frames,
+        )
+        return conceal_decode(bitstream, decodable, config, mode=mode)
+
+    def test_b_loss_freezes_only_b_frames(self, slow_clip, slow_b_bitstream):
+        result = self._eavesdrop(slow_clip, slow_b_bitstream, "B")
+        frozen = {r.index for r in result.frames if not r.decoded}
+        b_indices = {f.index for f in slow_b_bitstream
+                     if f.frame_type is FrameType.B}
+        assert frozen == b_indices
+
+    def test_b_loss_barely_hurts(self, slow_clip, slow_b_bitstream):
+        """Encrypting only B-frames is pointless as protection."""
+        result = self._eavesdrop(slow_clip, slow_b_bitstream, "B")
+        assert sequence_psnr(slow_clip, result.sequence) > 30.0
+
+    def test_i_loss_still_devastates(self, slow_clip, slow_b_bitstream):
+        result = self._eavesdrop(slow_clip, slow_b_bitstream, "I",
+                                 mode="best_effort")
+        assert sequence_psnr(slow_clip, result.sequence) < 15.0
+
+    def test_clean_b_stream_decodes_fully(self, slow_clip,
+                                          slow_b_bitstream):
+        packets = packetize(slow_b_bitstream)
+        decodable = frames_decodable(packets, [True] * len(packets), 0.55)
+        config = CodecConfig(gop_size=30, quantizer=8, b_frames=2)
+        result = conceal_decode(slow_b_bitstream, decodable, config)
+        assert result.n_frozen == 0
+        assert sequence_psnr(slow_clip, result.sequence) > 32.0
+
+    def test_reference_loss_freezes_dependent_bs(self, slow_clip,
+                                                 slow_b_bitstream):
+        """Losing a P reference freezes it, the refs after it in the GOP
+        (strict chain policy) and the B-frames that needed it."""
+        packets = packetize(slow_b_bitstream)
+        # Drop the first P reference of GOP 0 (display index 3).
+        usable = [p.frame_index != 3 for p in packets]
+        decodable = frames_decodable(packets, usable, 0.55)
+        config = CodecConfig(gop_size=30, quantizer=8, b_frames=2)
+        result = conceal_decode(slow_b_bitstream, decodable, config)
+        frozen = {r.index for r in result.frames if not r.decoded}
+        # B-frames 1,2 depend on reference 3: frozen.  Everything from 3
+        # to the end of GOP 0 is frozen (broken reference chain).
+        assert {1, 2, 3}.issubset(frozen)
+        assert all(i in frozen for i in range(3, 30))
+        assert 30 not in frozen  # next GOP recovers

@@ -1,0 +1,76 @@
+"""Trace-based estimators of Section 6.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    estimate_success_rate,
+    fit_gaussian_atom,
+    fit_mmpp_from_trace,
+)
+from repro.core.mmpp import MMPP2
+
+
+class TestMmppFit:
+    def test_recovers_parameters_from_long_trace(self):
+        truth = MMPP2(p1=40.0, p2=4.0, lambda1=2000.0, lambda2=60.0)
+        trace = truth.sample(150_000, rng=np.random.default_rng(0))
+        fitted = fit_mmpp_from_trace(trace.arrival_times, trace.phases)
+        assert fitted.lambda1 == pytest.approx(truth.lambda1, rel=0.15)
+        assert fitted.lambda2 == pytest.approx(truth.lambda2, rel=0.15)
+        assert fitted.mean_rate == pytest.approx(truth.mean_rate, rel=0.1)
+
+    def test_transition_rates_order_of_magnitude(self):
+        truth = MMPP2(p1=40.0, p2=4.0, lambda1=2000.0, lambda2=60.0)
+        trace = truth.sample(150_000, rng=np.random.default_rng(1))
+        fitted = fit_mmpp_from_trace(trace.arrival_times, trace.phases)
+        # Switch rates are estimated from observed phase flips at arrival
+        # granularity; expect the right ballpark, not exactness.
+        assert fitted.p1 == pytest.approx(truth.p1, rel=0.5)
+        assert fitted.p2 == pytest.approx(truth.p2, rel=0.5)
+
+    def test_requires_both_phases(self):
+        times = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            fit_mmpp_from_trace(times, np.zeros(10, dtype=int))
+
+    def test_requires_sorted_times(self):
+        with pytest.raises(ValueError):
+            fit_mmpp_from_trace([0.0, 0.5, 0.3, 0.9], [0, 1, 0, 1])
+
+    def test_rejects_bad_phase_values(self):
+        with pytest.raises(ValueError):
+            fit_mmpp_from_trace([0.0, 0.1, 0.2, 0.3], [0, 1, 2, 0])
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError):
+            fit_mmpp_from_trace([0.0, 0.1], [0, 1])
+
+
+class TestAtomFit:
+    def test_mean_and_sigma(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(2e-3, 1e-4, 5000).clip(min=0)
+        atom = fit_gaussian_atom(samples)
+        assert atom.mu == pytest.approx(2e-3, rel=0.02)
+        assert atom.sigma == pytest.approx(1e-4, rel=0.1)
+
+    def test_single_sample_zero_sigma(self):
+        atom = fit_gaussian_atom([1.5e-3])
+        assert atom.mu == 1.5e-3
+        assert atom.sigma == 0.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            fit_gaussian_atom([])
+        with pytest.raises(ValueError):
+            fit_gaussian_atom([1e-3, -1e-3])
+
+
+class TestSuccessRate:
+    def test_mean_of_outcomes(self):
+        assert estimate_success_rate([True, True, False, True]) == 0.75
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_success_rate([])

@@ -1,0 +1,94 @@
+"""The command-line front end (the EvalVid-toolchain analogue)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["inspect"])
+        assert args.motion == "slow"
+        assert args.gop == 30
+        assert args.frames == 150
+
+    def test_rejects_unknown_motion(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inspect", "--motion", "warp"])
+
+    def test_rejects_unknown_device(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "--device", "iphone"])
+
+
+class TestCommands:
+    def test_clip_writes_yuv(self, tmp_path, capsys):
+        out = tmp_path / "clip.yuv"
+        code = main(["clip", "--motion", "slow", "--frames", "12",
+                     "--gop", "6", "--out", str(out)])
+        assert code == 0
+        # 12 frames of CIF I420 = 12 * 352*288*1.5 bytes.
+        assert out.stat().st_size == 12 * 352 * 288 * 3 // 2
+        assert "slow-motion clip" in capsys.readouterr().out
+
+    def test_inspect_reports_motion_class(self, capsys):
+        code = main(["inspect", "--motion", "fast", "--frames", "40",
+                     "--gop", "20"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "high" in output
+        assert "decoder sensitivity" in output
+
+    def test_experiment_reports_metrics(self, capsys):
+        code = main(["experiment", "--motion", "slow", "--frames", "60",
+                     "--policy", "I"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delay (ms)" in output
+        assert "I(AES256)" in output
+
+    def test_experiment_mixture_policy_parsing(self, capsys):
+        code = main(["experiment", "--motion", "slow", "--frames", "60",
+                     "--policy", "I+20%P"])
+        assert code == 0
+        assert "I+20%P" in capsys.readouterr().out
+
+    def test_experiment_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--frames", "60", "--policy", "everything"])
+
+    def test_advise_recommends_for_slow(self, capsys):
+        code = main(["advise", "--motion", "slow", "--frames", "90",
+                     "--target-psnr", "15"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "<= recommended" in output
+
+    def test_advise_unsatisfiable_returns_nonzero(self, capsys):
+        code = main(["advise", "--motion", "slow", "--frames", "90",
+                     "--target-psnr", "-5"])
+        assert code == 1
+        assert "encrypt everything" in capsys.readouterr().out
+
+
+class TestExampleModules:
+    """The shipped examples must at least import cleanly."""
+
+    @pytest.mark.parametrize("name", [
+        "quickstart", "policy_advisor", "eavesdropper_demo", "tcp_vs_udp",
+        "adaptive_streaming",
+    ])
+    def test_example_imports(self, name):
+        import importlib.util
+        import pathlib
+        path = (pathlib.Path(__file__).resolve().parent.parent / "examples"
+                / f"{name}.py")
+        spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                      path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main")

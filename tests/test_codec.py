@@ -1,0 +1,125 @@
+"""The predictive codec: structure, closed-loop fidelity, size behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.video.codec import CodecConfig, Decoder, Encoder, decode_bitstream, encode_sequence
+from repro.video.gop import FrameType
+from repro.video.quality import sequence_psnr
+from repro.video.synth import generate_clip
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = CodecConfig()
+        assert config.gop_size == 30
+        assert config.quantizer == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"gop_size": 0}, {"quantizer": 0}, {"quantizer": 100},
+        {"compression_level": 0}, {"compression_level": 10},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CodecConfig(**kwargs)
+
+
+class TestStructure:
+    def test_gop_pattern(self, slow_bitstream):
+        for frame in slow_bitstream:
+            expected = (FrameType.I if frame.index % 30 == 0
+                        else FrameType.P)
+            assert frame.frame_type is expected
+
+    def test_positions_and_gop_indices(self, slow_bitstream):
+        frame = slow_bitstream.frames[31]
+        assert frame.gop_index == 1
+        assert frame.position_in_gop == 1
+
+    def test_slow_motion_size_asymmetry(self, slow_bitstream):
+        """The property Section 4.2.1 leans on: slow-motion I-frames are
+        much larger than P-frames."""
+        summary = slow_bitstream.size_summary()
+        assert summary["mean_i_bytes"] > 5 * summary["mean_p_bytes"]
+
+    def test_fast_motion_p_frames_large(self, fast_bitstream, slow_bitstream):
+        """Fast-motion P-frames carry real content (Section 6.2)."""
+        fast_p = fast_bitstream.size_summary()["mean_p_bytes"]
+        slow_p = slow_bitstream.size_summary()["mean_p_bytes"]
+        assert fast_p > 5 * slow_p
+
+    def test_intra_fallback_caps_p_frames(self, fast_bitstream):
+        """P-frames never cost much more than an intra frame (the
+        per-frame intra fallback)."""
+        summary = fast_bitstream.size_summary()
+        assert summary["mean_p_bytes"] <= 1.6 * summary["mean_i_bytes"]
+
+
+class TestRoundtrip:
+    def test_clean_decode_quality(self, slow_clip, slow_bitstream):
+        decoded = decode_bitstream(slow_bitstream)
+        assert sequence_psnr(slow_clip, decoded) > 32.0
+
+    def test_clean_decode_quality_fast(self, fast_clip, fast_bitstream):
+        decoded = decode_bitstream(fast_bitstream)
+        assert sequence_psnr(fast_clip, decoded) > 32.0
+
+    def test_decode_is_deterministic(self, slow_bitstream):
+        a = decode_bitstream(slow_bitstream)
+        b = decode_bitstream(slow_bitstream)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.y, fb.y)
+
+    def test_quantizer_tradeoff(self):
+        clip = generate_clip("medium", 12, seed=5)
+        fine = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=4))
+        coarse = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=24))
+        assert coarse.total_bytes < fine.total_bytes
+        psnr_fine = sequence_psnr(clip, decode_bitstream(fine))
+        psnr_coarse = sequence_psnr(clip, decode_bitstream(coarse))
+        assert psnr_fine > psnr_coarse
+
+
+class TestDecoderErrors:
+    def test_p_frame_before_reference(self, slow_bitstream):
+        decoder = Decoder(CodecConfig(gop_size=30, quantizer=8))
+        # Find a residual-coded P-frame (magic 'P'), not an intra-fallback.
+        p_frame = next(
+            f for f in slow_bitstream
+            if f.frame_type is FrameType.P and f.payload[0] == 0x50
+        )
+        with pytest.raises(ValueError):
+            decoder.decode_frame(p_frame)
+
+    def test_corrupt_magic_rejected(self, slow_bitstream):
+        import dataclasses
+        decoder = Decoder(CodecConfig(gop_size=30, quantizer=8))
+        first = slow_bitstream.frames[0]
+        corrupt = dataclasses.replace(
+            first, payload=b"\xff" + first.payload[1:]
+        )
+        with pytest.raises(ValueError):
+            decoder.decode_frame(corrupt)
+
+
+class TestEncoderState:
+    def test_first_frame_forced_intra(self, slow_clip):
+        encoder = Encoder(CodecConfig(gop_size=30, quantizer=8))
+        first = encoder.encode_frame(slow_clip[0])
+        assert first.frame_type is FrameType.I
+
+    def test_indices_increment(self, slow_clip):
+        encoder = Encoder(CodecConfig(gop_size=30, quantizer=8))
+        frames = [encoder.encode_frame(f) for f in slow_clip.frames[:5]]
+        assert [f.index for f in frames] == [0, 1, 2, 3, 4]
+
+    def test_decoder_mirrors_encoder_reconstruction(self, slow_clip):
+        """Closed loop: feeding the decoder the encoder's output reproduces
+        the encoder's own reference, so no drift accumulates."""
+        config = CodecConfig(gop_size=30, quantizer=8)
+        encoder = Encoder(config)
+        decoder = Decoder(config)
+        for frame in slow_clip.frames[:10]:
+            encoded = encoder.encode_frame(frame)
+            decoded = decoder.decode_frame(encoded)
+        assert np.array_equal(decoded.y, encoder._reference.y)

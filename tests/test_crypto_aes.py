@@ -1,0 +1,116 @@
+"""AES: FIPS-197 known-answer tests, inversion, and structural properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, _build_sbox
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+KEY128 = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+KEY192 = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+KEY256 = bytes.fromhex(
+    "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+)
+
+
+class TestKnownAnswers:
+    """FIPS-197 Appendix C example vectors."""
+
+    def test_aes128(self):
+        assert AES(KEY128).encrypt_block(PLAINTEXT).hex() == (
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        )
+
+    def test_aes192(self):
+        assert AES(KEY192).encrypt_block(PLAINTEXT).hex() == (
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+        )
+
+    def test_aes256(self):
+        assert AES(KEY256).encrypt_block(PLAINTEXT).hex() == (
+            "8ea2b7ca516745bfeafc49904b496089"
+        )
+
+    def test_aes128_decrypt_known_answer(self):
+        cipher = AES(KEY128)
+        ct = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert cipher.decrypt_block(ct) == PLAINTEXT
+
+
+class TestSbox:
+    def test_sbox_is_permutation(self):
+        sbox, inv = _build_sbox()
+        assert sorted(sbox) == list(range(256))
+        assert sorted(inv) == list(range(256))
+
+    def test_sbox_inverse_relation(self):
+        sbox, inv = _build_sbox()
+        for value in range(256):
+            assert inv[sbox[value]] == value
+
+    def test_sbox_known_entries(self):
+        sbox, _ = _build_sbox()
+        # S(0x00) = 0x63 and S(0x53) = 0xed per FIPS-197.
+        assert sbox[0x00] == 0x63
+        assert sbox[0x53] == 0xED
+
+    def test_sbox_has_no_fixed_points(self):
+        sbox, _ = _build_sbox()
+        assert all(sbox[value] != value for value in range(256))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("key_len", [0, 8, 15, 17, 31, 33, 64])
+    def test_bad_key_length_rejected(self, key_len):
+        with pytest.raises(ValueError):
+            AES(bytes(key_len))
+
+    @pytest.mark.parametrize("block_len", [0, 8, 15, 17, 32])
+    def test_bad_block_length_rejected(self, block_len):
+        cipher = AES(KEY128)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(block_len))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(block_len))
+
+    def test_rounds_per_key_size(self):
+        assert AES(KEY128).rounds == 10
+        assert AES(KEY192).rounds == 12
+        assert AES(KEY256).rounds == 14
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=16, max_size=16))
+    def test_roundtrip_aes128(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @settings(max_examples=10, deadline=None)
+    @given(key=st.binary(min_size=32, max_size=32),
+           block=st.binary(min_size=16, max_size=16))
+    def test_roundtrip_aes256(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_avalanche_single_bit_flip(self):
+        cipher = AES(KEY128)
+        base = cipher.encrypt_block(PLAINTEXT)
+        flipped = bytearray(PLAINTEXT)
+        flipped[0] ^= 0x01
+        other = cipher.encrypt_block(bytes(flipped))
+        differing_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(base, other)
+        )
+        # Expect roughly half of the 128 output bits to flip.
+        assert 40 <= differing_bits <= 90
+
+    def test_different_keys_different_ciphertexts(self):
+        other_key = bytes([KEY128[0] ^ 0xFF]) + KEY128[1:]
+        assert (AES(KEY128).encrypt_block(PLAINTEXT)
+                != AES(other_key).encrypt_block(PLAINTEXT))
+
+    def test_block_size_attribute(self):
+        assert AES(KEY128).block_size == BLOCK_SIZE == 16

@@ -1,0 +1,94 @@
+"""DES / Triple-DES known answers, keying rules and inversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import BLOCK_SIZE, DES, TripleDES
+
+
+class TestKnownAnswers:
+    def test_classic_vector(self):
+        """The canonical 'DES illustrated' vector."""
+        cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+        ct = cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+        assert ct.hex() == "85e813540f0ab405"
+
+    def test_classic_vector_decrypt(self):
+        cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+        pt = cipher.decrypt_block(bytes.fromhex("85E813540F0AB405"))
+        assert pt.hex() == "0123456789abcdef"
+
+    def test_all_zero_key_vector(self):
+        # Known: DES(K=00..00, P=00..00) = 8CA64DE9C1B123A7.
+        cipher = DES(bytes(8))
+        assert cipher.encrypt_block(bytes(8)).hex() == "8ca64de9c1b123a7"
+
+
+class TestTripleDes:
+    def test_three_key_roundtrip(self):
+        cipher = TripleDES(bytes(range(24)))
+        block = b"8bytes!!"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_two_key_form_expands(self):
+        two_key = bytes(range(16))
+        expanded = two_key + two_key[:8]
+        block = b"\x01" * 8
+        assert (TripleDES(two_key).encrypt_block(block)
+                == TripleDES(expanded).encrypt_block(block))
+
+    def test_degenerate_equals_single_des(self):
+        """EDE with K1 = K2 = K3 reduces to single DES."""
+        key = bytes.fromhex("133457799BBCDFF1")
+        single = DES(key)
+        triple = TripleDES(key * 3)
+        block = bytes.fromhex("0123456789ABCDEF")
+        assert triple.encrypt_block(block) == single.encrypt_block(block)
+
+    def test_block_size(self):
+        assert TripleDES(bytes(24)).block_size == BLOCK_SIZE == 8
+
+    @pytest.mark.parametrize("key_len", [0, 8, 15, 23, 25, 32])
+    def test_bad_key_length(self, key_len):
+        with pytest.raises(ValueError):
+            TripleDES(bytes(key_len))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("key_len", [0, 7, 9, 16])
+    def test_des_key_length(self, key_len):
+        with pytest.raises(ValueError):
+            DES(bytes(key_len))
+
+    @pytest.mark.parametrize("block_len", [0, 7, 9, 16])
+    def test_des_block_length(self, block_len):
+        cipher = DES(bytes(8))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(block_len))
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(key=st.binary(min_size=8, max_size=8),
+           block=st.binary(min_size=8, max_size=8))
+    def test_des_roundtrip(self, key, block):
+        cipher = DES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @settings(max_examples=10, deadline=None)
+    @given(key=st.binary(min_size=24, max_size=24),
+           block=st.binary(min_size=8, max_size=8))
+    def test_3des_roundtrip(self, key, block):
+        cipher = TripleDES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_complementation_property(self):
+        """DES(~K, ~P) == ~DES(K, P) — a structural DES identity."""
+        key = bytes.fromhex("133457799BBCDFF1")
+        pt = bytes.fromhex("0123456789ABCDEF")
+        comp_key = bytes(b ^ 0xFF for b in key)
+        comp_pt = bytes(b ^ 0xFF for b in pt)
+        ct = DES(key).encrypt_block(pt)
+        comp_ct = DES(comp_key).encrypt_block(comp_pt)
+        assert comp_ct == bytes(b ^ 0xFF for b in ct)

@@ -1,0 +1,86 @@
+"""Encryption-cost models: affine behaviour, scaling, live measurement."""
+
+import pytest
+
+from repro.crypto.timing import (
+    CIPHERS,
+    CipherCost,
+    make_cipher,
+    measure_cipher_cost,
+    reference_cipher_cost,
+)
+
+
+class TestCipherCost:
+    def test_affine_time(self):
+        cost = CipherCost("AES128", setup_s=1e-5, per_byte_s=1e-8)
+        assert cost.time_for(1000) == pytest.approx(1e-5 + 1e-5)
+
+    def test_zero_bytes_cost_nothing(self):
+        cost = CipherCost("AES128", setup_s=1e-5, per_byte_s=1e-8)
+        assert cost.time_for(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        cost = CipherCost("AES128", setup_s=1e-5, per_byte_s=1e-8)
+        with pytest.raises(ValueError):
+            cost.time_for(-1)
+
+    def test_sigma_proportional_to_mean(self):
+        cost = CipherCost("AES128", 1e-5, 1e-8, jitter_fraction=0.1)
+        assert cost.sigma_for(1000) == pytest.approx(0.1 * cost.time_for(1000))
+
+    def test_scaled_divides_times(self):
+        cost = CipherCost("AES128", 2e-5, 4e-8)
+        faster = cost.scaled(2.0)
+        assert faster.setup_s == pytest.approx(1e-5)
+        assert faster.per_byte_s == pytest.approx(2e-8)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CipherCost("AES128", 1e-5, 1e-8).scaled(0.0)
+
+
+class TestReferenceCosts:
+    def test_ordering_matches_cipher_complexity(self):
+        aes128 = reference_cipher_cost("AES128")
+        aes256 = reference_cipher_cost("AES256")
+        des3 = reference_cipher_cost("3DES")
+        assert aes128.per_byte_s < aes256.per_byte_s < des3.per_byte_s
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            reference_cipher_cost("ROT13")
+
+    def test_speed_factor_applied(self):
+        slow = reference_cipher_cost("AES128", speed_factor=1.0)
+        fast = reference_cipher_cost("AES128", speed_factor=2.0)
+        assert fast.per_byte_s == pytest.approx(slow.per_byte_s / 2.0)
+
+
+class TestMakeCipher:
+    @pytest.mark.parametrize("name", sorted(CIPHERS))
+    def test_instantiates_each(self, name):
+        key_size, _ = CIPHERS[name]
+        cipher = make_cipher(name, bytes(key_size))
+        block = bytes(cipher.block_size)
+        assert len(cipher.encrypt_block(block)) == cipher.block_size
+
+    def test_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            make_cipher("AES128", bytes(10))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_cipher("DES5", bytes(8))
+
+
+class TestMeasurement:
+    def test_live_measurement_positive_and_ordered(self):
+        aes = measure_cipher_cost("AES128", sizes=(64, 256), repeats=1)
+        assert aes.per_byte_s > 0
+        assert aes.time_for(256) > aes.time_for(64)
+
+    def test_3des_slower_than_aes_live(self):
+        aes = measure_cipher_cost("AES128", sizes=(64, 256), repeats=1)
+        des3 = measure_cipher_cost("3DES", sizes=(64, 256), repeats=1)
+        assert des3.per_byte_s > aes.per_byte_s

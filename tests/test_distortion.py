@@ -1,0 +1,173 @@
+"""The distortion model (eqs. 21-28): states, polynomials, the GOP-chain DP."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import (
+    DistortionModel,
+    DistortionPolynomial,
+    gop_state_probabilities,
+    intra_gop_distortion_linear,
+)
+
+
+@pytest.fixture
+def polynomial():
+    # Quadratic-ish growth capped at 5000 (a plausible measured curve).
+    return DistortionPolynomial(coefficients=(0.0, 50.0, 5.0), cap=5000.0)
+
+
+class TestPolynomial:
+    def test_zero_at_origin(self, polynomial):
+        assert polynomial(0.0) == 0.0
+        assert polynomial(-3.0) == 0.0
+
+    def test_evaluation(self, polynomial):
+        assert polynomial(2.0) == pytest.approx(50 * 2 + 5 * 4)
+
+    def test_cap_applies(self, polynomial):
+        assert polynomial(1000.0) == 5000.0
+
+    def test_negative_values_clamped(self):
+        poly = DistortionPolynomial(coefficients=(-100.0, 1.0), cap=10.0)
+        assert poly(1.0) == 0.0
+
+    def test_mean_over(self, polynomial):
+        assert polynomial.mean_over([1, 2]) == pytest.approx(
+            (polynomial(1) + polynomial(2)) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistortionPolynomial(coefficients=(), cap=1.0)
+        with pytest.raises(ValueError):
+            DistortionPolynomial(coefficients=(1.0,), cap=0.0)
+
+
+class TestStateProbabilities:
+    def test_eq24_values(self):
+        probabilities = gop_state_probabilities(4, p_i=0.9, p_p=0.8)
+        assert probabilities[0] == pytest.approx(0.1)
+        assert probabilities[1] == pytest.approx(0.9 * 0.2)
+        assert probabilities[2] == pytest.approx(0.9 * 0.8 * 0.2)
+        assert probabilities[3] == pytest.approx(0.9 * 0.8 ** 2 * 0.2)
+        assert probabilities[4] == pytest.approx(0.9 * 0.8 ** 3)
+
+    def test_sums_to_one(self):
+        for p_i, p_p in ((0.5, 0.5), (0.99, 0.97), (0.0, 1.0), (1.0, 0.0)):
+            probabilities = gop_state_probabilities(30, p_i, p_p)
+            assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gop_state_probabilities(1, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            gop_state_probabilities(30, 1.5, 0.5)
+
+
+class TestLinearEq21:
+    def test_monotone_decreasing_in_position(self):
+        values = [intra_gop_distortion_linear(30, i, 10.0, 1000.0)
+                  for i in range(1, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_early_loss_near_dmax(self):
+        value = intra_gop_distortion_linear(50, 1, 10.0, 1000.0)
+        assert value > 0.9 * 1000.0
+
+    def test_late_loss_scales_with_dmin(self):
+        a = intra_gop_distortion_linear(30, 29, 10.0, 1000.0)
+        b = intra_gop_distortion_linear(30, 29, 20.0, 1000.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_position_bounds(self):
+        with pytest.raises(ValueError):
+            intra_gop_distortion_linear(30, 0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            intra_gop_distortion_linear(30, 30, 1.0, 10.0)
+
+
+class TestDistortionModel:
+    def _model(self, polynomial, **kwargs):
+        return DistortionModel(gop_size=30, n_gops=10,
+                               polynomial=polynomial, **kwargs)
+
+    def test_perfect_reception_zero_distortion(self, polynomial):
+        estimate = self._model(polynomial).expected(1.0, 1.0)
+        assert estimate.average_distortion == pytest.approx(0.0, abs=1e-9)
+        assert estimate.psnr_db == pytest.approx(100.0)
+
+    def test_no_i_frames_saturates_at_cap(self, polynomial):
+        """Everything lost: distortion approaches the cap (Case 3)."""
+        estimate = self._model(polynomial).expected(0.0, 0.0)
+        assert estimate.average_distortion == pytest.approx(
+            polynomial.cap, rel=0.05
+        )
+
+    def test_monotone_in_p_frame_success(self, polynomial):
+        model = self._model(polynomial)
+        estimates = [model.expected(0.95, p).average_distortion
+                     for p in (0.5, 0.8, 0.95, 1.0)]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_monotone_in_i_frame_success(self, polynomial):
+        model = self._model(polynomial)
+        estimates = [model.expected(p, 0.95).average_distortion
+                     for p in (0.2, 0.5, 0.9, 1.0)]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_baseline_distortion_added(self, polynomial):
+        model = self._model(polynomial)
+        clean = model.expected(1.0, 1.0, baseline_distortion=25.0)
+        assert clean.average_distortion == pytest.approx(25.0)
+
+    def test_recovery_fraction_reduces_distortion(self, polynomial):
+        """A decoder that recovers across broken chains sees less
+        distortion than the freeze decoder (the fast-motion effect)."""
+        freeze = self._model(polynomial).expected(0.0, 1.0)
+        recover = self._model(
+            polynomial, recovery_fraction=0.0
+        ).expected(0.0, 1.0)
+        assert (recover.average_distortion
+                < 0.25 * freeze.average_distortion)
+
+    def test_recovery_fraction_one_equals_freeze(self, polynomial):
+        freeze = self._model(polynomial).expected(0.3, 0.9)
+        full_leak = self._model(
+            polynomial, recovery_fraction=1.0
+        ).expected(0.3, 0.9)
+        assert full_leak.average_distortion == pytest.approx(
+            freeze.average_distortion, rel=1e-9
+        )
+
+    def test_recovery_requires_arriving_packets(self, polynomial):
+        """With everything encrypted (p_p = 0) recovery cannot help."""
+        freeze = self._model(polynomial).expected(0.0, 0.0)
+        recover = self._model(
+            polynomial, recovery_fraction=0.0
+        ).expected(0.0, 0.0)
+        assert recover.average_distortion == pytest.approx(
+            freeze.average_distortion, rel=1e-9
+        )
+
+    def test_per_gop_chain_length(self, polynomial):
+        estimate = self._model(polynomial).expected(0.9, 0.9)
+        assert len(estimate.per_gop_distortion) == 10
+
+    def test_consecutive_i_losses_accumulate_age(self, polynomial):
+        """With I-frames always lost, later GOPs freeze at growing
+        distances, so per-GOP distortion is non-decreasing."""
+        model = DistortionModel(gop_size=10, n_gops=6,
+                                polynomial=polynomial)
+        estimate = model.expected(0.0, 1.0)
+        series = estimate.per_gop_distortion
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_validation(self, polynomial):
+        with pytest.raises(ValueError):
+            DistortionModel(gop_size=1, n_gops=5, polynomial=polynomial)
+        with pytest.raises(ValueError):
+            DistortionModel(gop_size=30, n_gops=0, polynomial=polynomial)
+        with pytest.raises(ValueError):
+            DistortionModel(gop_size=30, n_gops=5, polynomial=polynomial,
+                            recovery_fraction=1.5)

@@ -1,0 +1,81 @@
+"""End-to-end experiments: metrics, repetition protocol."""
+
+import pytest
+
+from repro.core import standard_policies
+from repro.testbed import (
+    ExperimentConfig,
+    GALAXY_S2,
+    run_experiment,
+    run_repeated,
+)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return ExperimentConfig(
+        policy=standard_policies("AES256")["I"],
+        device=GALAXY_S2,
+        sensitivity_fraction=0.55,
+    )
+
+
+class TestSingleRun:
+    def test_produces_all_metrics(self, slow_clip, slow_bitstream,
+                                  base_config):
+        result = run_experiment(slow_clip, slow_bitstream, base_config,
+                                seed=0)
+        assert result.mean_delay_ms > 0
+        assert result.average_power_w > GALAXY_S2.base_power_w * 0.9
+        assert result.receiver_psnr_db > 30.0
+        assert result.eavesdropper_psnr_db < 15.0
+        assert result.eavesdropper_mos == pytest.approx(1.0, abs=0.2)
+
+    def test_decode_disabled_skips_video_metrics(self, slow_clip,
+                                                 slow_bitstream):
+        config = ExperimentConfig(
+            policy=standard_policies("AES256")["I"],
+            device=GALAXY_S2, sensitivity_fraction=0.55, decode_video=False,
+        )
+        result = run_experiment(slow_clip, slow_bitstream, config, seed=0)
+        assert result.receiver_psnr_db is None
+        assert result.eavesdropper_psnr_db is None
+        assert result.mean_delay_ms > 0
+
+    def test_none_policy_gives_eavesdropper_everything(
+            self, slow_clip, slow_bitstream):
+        config = ExperimentConfig(
+            policy=standard_policies("AES256")["none"],
+            device=GALAXY_S2, sensitivity_fraction=0.55,
+        )
+        result = run_experiment(slow_clip, slow_bitstream, config, seed=0)
+        assert result.eavesdropper_psnr_db == pytest.approx(
+            result.receiver_psnr_db, abs=0.5
+        )
+
+
+class TestRepeatedRuns:
+    def test_aggregates(self, slow_clip, slow_bitstream, base_config):
+        repeated = run_repeated(slow_clip, slow_bitstream, base_config,
+                                repeats=4, base_seed=100)
+        assert repeated.delay_ms.n == 4
+        assert repeated.delay_ms.ci_halfwidth >= 0.0
+        assert len(repeated.runs) == 4
+        assert repeated.eavesdropper_psnr_db.mean < 15.0
+
+    def test_repeats_validated(self, slow_clip, slow_bitstream, base_config):
+        with pytest.raises(ValueError):
+            run_repeated(slow_clip, slow_bitstream, base_config, repeats=0)
+
+
+class TestEnergyAccounting:
+    def test_power_ordering_over_policies(self, fast_clip, fast_bitstream):
+        powers = {}
+        for name, policy in standard_policies("3DES").items():
+            config = ExperimentConfig(
+                policy=policy, device=GALAXY_S2,
+                sensitivity_fraction=0.9, decode_video=False,
+            )
+            result = run_experiment(fast_clip, fast_bitstream, config, seed=1)
+            powers[name] = result.average_power_w
+        assert powers["none"] < powers["I"] < powers["P"] <= powers["all"]

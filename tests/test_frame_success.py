@@ -1,0 +1,138 @@
+"""Eq. (20): frame success probabilities, checked against enumeration."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frame_success import (
+    FrameSuccessModel,
+    decryption_rate,
+    frame_success_probability,
+)
+from repro.core.policies import EncryptionPolicy
+
+
+def _brute_force(n, s, p):
+    """Enumerate all packet outcomes (exponential, for small n)."""
+    total = 0.0
+    for outcome in itertools.product([0, 1], repeat=n):
+        if not outcome[0]:
+            continue
+        if sum(outcome[1:]) < s:
+            continue
+        prob = 1.0
+        for bit in outcome:
+            prob *= p if bit else (1.0 - p)
+        total += prob
+    return total
+
+
+class TestEquation20:
+    @pytest.mark.parametrize("n,s,p", [
+        (1, 0, 0.9), (2, 1, 0.8), (4, 2, 0.7), (5, 4, 0.95), (6, 0, 0.5),
+    ])
+    def test_matches_enumeration(self, n, s, p):
+        assert frame_success_probability(n, s, p) == pytest.approx(
+            _brute_force(n, s, p), abs=1e-12
+        )
+
+    def test_single_packet_frame(self):
+        assert frame_success_probability(1, 0, 0.77) == pytest.approx(0.77)
+
+    def test_perfect_channel(self):
+        assert frame_success_probability(10, 9, 1.0) == 1.0
+
+    def test_dead_channel(self):
+        assert frame_success_probability(10, 0, 0.0) == 0.0
+
+    def test_monotone_in_p(self):
+        values = [frame_success_probability(5, 3, p)
+                  for p in (0.5, 0.7, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_monotone_decreasing_in_sensitivity(self):
+        values = [frame_success_probability(6, s, 0.8) for s in range(6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frame_success_probability(0, 0, 0.5)
+        with pytest.raises(ValueError):
+            frame_success_probability(5, 5, 0.5)
+        with pytest.raises(ValueError):
+            frame_success_probability(5, 2, 1.5)
+
+
+class TestDecryptionRate:
+    def test_receiver_sees_channel_only(self):
+        assert decryption_rate(0.9, 0.8, eavesdropper=False) == 0.9
+
+    def test_eavesdropper_thinned(self):
+        assert decryption_rate(0.9, 0.25, eavesdropper=True) == pytest.approx(
+            0.675
+        )
+
+    def test_full_encryption_blinds_eavesdropper(self):
+        assert decryption_rate(1.0, 1.0, eavesdropper=True) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decryption_rate(1.5, 0.0, eavesdropper=True)
+
+
+class TestFrameSuccessModel:
+    @pytest.fixture
+    def model(self):
+        return FrameSuccessModel(n_i=7, n_p=1, sensitivity_fraction=0.55,
+                                 p_s=0.98)
+
+    def test_receiver_unaffected_by_policy(self, model):
+        all_policy = EncryptionPolicy("all", "AES256")
+        none_policy = EncryptionPolicy("none", None)
+        assert model.i_frame_success(all_policy, eavesdropper=False) == (
+            model.i_frame_success(none_policy, eavesdropper=False)
+        )
+
+    def test_eavesdropper_loses_encrypted_i_frames(self, model):
+        policy = EncryptionPolicy("i_frames", "AES256")
+        assert model.i_frame_success(policy, eavesdropper=True) == 0.0
+        assert model.p_frame_success(policy, eavesdropper=True) == (
+            pytest.approx(0.98)
+        )
+
+    def test_eavesdropper_loses_encrypted_p_frames(self, model):
+        policy = EncryptionPolicy("p_frames", "AES256")
+        assert model.p_frame_success(policy, eavesdropper=True) == 0.0
+        assert model.i_frame_success(policy, eavesdropper=True) > 0.5
+
+    def test_mixture_thins_p_frames(self, model):
+        policy = EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.2)
+        assert model.p_frame_success(policy, eavesdropper=True) == (
+            pytest.approx(0.8 * 0.98)
+        )
+
+    def test_sensitivity_ceiling(self):
+        model = FrameSuccessModel(n_i=7, n_p=1, sensitivity_fraction=0.55,
+                                  p_s=0.9)
+        # s = ceil(0.55 * 6) = 4 of the remaining 6.
+        expected = frame_success_probability(7, 4, 0.9)
+        policy = EncryptionPolicy("none", None)
+        assert model.i_frame_success(policy, eavesdropper=True) == (
+            pytest.approx(expected)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameSuccessModel(n_i=0, n_p=1, sensitivity_fraction=0.5, p_s=0.9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 12), p=st.floats(0.0, 1.0))
+def test_property_bounds(n, p):
+    s = max(0, (n - 1) // 2)
+    value = frame_success_probability(n, s, p)
+    assert 0.0 <= value <= 1.0
+    assert value <= p + 1e-12  # can't beat the mandatory first packet

@@ -1,0 +1,117 @@
+"""FrameworkModel + PolicyAdvisor: the Fig. 1 workflow end to end."""
+
+import pytest
+
+from repro.core import (
+    EncryptionPolicy,
+    FrameworkModel,
+    PolicyAdvisor,
+    calibrate_scenario,
+    default_candidates,
+    standard_policies,
+)
+from repro.core.distortion import DistortionPolynomial
+from repro.crypto.timing import reference_cipher_cost
+
+COSTS = {name: reference_cipher_cost(name)
+         for name in ("AES128", "AES256", "3DES")}
+POLY = DistortionPolynomial(coefficients=(0.0, 40.0, 4.0), cap=8000.0)
+
+
+@pytest.fixture(scope="module")
+def slow_scenario(slow_bitstream):
+    return calibrate_scenario(
+        slow_bitstream, cipher_costs=COSTS, polynomial=POLY,
+        sensitivity_fraction=0.55, recovery_fraction=0.9,
+        baseline_distortion=6.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def fast_scenario(fast_bitstream):
+    return calibrate_scenario(
+        fast_bitstream, cipher_costs=COSTS, polynomial=POLY,
+        sensitivity_fraction=0.9, recovery_fraction=0.02,
+        baseline_distortion=6.0,
+    )
+
+
+class TestFrameworkModel:
+    def test_delay_ordering(self, slow_scenario):
+        model = FrameworkModel(slow_scenario)
+        policies = standard_policies("AES256")
+        delays = {name: model.predict(p).delay_ms
+                  for name, p in policies.items()}
+        assert delays["none"] < delays["I"] < delays["all"]
+        assert delays["none"] < delays["P"] <= delays["all"] + 1e-9
+
+    def test_receiver_unharmed_by_encryption(self, slow_scenario):
+        model = FrameworkModel(slow_scenario)
+        for policy in standard_policies("AES256").values():
+            prediction = model.predict(policy)
+            assert prediction.receiver_psnr_db > 35.0
+
+    def test_eavesdropper_distortion_ordering_slow(self, slow_scenario):
+        """Slow motion: I-encryption devastates, P-encryption dents."""
+        model = FrameworkModel(slow_scenario)
+        policies = standard_policies("AES256")
+        psnr = {name: model.predict(p).eavesdropper_psnr_db
+                for name, p in policies.items()}
+        assert psnr["all"] <= psnr["I"] + 1.0
+        assert psnr["I"] < psnr["P"] - 5.0
+        assert psnr["P"] < psnr["none"]
+
+    def test_eavesdropper_distortion_ordering_fast(self, fast_scenario):
+        """Fast motion: P-encryption hurts more than I-encryption."""
+        model = FrameworkModel(fast_scenario)
+        policies = standard_policies("AES256")
+        psnr = {name: model.predict(p).eavesdropper_psnr_db
+                for name, p in policies.items()}
+        assert psnr["P"] < psnr["I"] - 3.0
+        assert psnr["all"] < psnr["P"] + 1.0
+
+    def test_predict_many(self, slow_scenario):
+        model = FrameworkModel(slow_scenario)
+        results = model.predict_many(standard_policies("AES128"))
+        assert set(results) == {"none", "I", "P", "all"}
+
+
+class TestAdvisor:
+    def test_slow_motion_recommends_i_only(self, slow_scenario):
+        """For slow motion, I-frame encryption suffices (Section 6.2) and
+        is the cheapest confidential policy."""
+        advisor = PolicyAdvisor(slow_scenario)
+        choice = advisor.recommend(target_psnr_db=15.0)
+        assert choice.satisfied
+        assert choice.recommended.policy.mode == "i_frames"
+
+    def test_fast_motion_needs_p_fraction(self, fast_scenario):
+        """For fast motion, I-only leaks; the advisor escalates to a
+        mixture (the paper lands on I+20%P)."""
+        advisor = PolicyAdvisor(fast_scenario)
+        choice = advisor.recommend(target_psnr_db=15.0)
+        assert choice.satisfied
+        policy = choice.recommended.policy
+        assert policy.mode in ("i_plus_p_fraction", "p_frames", "all")
+
+    def test_impossible_target(self, slow_scenario):
+        advisor = PolicyAdvisor(slow_scenario)
+        choice = advisor.recommend(target_psnr_db=-10.0)
+        assert not choice.satisfied
+        assert choice.recommended is None
+        assert len(choice.sweep) > 0
+
+    def test_recommended_is_cheapest_satisfying(self, fast_scenario):
+        advisor = PolicyAdvisor(fast_scenario)
+        choice = advisor.recommend(target_psnr_db=15.0)
+        for prediction in choice.sweep.values():
+            if prediction.eavesdropper_psnr_db <= 15.0:
+                assert (choice.recommended.delay_ms
+                        <= prediction.delay_ms + 1e-9)
+
+    def test_default_candidates_shape(self):
+        candidates = default_candidates("3DES", fractions=(0.2, 0.5))
+        labels = [c.label for c in candidates]
+        assert labels[0] == "I(3DES)"
+        assert "I+20%P(3DES)" in labels
+        assert labels[-1] == "all(3DES)"

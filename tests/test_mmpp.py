@@ -1,0 +1,113 @@
+"""The 2-MMPP arrival process (eqs. 1-2) and its sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.mmpp import MMPP2
+
+
+@pytest.fixture
+def bursty():
+    return MMPP2(p1=50.0, p2=5.0, lambda1=3000.0, lambda2=100.0)
+
+
+class TestMatrices:
+    def test_generator_structure(self, bursty):
+        generator = bursty.generator
+        assert generator[0, 0] == -50.0
+        assert generator[0, 1] == 50.0
+        assert np.allclose(generator.sum(axis=1), 0.0)
+
+    def test_rate_matrix_diagonal(self, bursty):
+        assert np.allclose(bursty.rate_matrix,
+                           np.diag([3000.0, 100.0]))
+
+    def test_stationary_distribution_eq2(self, bursty):
+        pi = bursty.stationary_distribution
+        # pi = (p2, p1) / (p1 + p2)
+        assert pi == pytest.approx([5.0 / 55.0, 50.0 / 55.0])
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_stationary_solves_balance(self, bursty):
+        pi = bursty.stationary_distribution
+        assert np.allclose(pi @ bursty.generator, 0.0, atol=1e-12)
+
+    def test_mean_rate(self, bursty):
+        pi = bursty.stationary_distribution
+        assert bursty.mean_rate == pytest.approx(
+            pi[0] * 3000.0 + pi[1] * 100.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPP2(p1=0.0, p2=1.0, lambda1=1.0, lambda2=1.0)
+
+
+class TestDispersion:
+    def test_poisson_has_unit_idc(self):
+        process = MMPP2(p1=2.0, p2=3.0, lambda1=100.0, lambda2=100.0)
+        assert process.index_of_dispersion() == pytest.approx(1.0)
+
+    def test_burstiness_raises_idc(self, bursty):
+        assert bursty.index_of_dispersion() > 10.0
+
+
+class TestSampling:
+    def test_sample_count_and_monotonicity(self, bursty):
+        rng = np.random.default_rng(0)
+        trace = bursty.sample(5000, rng=rng)
+        assert len(trace) == 5000
+        assert np.all(np.diff(trace.arrival_times) >= 0)
+
+    def test_empirical_rate_matches(self, bursty):
+        rng = np.random.default_rng(1)
+        trace = bursty.sample(200_000, rng=rng)
+        empirical = len(trace) / trace.arrival_times[-1]
+        assert empirical == pytest.approx(bursty.mean_rate, rel=0.05)
+
+    def test_phase_occupancy_matches_stationary(self, bursty):
+        rng = np.random.default_rng(2)
+        trace = bursty.sample(200_000, rng=rng)
+        # Fraction of arrivals in phase 0 should be pi0*l1 / mean rate.
+        pi = bursty.stationary_distribution
+        expected = pi[0] * bursty.lambda1 / bursty.mean_rate
+        assert np.mean(trace.phases == 0) == pytest.approx(expected, abs=0.02)
+
+    def test_initial_phase_respected(self, bursty):
+        trace = bursty.sample(10, rng=np.random.default_rng(3),
+                              initial_phase=0)
+        assert trace.phases[0] in (0, 1)  # may flip before first arrival
+
+    def test_sample_validation(self, bursty):
+        with pytest.raises(ValueError):
+            bursty.sample(0)
+        with pytest.raises(ValueError):
+            bursty.sample(10, initial_phase=5)
+
+
+class TestFromVideoStructure:
+    def test_burst_and_trickle_rates(self):
+        process = MMPP2.from_video_structure(
+            fps=30.0, gop_size=30, i_frame_packets=7, burst_rate=4000.0
+        )
+        assert process.lambda1 == 4000.0
+        assert process.lambda2 == 30.0
+        # Mean burst duration = 7/4000 s.
+        assert process.p1 == pytest.approx(4000.0 / 7.0)
+        # Mean trickle duration = 29/30 s.
+        assert process.p2 == pytest.approx(30.0 / 29.0)
+
+    def test_mean_rate_reflects_gop(self):
+        process = MMPP2.from_video_structure(
+            fps=30.0, gop_size=30, i_frame_packets=7, burst_rate=4000.0
+        )
+        # Per GOP second: ~7 I packets + 29 P packets.  The MMPP cycle is
+        # slightly shorter than the true GOP period (the burst runs in
+        # parallel with the frame clock), so allow a few percent.
+        assert process.mean_rate == pytest.approx(36.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPP2.from_video_structure(
+                fps=0, gop_size=30, i_frame_packets=7, burst_rate=4000
+            )

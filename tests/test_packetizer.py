@@ -1,0 +1,151 @@
+"""MTU fragmentation and the eq. (20) frame-success rule at packet level."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.gop import FrameType
+from repro.video.packetizer import (
+    DEFAULT_MTU,
+    RTP_HEADER_BYTES,
+    UDP_IP_HEADER_BYTES,
+    frames_decodable,
+    packetize,
+    packetize_frame,
+    required_packets,
+)
+
+MAX_PAYLOAD = DEFAULT_MTU - RTP_HEADER_BYTES - UDP_IP_HEADER_BYTES
+
+
+class TestFragmentation:
+    def test_i_frames_fragment_p_frames_do_not(self, slow_bitstream):
+        packets = packetize(slow_bitstream)
+        by_frame = {}
+        for packet in packets:
+            by_frame.setdefault(packet.frame_index, []).append(packet)
+        p_counts = []
+        for frame in slow_bitstream:
+            fragments = by_frame[frame.index]
+            if frame.frame_type is FrameType.I:
+                assert len(fragments) > 1
+            else:
+                p_counts.append(len(fragments))
+        # The *typical* slow-motion P-frame fits a single packet
+        # (Section 4.2.1); the occasional outlier may fragment.
+        import statistics
+        assert statistics.median(p_counts) == 1
+
+    def test_reassembly_recovers_payload(self, slow_bitstream):
+        frame = slow_bitstream.frames[0]
+        packets = packetize_frame(frame)
+        assert b"".join(p.payload for p in packets) == frame.payload
+
+    def test_fragment_sizes_respect_mtu(self, slow_bitstream):
+        for packet in packetize(slow_bitstream):
+            assert packet.payload_size <= MAX_PAYLOAD
+            assert packet.wire_bytes <= DEFAULT_MTU
+
+    def test_sequence_numbers_contiguous(self, slow_bitstream):
+        packets = packetize(slow_bitstream)
+        assert [p.sequence_number for p in packets] == list(range(len(packets)))
+
+    def test_fragment_metadata(self, slow_bitstream):
+        packets = packetize_frame(slow_bitstream.frames[0])
+        n = len(packets)
+        for i, packet in enumerate(packets):
+            assert packet.fragment_index == i
+            assert packet.n_fragments == n
+        assert packets[0].is_first_fragment
+
+    def test_tiny_mtu_rejected(self, slow_bitstream):
+        with pytest.raises(ValueError):
+            packetize_frame(slow_bitstream.frames[0], mtu=30)
+
+    def test_carry_payload_false_drops_bytes(self, slow_bitstream):
+        packets = packetize(slow_bitstream, carry_payload=False)
+        assert all(p.payload == b"" for p in packets)
+        assert all(p.payload_size > 0 for p in packets)
+
+    def test_with_encryption_sets_marker(self, slow_bitstream):
+        packet = packetize_frame(slow_bitstream.frames[0])[0]
+        encrypted = packet.with_encryption(b"\x00" * packet.payload_size)
+        assert encrypted.encrypted
+        assert not packet.encrypted
+        assert encrypted.payload_size == packet.payload_size
+
+
+class TestRequiredPackets:
+    def test_single_packet_frame_needs_nothing_extra(self):
+        assert required_packets(1, 0.9) == 0
+
+    def test_full_sensitivity_needs_all(self):
+        assert required_packets(10, 1.0) == 9
+
+    def test_zero_sensitivity_needs_only_first(self):
+        assert required_packets(10, 0.0) == 0
+
+    def test_ceiling_behaviour(self):
+        assert required_packets(5, 0.5) == 2  # ceil(0.5 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_packets(5, 1.5)
+        with pytest.raises(ValueError):
+            required_packets(0, 0.5)
+
+
+class TestFramesDecodable:
+    def _packets(self, bitstream):
+        return packetize(bitstream)
+
+    def test_all_usable_all_decodable(self, slow_bitstream):
+        packets = self._packets(slow_bitstream)
+        decodable = frames_decodable(packets, [True] * len(packets), 1.0)
+        assert decodable == {f.index for f in slow_bitstream}
+
+    def test_first_fragment_is_mandatory(self, slow_bitstream):
+        packets = self._packets(slow_bitstream)
+        usable = [not (p.frame_index == 0 and p.is_first_fragment)
+                  for p in packets]
+        decodable = frames_decodable(packets, usable, 0.0)
+        assert 0 not in decodable
+        assert 1 in decodable
+
+    def test_sensitivity_threshold(self, slow_bitstream):
+        packets = self._packets(slow_bitstream)
+        # Drop one non-first fragment of frame 0 (an I-frame with many).
+        target = next(p for p in packets
+                      if p.frame_index == 0 and p.fragment_index == 1)
+        usable = [p is not target for p in packets]
+        n = target.n_fragments
+        # With full sensitivity the frame is lost...
+        assert 0 not in frames_decodable(packets, usable, 1.0)
+        # ...with a lax decoder it survives.
+        assert 0 in frames_decodable(packets, usable, 0.5)
+
+    def test_encrypted_view_of_eavesdropper(self, slow_bitstream):
+        """Marking all I-frame packets unusable removes exactly the
+        I-frames at full sensitivity."""
+        packets = self._packets(slow_bitstream)
+        usable = [p.frame_type is not FrameType.I for p in packets]
+        decodable = frames_decodable(packets, usable, 1.0)
+        i_indices = {f.index for f in slow_bitstream if f.is_intra}
+        assert decodable.isdisjoint(i_indices)
+        assert decodable == ({f.index for f in slow_bitstream} - i_indices)
+
+
+@settings(max_examples=30, deadline=None)
+@given(payload_size=st.integers(1, 50_000))
+def test_property_fragment_count(payload_size):
+    """ceil-division invariant of the fragmenter."""
+    import dataclasses
+    from repro.video.gop import EncodedFrame
+    frame = EncodedFrame(
+        index=0, frame_type=FrameType.I, payload=bytes(payload_size),
+        gop_index=0, position_in_gop=0,
+    )
+    packets = packetize_frame(frame)
+    expected = -(-payload_size // MAX_PAYLOAD)
+    assert len(packets) == expected
+    assert sum(p.payload_size for p in packets) == payload_size

@@ -1,0 +1,126 @@
+"""Encryption policies: selection probabilities and per-packet rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import EncryptionPolicy, standard_policies
+from repro.video.gop import FrameType
+from repro.video.packetizer import packetize
+
+
+class TestSelectionProbabilities:
+    @pytest.mark.parametrize("mode,q_i,q_p", [
+        ("none", 0.0, 0.0),
+        ("i_frames", 1.0, 0.0),
+        ("p_frames", 0.0, 1.0),
+        ("all", 1.0, 1.0),
+    ])
+    def test_basic_modes(self, mode, q_i, q_p):
+        algorithm = None if mode == "none" else "AES256"
+        policy = EncryptionPolicy(mode, algorithm)
+        assert policy.q_i == q_i
+        assert policy.q_p == q_p
+
+    def test_mixture_mode(self):
+        policy = EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.2)
+        assert policy.q_i == 1.0
+        assert policy.q_p == 0.2
+
+    def test_partial_i_mode(self):
+        policy = EncryptionPolicy("partial_i", "AES256", fraction=0.5)
+        assert policy.q_i == 0.5
+        assert policy.q_p == 0.0
+
+    def test_encrypted_fraction_formula(self):
+        policy = EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.2)
+        # q = q_i p_i + q_p (1 - p_i)
+        assert policy.encrypted_fraction(0.25) == pytest.approx(
+            0.25 + 0.2 * 0.75
+        )
+
+    def test_encrypted_fraction_validates(self):
+        with pytest.raises(ValueError):
+            EncryptionPolicy("all", "AES256").encrypted_fraction(1.5)
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            EncryptionPolicy("every-other", "AES256")
+
+    def test_fraction_range(self):
+        with pytest.raises(ValueError):
+            EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=1.5)
+
+    def test_fraction_required_for_partial_modes(self):
+        with pytest.raises(ValueError):
+            EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.0)
+
+    def test_algorithm_required_unless_none(self):
+        with pytest.raises(ValueError):
+            EncryptionPolicy("all", None)
+
+
+class TestPerPacketRule:
+    def test_deterministic(self, slow_bitstream):
+        policy = EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.3)
+        packets = packetize(slow_bitstream, carry_payload=False)
+        first = [policy.encrypts(p) for p in packets]
+        second = [policy.encrypts(p) for p in packets]
+        assert first == second
+
+    def test_i_mode_selects_exactly_i_packets(self, slow_bitstream):
+        policy = EncryptionPolicy("i_frames", "AES256")
+        for packet in packetize(slow_bitstream, carry_payload=False):
+            assert policy.encrypts(packet) == (
+                packet.frame_type is FrameType.I
+            )
+
+    def test_mixture_selects_all_i_and_fraction_of_p(self, fast_bitstream):
+        policy = EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.2)
+        packets = packetize(fast_bitstream, carry_payload=False)
+        p_packets = [p for p in packets if p.frame_type is FrameType.P]
+        i_packets = [p for p in packets if p.frame_type is FrameType.I]
+        assert all(policy.encrypts(p) for p in i_packets)
+        selected = sum(policy.encrypts(p) for p in p_packets)
+        assert selected / len(p_packets) == pytest.approx(0.2, abs=0.05)
+
+    def test_partial_i_selects_fraction_of_i(self, fast_bitstream):
+        policy = EncryptionPolicy("partial_i", "AES256", fraction=0.5)
+        packets = packetize(fast_bitstream, carry_payload=False)
+        i_packets = [p for p in packets if p.frame_type is FrameType.I]
+        p_packets = [p for p in packets if p.frame_type is FrameType.P]
+        assert not any(policy.encrypts(p) for p in p_packets)
+        selected = sum(policy.encrypts(p) for p in i_packets)
+        assert 0 < selected < len(i_packets)
+
+    def test_none_and_all(self, slow_bitstream):
+        packets = packetize(slow_bitstream, carry_payload=False)
+        none_policy = EncryptionPolicy("none", None)
+        all_policy = EncryptionPolicy("all", "3DES")
+        assert not any(none_policy.encrypts(p) for p in packets)
+        assert all(all_policy.encrypts(p) for p in packets)
+
+
+class TestLabelsAndFactory:
+    def test_standard_policies_keys(self):
+        policies = standard_policies("AES128")
+        assert set(policies) == {"none", "I", "P", "all"}
+        assert policies["I"].algorithm == "AES128"
+
+    def test_labels(self):
+        assert EncryptionPolicy("none", None).label == "none"
+        assert EncryptionPolicy("i_frames", "AES256").label == "I(AES256)"
+        assert (EncryptionPolicy("i_plus_p_fraction", "3DES",
+                                 fraction=0.2).label == "I+20%P(3DES)")
+
+
+@settings(max_examples=20, deadline=None)
+@given(p_i=st.floats(0.0, 1.0), fraction=st.floats(0.01, 1.0))
+def test_property_fraction_bounds(p_i, fraction):
+    policy = EncryptionPolicy("i_plus_p_fraction", "AES256",
+                              fraction=fraction)
+    q = policy.encrypted_fraction(p_i)
+    assert 0.0 <= q <= 1.0
+    assert q >= p_i * policy.q_i * 0.999  # at least the I share

@@ -1,0 +1,144 @@
+"""Hypothesis property tests on the model stack's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    MMPP2,
+    ServiceTimeModel,
+    TransmissionComponent,
+    mean_waiting_time,
+    pollaczek_khinchine,
+)
+from repro.core.distortion import (
+    DistortionModel,
+    DistortionPolynomial,
+    gop_state_probabilities,
+)
+from repro.core.frame_success import frame_success_probability
+from repro.core.policies import EncryptionPolicy
+from repro.video.quality import distortion_from_psnr, psnr_from_distortion
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    gop_size=st.integers(2, 60),
+    p_i=st.floats(0.0, 1.0),
+    p_p=st.floats(0.0, 1.0),
+)
+def test_gop_states_always_a_distribution(gop_size, p_i, p_p):
+    probabilities = gop_state_probabilities(gop_size, p_i, p_p)
+    assert np.all(probabilities >= -1e-12)
+    assert probabilities.sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p_i=st.floats(0.01, 0.99),
+    p_p=st.floats(0.01, 0.99),
+    cap=st.floats(100.0, 20_000.0),
+)
+def test_distortion_bounded_by_cap(p_i, p_p, cap):
+    """Expected distortion can never exceed the saturation cap."""
+    polynomial = DistortionPolynomial((0.0, cap / 10.0), cap=cap)
+    model = DistortionModel(gop_size=10, n_gops=5, polynomial=polynomial)
+    estimate = model.expected(p_i, p_p)
+    assert -1e-9 <= estimate.average_distortion <= cap + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p_better=st.floats(0.5, 1.0),
+    delta=st.floats(0.0, 0.5),
+)
+def test_distortion_monotone_in_i_success(p_better, delta):
+    polynomial = DistortionPolynomial((0.0, 100.0), cap=5000.0)
+    model = DistortionModel(gop_size=10, n_gops=5, polynomial=polynomial)
+    p_worse = max(p_better - delta, 0.0)
+    better = model.expected(p_better, 0.9).average_distortion
+    worse = model.expected(p_worse, 0.9).average_distortion
+    assert worse >= better - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 10),
+    p=st.floats(0.01, 0.99),
+)
+def test_frame_success_monotone_in_sensitivity(n, p):
+    values = [frame_success_probability(n, s, p) for s in range(n)]
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rho=st.floats(0.05, 0.85),
+    burst_ratio=st.floats(1.0, 20.0),
+)
+def test_mmpp_waiting_at_least_poisson(rho, burst_ratio):
+    """Burstier input can only increase the per-packet mean wait relative
+    to a Poisson stream of the same rate (same service)."""
+    service = ServiceTimeModel(
+        EncryptionComponent(0.2, 0.0, GaussianAtom(1e-3, 0.0),
+                            GaussianAtom(2e-4, 0.0)),
+        BackoffComponent(p_s=0.95, lambda_b=5000.0),
+        TransmissionComponent(0.2, GaussianAtom(4e-4, 0.0),
+                              GaussianAtom(3e-4, 0.0)),
+    )
+    rate = rho / service.mean
+    # Symmetric flips: pi = (1/2, 1/2), so lambda1 + lambda2 = 2*rate
+    # keeps the mean arrival rate (and rho) fixed while the imbalance
+    # epsilon controls burstiness.
+    epsilon = 1.0 - 1.0 / burst_ratio  # in [0, 0.95]
+    lambda1 = rate * (1.0 + epsilon)
+    lambda2 = max(rate * (1.0 - epsilon), 1e-6)
+    mmpp = MMPP2(p1=50.0, p2=50.0, lambda1=lambda1, lambda2=lambda2)
+    per_packet, _, _ = mean_waiting_time(mmpp, service)
+    poisson_wait = pollaczek_khinchine(
+        mmpp.mean_rate, service.mean, service.second_moment
+    )
+    assert per_packet >= poisson_wait - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(psnr=st.floats(1.0, 95.0))
+def test_psnr_distortion_bijection(psnr):
+    assert psnr_from_distortion(distortion_from_psnr(psnr)) == (
+        pytest.approx(psnr, rel=1e-9)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p_i=st.floats(0.0, 1.0),
+    fraction=st.floats(0.01, 1.0),
+    algorithm=st.sampled_from(["AES128", "AES256", "3DES"]),
+)
+def test_mixture_policy_interpolates_extremes(p_i, fraction, algorithm):
+    """I+f.P encrypted fraction sits between I-only's and all's."""
+    mixture = EncryptionPolicy("i_plus_p_fraction", algorithm,
+                               fraction=fraction)
+    i_only = EncryptionPolicy("i_frames", algorithm)
+    everything = EncryptionPolicy("all", algorithm)
+    q = mixture.encrypted_fraction(p_i)
+    assert i_only.encrypted_fraction(p_i) - 1e-12 <= q
+    assert q <= everything.encrypted_fraction(p_i) + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mu=st.floats(1e-5, 1e-2),
+    sigma_fraction=st.floats(0.0, 0.2),
+    s=st.floats(0.0, 100.0),
+)
+def test_atom_lst_bounded(mu, sigma_fraction, s):
+    """For moderate s the Gaussian atom transform behaves like one of a
+    non-negative variable (bounded by 1)."""
+    atom = GaussianAtom(mu, sigma_fraction * mu)
+    value = atom.scalar_lst(s)
+    assert 0.0 < value <= 1.0 + 1e-9

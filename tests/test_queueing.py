@@ -1,0 +1,151 @@
+"""The 2-MMPP/G/1 solver: P-K anchor, simulation cross-validation, eq. 19."""
+
+import numpy as np
+import pytest
+
+from repro.core.mmpp import MMPP2
+from repro.core.queueing import (
+    compute_g_matrix,
+    idle_phase_vector,
+    mean_waiting_time,
+    pollaczek_khinchine,
+    simulate_mmpp_g1,
+    solve_mmpp_g1,
+)
+from repro.core.service import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    ServiceTimeModel,
+    TransmissionComponent,
+)
+
+
+def _service():
+    encryption = EncryptionComponent(
+        0.1, 0.0, GaussianAtom(0.5e-3, 0.05e-3), GaussianAtom(0.1e-3, 0.01e-3)
+    )
+    backoff = BackoffComponent(p_s=0.9, lambda_b=1 / 0.3e-3)
+    transmission = TransmissionComponent(
+        0.1, GaussianAtom(0.9e-3, 0.05e-3), GaussianAtom(0.3e-3, 0.03e-3)
+    )
+    return ServiceTimeModel(encryption, backoff, transmission)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return _service()
+
+
+class TestPollaczekKhinchine:
+    def test_reduction_to_mg1(self, service):
+        """When lambda1 = lambda2 the MMPP is Poisson and eq. (19) must
+        equal P-K exactly (the paper's formula passes this anchor)."""
+        lam = 0.5 / service.mean
+        mmpp = MMPP2(p1=5.0, p2=3.0, lambda1=lam, lambda2=lam)
+        per_packet, virtual, _ = mean_waiting_time(mmpp, service)
+        expected = pollaczek_khinchine(lam, service.mean,
+                                       service.second_moment)
+        assert per_packet == pytest.approx(expected, rel=1e-9)
+        assert virtual == pytest.approx(expected, rel=1e-9)
+
+    def test_pk_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            pollaczek_khinchine(1000.0, 1e-2, 1e-4)
+
+
+class TestGMatrix:
+    def test_stochastic_at_fixed_point(self, service):
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        g = compute_g_matrix(mmpp, service)
+        assert np.allclose(g.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(g >= -1e-12)
+
+    def test_satisfies_fixed_point_equation(self, service):
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        g = compute_g_matrix(mmpp, service)
+        m = mmpp.generator - mmpp.rate_matrix + mmpp.rate_matrix @ g
+        assert np.allclose(service.matrix_lst(m), g, atol=1e-9)
+
+
+class TestIdleVector:
+    def test_sums_to_idle_probability(self, service):
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        g = compute_g_matrix(mmpp, service)
+        y = idle_phase_vector(mmpp, service, g)
+        rho = mmpp.mean_rate * service.mean
+        assert y.sum() == pytest.approx(1.0 - rho, rel=1e-9)
+        assert np.all(y >= 0)
+
+    def test_matches_simulated_idle_time(self, service):
+        """The y vector is the time-stationary empty-phase probability;
+        cross-check total idle probability against simulation."""
+        mmpp = MMPP2(200.0, 20.0, 1500.0, 300.0)
+        g = compute_g_matrix(mmpp, service)
+        y = idle_phase_vector(mmpp, service, g)
+        sim = simulate_mmpp_g1(mmpp, service, n_packets=200_000, seed=4)
+        # Busy fraction ~ rho; idle ~ 1 - rho = y.e
+        rho = mmpp.mean_rate * service.mean
+        assert y.sum() == pytest.approx(1 - rho, rel=1e-9)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("params", [
+        (50.0, 5.0, 3000.0, 100.0),
+        (200.0, 20.0, 1500.0, 300.0),
+        (20.0, 20.0, 900.0, 900.0),
+    ])
+    def test_mean_waiting_time(self, service, params):
+        mmpp = MMPP2(*params)
+        solution = solve_mmpp_g1(mmpp, service)
+        simulated = simulate_mmpp_g1(mmpp, service,
+                                     n_packets=400_000, seed=9)
+        assert solution.mean_waiting_time_s == pytest.approx(
+            simulated.mean_waiting_time_s, rel=0.08
+        )
+
+    def test_sojourn_is_wait_plus_service(self, service):
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        solution = solve_mmpp_g1(mmpp, service)
+        assert solution.mean_sojourn_time_s == pytest.approx(
+            solution.mean_waiting_time_s + service.mean
+        )
+
+    def test_virtual_below_customer_for_bursty(self, service):
+        """Bursty arrivals sample the workload at bad times, so the
+        per-packet wait exceeds the time-average workload."""
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        solution = solve_mmpp_g1(mmpp, service)
+        assert (solution.mean_waiting_time_s
+                > solution.mean_virtual_waiting_time_s)
+
+
+class TestStability:
+    def test_unstable_queue_rejected(self, service):
+        rate = 2.0 / service.mean
+        mmpp = MMPP2(5.0, 5.0, rate, rate)
+        with pytest.raises(ValueError):
+            mean_waiting_time(mmpp, service)
+
+    def test_heavy_traffic_blowup(self, service):
+        """E[W] grows as rho -> 1 (sanity on the 1/(1-rho) factor)."""
+        waits = []
+        for load in (0.3, 0.6, 0.9):
+            lam = load / service.mean
+            mmpp = MMPP2(5.0, 3.0, lam, lam)
+            waits.append(mean_waiting_time(mmpp, service)[0])
+        assert waits == sorted(waits)
+        assert waits[2] > 5 * waits[0]
+
+
+class TestSimulator:
+    def test_deterministic_given_seed(self, service):
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        a = simulate_mmpp_g1(mmpp, service, n_packets=5000, seed=7)
+        b = simulate_mmpp_g1(mmpp, service, n_packets=5000, seed=7)
+        assert a.mean_waiting_time_s == b.mean_waiting_time_s
+
+    def test_minimum_packets_enforced(self, service):
+        mmpp = MMPP2(50.0, 5.0, 3000.0, 100.0)
+        with pytest.raises(ValueError):
+            simulate_mmpp_g1(mmpp, service, n_packets=10)

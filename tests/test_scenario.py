@@ -1,0 +1,91 @@
+"""Scenario calibration and the per-policy service assembly."""
+
+import pytest
+
+from repro.core import (
+    EncryptionPolicy,
+    calibrate_scenario,
+    standard_policies,
+)
+from repro.core.distortion import DistortionPolynomial
+from repro.crypto.timing import reference_cipher_cost
+
+COSTS = {name: reference_cipher_cost(name)
+         for name in ("AES128", "AES256", "3DES")}
+POLY = DistortionPolynomial(coefficients=(0.0, 40.0, 4.0), cap=8000.0)
+
+
+@pytest.fixture(scope="module")
+def scenario(slow_bitstream):
+    return calibrate_scenario(
+        slow_bitstream,
+        cipher_costs=COSTS,
+        polynomial=POLY,
+        sensitivity_fraction=0.55,
+    )
+
+
+class TestCalibration:
+    def test_packet_structure(self, scenario):
+        assert scenario.n_i_packets >= 2      # I-frames fragment
+        assert scenario.n_p_packets == 1      # slow P-frames do not
+        assert 0.0 < scenario.p_i < 0.5
+        assert scenario.i_packet_payload_bytes > scenario.p_packet_payload_bytes
+
+    def test_gop_metadata(self, scenario, slow_bitstream):
+        assert scenario.gop_size == 30
+        assert scenario.n_gops == slow_bitstream.gop_layout.n_gops(
+            len(slow_bitstream)
+        )
+
+    def test_link_rates(self, scenario):
+        assert 0.5 < scenario.p_s <= 1.0
+        assert scenario.p_delivery >= scenario.p_s
+        assert scenario.p_delivery == pytest.approx(1.0, abs=1e-4)
+
+    def test_transmission_atoms_ordered(self, scenario):
+        assert scenario.tx_atom_i.mu > scenario.tx_atom_p.mu
+
+    def test_mmpp_burst_structure(self, scenario):
+        assert scenario.mmpp.lambda1 > scenario.mmpp.lambda2
+
+
+class TestServiceAssembly:
+    def test_policy_mean_ordering(self, scenario):
+        """Mean service time: none < I-only < P-only < all (slow motion:
+        most packets are P packets... but each I packet is larger).
+        What must hold universally: none is cheapest, all is priciest."""
+        policies = standard_policies("AES256")
+        means = {name: scenario.service_model(p).mean
+                 for name, p in policies.items()}
+        assert means["none"] < means["I"] < means["all"]
+        assert means["none"] < means["P"] <= means["all"]
+
+    def test_3des_more_expensive_than_aes(self, scenario):
+        aes = scenario.service_model(EncryptionPolicy("all", "AES256"))
+        des3 = scenario.service_model(EncryptionPolicy("all", "3DES"))
+        assert des3.mean > aes.mean
+
+    def test_none_has_no_encryption_mass(self, scenario):
+        model = scenario.service_model(EncryptionPolicy("none", None))
+        assert model.encryption.mean == 0.0
+
+    def test_unknown_algorithm_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.encryption_atoms("RC4")
+
+    def test_encryption_atoms_scale_with_payload(self, scenario):
+        atom_i, atom_p = scenario.encryption_atoms("AES256")
+        assert atom_i.mu > atom_p.mu
+
+    def test_with_delivery_rate(self, scenario):
+        modified = scenario.with_delivery_rate(0.9)
+        assert modified.p_delivery == 0.9
+        assert modified.p_s == scenario.p_s
+
+
+class TestFrameSuccessIntegration:
+    def test_model_uses_delivery_rate(self, scenario):
+        lossy = scenario.with_delivery_rate(0.8)
+        model = lossy.frame_success_model()
+        assert model.p_s == 0.8

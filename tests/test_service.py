@@ -1,0 +1,179 @@
+"""Service-time components (eqs. 3-18): moments, transforms, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import EncryptionPolicy
+from repro.core.service import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    ServiceTimeModel,
+    TransmissionComponent,
+)
+
+
+@pytest.fixture
+def model():
+    encryption = EncryptionComponent(
+        q_i_effective=0.15, q_p_effective=0.3,
+        atom_i=GaussianAtom(2e-3, 0.2e-3),
+        atom_p=GaussianAtom(0.5e-3, 0.05e-3),
+    )
+    backoff = BackoffComponent(p_s=0.85, lambda_b=2000.0)
+    transmission = TransmissionComponent(
+        p_i=0.15, atom_i=GaussianAtom(0.9e-3, 0.05e-3),
+        atom_p=GaussianAtom(0.3e-3, 0.02e-3),
+    )
+    return ServiceTimeModel(encryption, backoff, transmission)
+
+
+class TestGaussianAtom:
+    def test_scalar_lst_at_zero_is_one(self):
+        assert GaussianAtom(1e-3, 1e-4).scalar_lst(0.0) == pytest.approx(1.0)
+
+    def test_constant_atom_lst(self):
+        atom = GaussianAtom(2e-3, 0.0)
+        assert atom.scalar_lst(100.0) == pytest.approx(np.exp(-0.2))
+
+    def test_second_moment(self):
+        atom = GaussianAtom(3.0, 4.0)
+        assert atom.second_moment == pytest.approx(25.0)
+
+    def test_matrix_lst_matches_scalar_on_diagonal(self):
+        atom = GaussianAtom(1e-3, 1e-4)
+        m = np.diag([-50.0, -200.0])
+        result = atom.matrix_lst(m)
+        assert result[0, 0] == pytest.approx(atom.scalar_lst(50.0))
+        assert result[1, 1] == pytest.approx(atom.scalar_lst(200.0))
+        assert result[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sampling_statistics(self):
+        atom = GaussianAtom(1e-3, 1e-4)
+        rng = np.random.default_rng(0)
+        samples = [atom.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(1e-3, rel=0.02)
+        assert np.std(samples) == pytest.approx(1e-4, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianAtom(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            GaussianAtom(1.0, -0.1)
+
+
+class TestEncryption:
+    def test_from_policy_effective_probabilities(self):
+        policy = EncryptionPolicy("i_plus_p_fraction", "AES256", fraction=0.2)
+        atom = GaussianAtom(1e-3, 0.0)
+        component = EncryptionComponent.from_policy(policy, 0.25, atom, atom)
+        assert component.q_i_effective == pytest.approx(0.25)
+        assert component.q_p_effective == pytest.approx(0.2 * 0.75)
+
+    def test_mass_at_zero(self):
+        atom = GaussianAtom(1e-3, 0.0)
+        component = EncryptionComponent(0.1, 0.2, atom, atom)
+        # LST at infinity -> mass at zero = 0.7.
+        assert component.scalar_lst(1e9) == pytest.approx(0.7, abs=1e-3)
+
+    def test_mean_mixture(self):
+        component = EncryptionComponent(
+            0.5, 0.25, GaussianAtom(2.0, 0.0), GaussianAtom(1.0, 0.0)
+        )
+        assert component.mean == pytest.approx(0.5 * 2.0 + 0.25 * 1.0)
+
+    def test_probabilities_validated(self):
+        atom = GaussianAtom(1.0, 0.0)
+        with pytest.raises(ValueError):
+            EncryptionComponent(0.7, 0.5, atom, atom)
+
+    def test_sampling_proportions(self):
+        component = EncryptionComponent(
+            0.3, 0.2, GaussianAtom(2.0, 0.0), GaussianAtom(1.0, 0.0)
+        )
+        rng = np.random.default_rng(1)
+        samples = np.array([component.sample(rng) for _ in range(20_000)])
+        assert np.mean(samples == 0.0) == pytest.approx(0.5, abs=0.02)
+        assert np.mean(samples == 2.0) == pytest.approx(0.3, abs=0.02)
+
+
+class TestBackoff:
+    def test_mean_formula(self):
+        component = BackoffComponent(p_s=0.8, lambda_b=1000.0)
+        assert component.mean == pytest.approx(0.25 / 1000.0)
+
+    def test_no_collisions_when_ps_one(self):
+        component = BackoffComponent(p_s=1.0, lambda_b=1000.0)
+        assert component.mean == 0.0
+        rng = np.random.default_rng(0)
+        assert all(component.sample(rng) == 0.0 for _ in range(100))
+
+    def test_lst_eq7(self):
+        component = BackoffComponent(p_s=0.8, lambda_b=1000.0)
+        s = 123.0
+        expected = 0.8 * (1000.0 + s) / (s + 0.8 * 1000.0)
+        assert component.scalar_lst(s) == pytest.approx(expected)
+
+    def test_moments_match_monte_carlo(self):
+        component = BackoffComponent(p_s=0.7, lambda_b=500.0)
+        rng = np.random.default_rng(2)
+        samples = np.array([component.sample(rng) for _ in range(100_000)])
+        assert np.mean(samples) == pytest.approx(component.mean, rel=0.03)
+        assert np.mean(samples ** 2) == pytest.approx(
+            component.second_moment, rel=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffComponent(p_s=0.0, lambda_b=100.0)
+        with pytest.raises(ValueError):
+            BackoffComponent(p_s=0.5, lambda_b=0.0)
+
+
+class TestTransmission:
+    def test_mixture_mean(self):
+        component = TransmissionComponent(
+            0.25, GaussianAtom(4.0, 0.0), GaussianAtom(2.0, 0.0)
+        )
+        assert component.mean == pytest.approx(0.25 * 4.0 + 0.75 * 2.0)
+
+    def test_lst_eq18_at_zero(self):
+        component = TransmissionComponent(
+            0.25, GaussianAtom(1e-3, 1e-4), GaussianAtom(3e-4, 3e-5)
+        )
+        assert component.scalar_lst(0.0) == pytest.approx(1.0)
+
+
+class TestServiceTotal:
+    def test_lst_is_product(self, model):
+        s = 321.0
+        expected = (model.encryption.scalar_lst(s)
+                    * model.backoff.scalar_lst(s)
+                    * model.transmission.scalar_lst(s))
+        assert model.scalar_lst(s) == pytest.approx(expected)
+
+    def test_moments_match_monte_carlo(self, model):
+        rng = np.random.default_rng(3)
+        samples = np.array([model.sample(rng) for _ in range(100_000)])
+        assert np.mean(samples) == pytest.approx(model.mean, rel=0.02)
+        assert np.mean(samples ** 2) == pytest.approx(
+            model.second_moment, rel=0.03
+        )
+
+    def test_variance_consistency(self, model):
+        assert model.variance == pytest.approx(
+            model.second_moment - model.mean ** 2
+        )
+
+    def test_matrix_lst_diagonal_consistency(self, model):
+        """On a diagonal matrix the matrix LST factors to scalar LSTs."""
+        m = np.diag([-100.0, -400.0])
+        result = model.matrix_lst(m)
+        assert result[0, 0] == pytest.approx(model.scalar_lst(100.0), rel=1e-9)
+        assert result[1, 1] == pytest.approx(model.scalar_lst(400.0), rel=1e-9)
+
+    def test_numerical_moment_from_lst(self, model):
+        """-d/ds H(s) at 0 equals the mean (transform sanity)."""
+        eps = 1e-4
+        derivative = (model.scalar_lst(eps) - model.scalar_lst(0.0)) / eps
+        assert -derivative == pytest.approx(model.mean, rel=1e-2)

@@ -1,0 +1,117 @@
+"""The Fig. 3 sender simulation and its traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import standard_policies
+from repro.core.calibration import fit_mmpp_from_trace
+from repro.core.policies import EncryptionPolicy
+from repro.testbed.devices import GALAXY_S2
+from repro.testbed.simulator import LinkConfig, SenderSimulator
+from repro.testbed.transport import HTTP_TCP
+from repro.video.gop import FrameType
+
+
+@pytest.fixture(scope="module")
+def simulator(slow_bitstream):
+    return SenderSimulator(slow_bitstream, device=GALAXY_S2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, simulator):
+        policy = standard_policies("AES256")["I"]
+        a = simulator.run(policy, seed=11)
+        b = simulator.run(policy, seed=11)
+        assert a.mean_delay_ms == b.mean_delay_ms
+        assert a.usable_by_eavesdropper == b.usable_by_eavesdropper
+
+    def test_different_seeds_differ(self, simulator):
+        policy = standard_policies("AES256")["I"]
+        a = simulator.run(policy, seed=1)
+        b = simulator.run(policy, seed=2)
+        assert a.mean_delay_ms != b.mean_delay_ms
+
+
+class TestDelayBehaviour:
+    def test_policy_ordering(self, simulator):
+        delays = {}
+        for name, policy in standard_policies("AES256").items():
+            delays[name] = simulator.run(policy, seed=5).mean_delay_ms
+        assert delays["none"] < delays["I"]
+        assert delays["none"] < delays["P"]
+        assert delays["I"] < delays["all"]
+        assert delays["P"] <= delays["all"]
+
+    def test_3des_slower_than_aes256(self, simulator):
+        aes = simulator.run(EncryptionPolicy("all", "AES256"), seed=5)
+        des3 = simulator.run(EncryptionPolicy("all", "3DES"), seed=5)
+        assert des3.mean_delay_ms > aes.mean_delay_ms
+
+    def test_fifo_departures_ordered(self, simulator):
+        run = simulator.run(standard_policies("AES256")["all"], seed=6)
+        departures = [t.departure_time_s for t in run.trace]
+        assert departures == sorted(departures)
+
+    def test_waiting_nonnegative(self, simulator):
+        run = simulator.run(standard_policies("AES256")["none"], seed=7)
+        assert all(t.waiting_time_s >= -1e-12 for t in run.trace)
+
+
+class TestVisibility:
+    def test_eavesdropper_never_sees_encrypted(self, simulator):
+        run = simulator.run(standard_policies("AES256")["I"], seed=8)
+        for packet, trace, usable in zip(
+                run.packets, run.trace, run.usable_by_eavesdropper):
+            if trace.encrypted:
+                assert not usable
+            assert trace.encrypted == (packet.frame_type is FrameType.I)
+
+    def test_receiver_sees_all_delivered(self, simulator):
+        run = simulator.run(standard_policies("AES256")["all"], seed=9)
+        for trace, usable in zip(run.trace, run.usable_by_receiver):
+            assert usable == trace.delivered
+
+    def test_none_policy_marks_nothing(self, simulator):
+        run = simulator.run(standard_policies("AES256")["none"], seed=10)
+        assert run.trace.encrypted_fraction() == 0.0
+
+
+class TestTraceViews:
+    def test_crypto_time_zero_without_encryption(self, simulator):
+        run = simulator.run(standard_policies("AES256")["none"], seed=3)
+        assert run.trace.total_crypto_time_s() == 0.0
+
+    def test_makespan_bounds(self, simulator, slow_bitstream):
+        run = simulator.run(standard_policies("AES256")["none"], seed=3)
+        assert run.trace.makespan_s() >= slow_bitstream.duration_s * 0.9
+
+    def test_arrival_trace_feeds_mmpp_fit(self, simulator):
+        """Section 6.1 closed loop: the simulated trace calibrates an MMPP
+        whose burst rate matches the configured disk read rate."""
+        run = simulator.run(standard_policies("AES256")["none"], seed=4)
+        times, phases = run.trace.arrival_trace()
+        fitted = fit_mmpp_from_trace(times, phases)
+        assert fitted.lambda1 > 10 * fitted.lambda2
+
+    def test_encryption_samples_by_type(self, simulator):
+        run = simulator.run(standard_policies("AES256")["I"], seed=4)
+        i_samples = run.trace.encryption_samples(FrameType.I)
+        p_samples = run.trace.encryption_samples(FrameType.P)
+        assert i_samples and not p_samples
+        assert all(s > 0 for s in i_samples)
+
+
+class TestTcpMode:
+    def test_tcp_under_loss_slower_but_delivers(self, slow_bitstream):
+        lossy = LinkConfig.default(channel_error_rate=0.2)
+        lossy = LinkConfig(phy=lossy.phy, dcf=lossy.dcf, retry_limit=0)
+        policy = standard_policies("AES256")["none"]
+        udp_sim = SenderSimulator(slow_bitstream, device=GALAXY_S2,
+                                  link=lossy)
+        tcp_sim = SenderSimulator(slow_bitstream, device=GALAXY_S2,
+                                  link=lossy, transport=HTTP_TCP)
+        udp = udp_sim.run(policy, seed=12)
+        tcp = tcp_sim.run(policy, seed=12)
+        assert np.mean(udp.usable_by_receiver) < 0.95
+        assert np.mean(tcp.usable_by_receiver) > 0.99
+        assert tcp.mean_delay_ms > udp.mean_delay_ms

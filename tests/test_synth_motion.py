@@ -1,0 +1,113 @@
+"""Synthetic clip generation and the motion classifier (AForge substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.video.motion import (
+    MotionClass,
+    analyze_motion,
+    block_motion_magnitude,
+    frame_activity,
+    sensitivity_for,
+)
+from repro.video.synth import (
+    FAST_MOTION,
+    MEDIUM_MOTION,
+    SLOW_MOTION,
+    MotionProfile,
+    SceneConfig,
+    generate_clip,
+    make_reference_clips,
+)
+from repro.video.yuv import CIF_HEIGHT, CIF_WIDTH
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_clip("slow", 10, seed=42)
+        b = generate_clip("slow", 10, seed=42)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.y, fb.y)
+
+    def test_different_seeds_differ(self):
+        a = generate_clip("slow", 10, seed=1)
+        b = generate_clip("slow", 10, seed=2)
+        assert not np.array_equal(a[0].y, b[0].y)
+
+    def test_default_geometry_is_cif(self):
+        clip = generate_clip("slow", 3, seed=0)
+        assert (clip.width, clip.height) == (CIF_WIDTH, CIF_HEIGHT)
+
+    def test_custom_scene(self):
+        clip = generate_clip(
+            "fast", 5, seed=0,
+            scene=SceneConfig(width=64, height=48, object_size=10),
+        )
+        assert (clip.width, clip.height) == (64, 48)
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(ValueError):
+            generate_clip("hyperspeed", 5)
+
+    def test_profile_object_accepted(self):
+        profile = MotionProfile("custom", 1.0, 1.0, 0.0, 0.0)
+        clip = generate_clip(profile, 3, seed=0)
+        assert len(clip) == 3
+
+    def test_reference_clips_cover_classes(self):
+        clips = make_reference_clips(n_frames=8)
+        assert set(clips) == {"slow", "medium", "fast"}
+
+
+class TestActivityOrdering:
+    def test_profiles_produce_ordered_activity(
+            self, slow_clip, medium_clip, fast_clip):
+        slow = analyze_motion(slow_clip)
+        medium = analyze_motion(medium_clip)
+        fast = analyze_motion(fast_clip)
+        assert slow.mean_activity < medium.mean_activity < fast.mean_activity
+
+    def test_classification_matches_profiles(
+            self, slow_clip, medium_clip, fast_clip):
+        assert analyze_motion(slow_clip).motion_class is MotionClass.LOW
+        assert analyze_motion(medium_clip).motion_class is MotionClass.MEDIUM
+        assert analyze_motion(fast_clip).motion_class is MotionClass.HIGH
+
+
+class TestEstimators:
+    def test_identical_frames_zero_activity(self):
+        plane = np.full((32, 32), 50, dtype=np.uint8)
+        assert frame_activity(plane, plane) == 0.0
+
+    def test_activity_scales_with_change(self):
+        base = np.zeros((32, 32), dtype=np.uint8)
+        assert (frame_activity(base, base + 10)
+                > frame_activity(base, base + 1))
+
+    def test_block_motion_zero_for_static(self):
+        rng = np.random.default_rng(0)
+        plane = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        assert block_motion_magnitude(plane, plane) == 0.0
+
+    def test_block_motion_detects_shift(self):
+        rng = np.random.default_rng(0)
+        plane = rng.integers(0, 256, (96, 96), dtype=np.uint8)
+        shifted = np.roll(plane, 4, axis=1)
+        assert block_motion_magnitude(plane, shifted) >= 2.0
+
+    def test_needs_two_frames(self, slow_clip):
+        from repro.video.yuv import Sequence420
+        single = Sequence420([slow_clip[0]])
+        with pytest.raises(ValueError):
+            analyze_motion(single)
+
+
+class TestSensitivity:
+    def test_monotone_in_motion(self):
+        assert (sensitivity_for(MotionClass.LOW)
+                < sensitivity_for(MotionClass.MEDIUM)
+                < sensitivity_for(MotionClass.HIGH))
+
+    def test_values_are_fractions(self):
+        for cls in MotionClass:
+            assert 0.0 < sensitivity_for(cls) <= 1.0

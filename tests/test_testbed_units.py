@@ -1,0 +1,121 @@
+"""Testbed unit pieces: devices, energy (eq. 29), transport outcomes, traces."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G
+from repro.testbed.energy import (
+    average_power_w,
+    microamp_hours_to_watts,
+)
+from repro.testbed.transport import (
+    HTTP_TCP,
+    UDP_RTP,
+    TransportConfig,
+    delivery_outcome,
+)
+
+
+class TestDevices:
+    def test_registry(self):
+        assert DEVICES["samsung-s2"] is GALAXY_S2
+        assert DEVICES["htc-amaze"] is HTC_AMAZE_4G
+
+    def test_cipher_cost_ordering(self):
+        for device in DEVICES.values():
+            aes128 = device.cipher_cost("AES128").per_byte_s
+            aes256 = device.cipher_cost("AES256").per_byte_s
+            des3 = device.cipher_cost("3DES").per_byte_s
+            assert aes128 < aes256 < des3
+
+    def test_htc_crypto_slower_than_samsung(self):
+        """The paper's Figs. 8/13: HTC delays exceed the Samsung's."""
+        for algorithm in ("AES128", "AES256", "3DES"):
+            assert (HTC_AMAZE_4G.cipher_cost(algorithm).per_byte_s
+                    > GALAXY_S2.cipher_cost(algorithm).per_byte_s)
+
+    def test_unknown_cipher(self):
+        with pytest.raises(ValueError):
+            GALAXY_S2.cipher_cost("Blowfish")
+
+
+class TestEnergy:
+    def test_eq29_conversion(self):
+        # 1000 uAh over 10 s at 3.9 V -> 1.404 W.
+        assert microamp_hours_to_watts(1000.0, 10.0) == pytest.approx(1.404)
+
+    def test_breakdown_arithmetic(self):
+        energy = average_power_w(GALAXY_S2, duration_s=10.0,
+                                 crypto_time_s=2.0, airtime_s=1.0)
+        expected = (GALAXY_S2.base_power_w * 10
+                    + GALAXY_S2.cpu_power_w * 2
+                    + GALAXY_S2.radio_tx_power_w * 1)
+        assert energy.total_energy_j == pytest.approx(expected)
+        assert energy.average_power_w == pytest.approx(expected / 10)
+
+    def test_monitor_reading_roundtrip(self):
+        energy = average_power_w(GALAXY_S2, duration_s=10.0,
+                                 crypto_time_s=1.0, airtime_s=0.5)
+        reading = energy.equivalent_monitor_reading_uah()
+        assert microamp_hours_to_watts(reading, 10.0) == pytest.approx(
+            energy.average_power_w
+        )
+
+    def test_more_crypto_more_power(self):
+        lo = average_power_w(GALAXY_S2, duration_s=10, crypto_time_s=0.5,
+                             airtime_s=1.0)
+        hi = average_power_w(GALAXY_S2, duration_s=10, crypto_time_s=5.0,
+                             airtime_s=1.0)
+        assert hi.average_power_w > lo.average_power_w
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_power_w(GALAXY_S2, duration_s=0.0, crypto_time_s=0,
+                            airtime_s=0)
+        with pytest.raises(ValueError):
+            average_power_w(GALAXY_S2, duration_s=1.0, crypto_time_s=2.0,
+                            airtime_s=0.0)
+        with pytest.raises(ValueError):
+            microamp_hours_to_watts(-1.0, 1.0)
+
+
+class TestTransport:
+    def test_configs(self):
+        assert not UDP_RTP.reliable
+        assert HTTP_TCP.reliable
+        assert HTTP_TCP.header_bytes > UDP_RTP.header_bytes
+
+    def test_udp_loss_is_final(self):
+        rng = np.random.default_rng(0)
+        outcomes = [delivery_outcome(UDP_RTP, 0.5, rng) for _ in range(2000)]
+        delivered = np.mean([o.delivered for o in outcomes])
+        assert delivered == pytest.approx(0.5, abs=0.04)
+        assert all(o.attempts == 1 for o in outcomes)
+        assert all(o.extra_delay_s == 0.0 for o in outcomes)
+
+    def test_tcp_retransmits_until_delivered(self):
+        rng = np.random.default_rng(1)
+        outcomes = [delivery_outcome(HTTP_TCP, 0.5, rng) for _ in range(2000)]
+        delivered = np.mean([o.delivered for o in outcomes])
+        assert delivered > 0.999
+        retried = [o for o in outcomes if o.attempts > 1]
+        assert retried
+        assert all(o.extra_delay_s >= HTTP_TCP.rto_s for o in retried)
+
+    def test_tcp_gives_up_eventually(self):
+        rng = np.random.default_rng(2)
+        outcome = delivery_outcome(HTTP_TCP, 0.0, rng)
+        assert not outcome.delivered
+        assert outcome.attempts == HTTP_TCP.max_retransmissions + 1
+
+    def test_perfect_channel_no_retries(self):
+        rng = np.random.default_rng(3)
+        outcome = delivery_outcome(HTTP_TCP, 1.0, rng)
+        assert outcome.delivered and outcome.attempts == 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            delivery_outcome(UDP_RTP, 1.5, rng)
+        with pytest.raises(ValueError):
+            TransportConfig("bad", header_bytes=-1, reliable=False)

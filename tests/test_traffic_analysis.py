@@ -1,0 +1,100 @@
+"""Traffic analysis extension: the size classifier and padding defences."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.devices import GALAXY_S2
+from repro.testbed.simulator import SenderSimulator
+from repro.testbed.traffic_analysis import (
+    SizePacketClassifier,
+    evaluate_classifier,
+    pad_packets,
+)
+from repro.video.gop import FrameType
+from repro.video.packetizer import DEFAULT_MTU, packetize
+
+
+@pytest.fixture(scope="module")
+def packets(slow_bitstream):
+    return packetize(slow_bitstream, carry_payload=False)
+
+
+class TestClassifierAttack:
+    def test_unpadded_flow_is_classifiable(self, packets):
+        classifier = SizePacketClassifier().fit(packets)
+        report = evaluate_classifier(classifier, packets)
+        # MTU-sized I-fragments vs small P-packets: near-perfect attack.
+        assert report.i_recall > 0.9
+        assert report.p_recall > 0.9
+        assert report.advantage > 0.4
+
+    def test_generalises_across_clips(self, slow_bitstream, fast_bitstream):
+        train = packetize(slow_bitstream, carry_payload=False)
+        test = packetize(fast_bitstream, carry_payload=False)
+        classifier = SizePacketClassifier().fit(train)
+        report = evaluate_classifier(classifier, test)
+        assert report.i_recall > 0.5
+
+    def test_unfitted_predict_rejected(self, packets):
+        with pytest.raises(RuntimeError):
+            SizePacketClassifier().predict(packets)
+
+    def test_fit_needs_both_classes(self, packets):
+        only_p = [p for p in packets if p.frame_type is FrameType.P]
+        with pytest.raises(ValueError):
+            SizePacketClassifier().fit(only_p)
+
+
+class TestPaddingDefence:
+    def test_mtu_padding_blinds_the_classifier(self, packets):
+        classifier = SizePacketClassifier().fit(packets)
+        padded = pad_packets(packets, "mtu")
+        report = evaluate_classifier(classifier, padded)
+        assert report.advantage < 0.05
+
+    def test_mtu_padding_makes_all_sizes_equal(self, packets):
+        padded = pad_packets(packets, "mtu")
+        sizes = {p.payload_size for p in padded}
+        assert len(sizes) == 1
+
+    def test_bucket_padding_reduces_advantage(self, packets):
+        classifier = SizePacketClassifier().fit(packets)
+        baseline = evaluate_classifier(classifier, packets)
+        padded = pad_packets(packets, "buckets")
+        report = evaluate_classifier(
+            SizePacketClassifier().fit(packets), padded
+        )
+        # Buckets leak less than raw sizes but more than full padding.
+        assert report.advantage <= baseline.advantage
+
+    def test_bucket_padding_cheaper_than_mtu(self, packets):
+        mtu_bytes = sum(p.payload_size for p in pad_packets(packets, "mtu"))
+        bucket_bytes = sum(p.payload_size
+                           for p in pad_packets(packets, "buckets"))
+        raw_bytes = sum(p.payload_size for p in packets)
+        assert raw_bytes < bucket_bytes < mtu_bytes
+
+    def test_padding_preserves_count_and_order(self, packets):
+        padded = pad_packets(packets, "mtu")
+        assert len(padded) == len(packets)
+        assert [p.sequence_number for p in padded] == [
+            p.sequence_number for p in packets
+        ]
+
+    def test_unknown_mode(self, packets):
+        with pytest.raises(ValueError):
+            pad_packets(packets, "quantum")
+
+    def test_none_mode_is_identity(self, packets):
+        assert pad_packets(packets, "none") == list(packets)
+
+
+class TestPaddingCost:
+    def test_padded_transfer_slower(self, slow_bitstream):
+        from repro.core import standard_policies
+        policy = standard_policies("AES256")["all"]
+        plain = SenderSimulator(slow_bitstream, device=GALAXY_S2)
+        padded = SenderSimulator(slow_bitstream, device=GALAXY_S2,
+                                 padding="mtu")
+        assert (padded.run(policy, seed=0).mean_delay_ms
+                > plain.run(policy, seed=0).mean_delay_ms)

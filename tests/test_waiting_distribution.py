@@ -1,0 +1,143 @@
+"""The waiting-time distribution (Section 4.2.3's 'distribution function
+and moments'): transform, inversion, moments, quantiles — all validated
+against discrete-event simulation of the same queue."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BackoffComponent,
+    EncryptionComponent,
+    GaussianAtom,
+    MMPP2,
+    ServiceTimeModel,
+    TransmissionComponent,
+    simulate_mmpp_g1,
+    solve_mmpp_g1,
+    waiting_time_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return ServiceTimeModel(
+        EncryptionComponent(0.1, 0.0, GaussianAtom(0.5e-3, 0.05e-3),
+                            GaussianAtom(0.1e-3, 0.01e-3)),
+        BackoffComponent(p_s=0.9, lambda_b=1 / 0.3e-3),
+        TransmissionComponent(0.1, GaussianAtom(0.9e-3, 0.05e-3),
+                              GaussianAtom(0.3e-3, 0.03e-3)),
+    )
+
+
+@pytest.fixture(scope="module")
+def mmpp():
+    return MMPP2(200.0, 20.0, 1500.0, 300.0)
+
+
+@pytest.fixture(scope="module")
+def distribution(mmpp, service):
+    return waiting_time_distribution(mmpp, service)
+
+
+@pytest.fixture(scope="module")
+def simulated(mmpp, service):
+    return simulate_mmpp_g1(mmpp, service, n_packets=300_000, seed=3)
+
+
+class TestTransform:
+    def test_value_at_zero(self, distribution):
+        assert distribution.transform(0) == pytest.approx(1.0)
+
+    def test_bounded_on_positive_axis(self, distribution):
+        for s in (1.0, 100.0, 10_000.0):
+            value = distribution.transform(complex(s, 0.0)).real
+            assert 0.0 < value <= 1.0
+
+    def test_decreasing_in_s(self, distribution):
+        values = [distribution.transform(complex(s, 0)).real
+                  for s in (1.0, 10.0, 100.0, 1000.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_is_empty_probability(self, distribution):
+        """For large s, E[e^{-sW}] approaches P(W = 0).
+
+        s must stay below ~2*mu/sigma^2: the Gaussian service atoms'
+        transform e^{-mu s + sigma^2 s^2/2} formally diverges beyond that
+        (the known price of eq. 15's Gaussian model).
+        """
+        tail = distribution.transform(complex(1e5, 0.0)).real
+        assert tail == pytest.approx(distribution._mass_at_zero(), abs=2e-2)
+
+
+class TestMoments:
+    def test_first_moment_matches_eq19(self, distribution, mmpp, service):
+        solution = solve_mmpp_g1(mmpp, service)
+        assert distribution.mean() == pytest.approx(
+            solution.mean_waiting_time_s, rel=1e-4
+        )
+
+    def test_second_moment_matches_simulation(self, distribution, simulated):
+        simulated_m2 = float(np.mean(simulated.waiting_times ** 2))
+        assert distribution.moment(2) == pytest.approx(simulated_m2, rel=0.05)
+
+    def test_variance_positive(self, distribution):
+        assert distribution.variance() > 0.0
+
+    def test_moment_order_validated(self, distribution):
+        with pytest.raises(ValueError):
+            distribution.moment(0)
+        with pytest.raises(ValueError):
+            distribution.moment(5)
+
+
+class TestInversion:
+    @pytest.mark.parametrize("t_ms", [0.05, 0.1, 0.3, 0.6, 1.0])
+    def test_survival_matches_simulation(self, distribution, simulated, t_ms):
+        t = t_ms * 1e-3
+        empirical = float(np.mean(simulated.waiting_times > t))
+        assert distribution.survival(t) == pytest.approx(empirical, abs=0.01)
+
+    def test_atom_at_zero_matches_simulation(self, distribution, simulated):
+        empirical = float(np.mean(simulated.waiting_times <= 1e-12))
+        assert distribution._mass_at_zero() == pytest.approx(
+            empirical, abs=0.01
+        )
+
+    def test_survival_monotone(self, distribution):
+        values = [distribution.survival(t * 1e-3)
+                  for t in (0.05, 0.2, 0.5, 1.0, 2.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_cdf_complements_survival(self, distribution):
+        t = 0.3e-3
+        assert distribution.cdf(t) == pytest.approx(
+            1.0 - distribution.survival(t)
+        )
+
+    def test_negative_time_rejected(self, distribution):
+        with pytest.raises(ValueError):
+            distribution.survival(-1.0)
+
+
+class TestQuantiles:
+    def test_q90_matches_simulation(self, distribution, simulated):
+        empirical = float(np.quantile(simulated.waiting_times, 0.9))
+        assert distribution.quantile(0.9) == pytest.approx(
+            empirical, rel=0.05
+        )
+
+    def test_quantile_below_atom_is_zero(self, distribution):
+        atom = distribution._mass_at_zero()
+        assert distribution.quantile(atom / 2.0) == 0.0
+
+    def test_quantile_validates(self, distribution):
+        with pytest.raises(ValueError):
+            distribution.quantile(1.5)
+
+
+class TestStability:
+    def test_unstable_rejected(self, service):
+        rate = 2.0 / service.mean
+        mmpp = MMPP2(5.0, 5.0, rate, rate)
+        with pytest.raises(ValueError):
+            waiting_time_distribution(mmpp, service)

@@ -1,0 +1,139 @@
+"""WiFi substrate: DCF fixed point, PHY timing, loss channels."""
+
+import numpy as np
+import pytest
+
+from repro.wifi import (
+    DcfParameters,
+    GilbertElliottChannel,
+    IidLossChannel,
+    Phy80211g,
+    solve_dcf,
+)
+
+
+class TestDcf:
+    def test_single_station_never_collides(self):
+        solution = solve_dcf(DcfParameters(n_stations=1))
+        assert solution.collision_probability == 0.0
+        assert solution.packet_success_rate == 1.0
+
+    def test_collisions_increase_with_contention(self):
+        collisions = [
+            solve_dcf(DcfParameters(n_stations=n)).collision_probability
+            for n in (2, 5, 10, 20)
+        ]
+        assert collisions == sorted(collisions)
+        assert all(0.0 < c < 1.0 for c in collisions)
+
+    def test_success_rate_decreases_with_contention(self):
+        rates = [
+            solve_dcf(DcfParameters(n_stations=n)).packet_success_rate
+            for n in (1, 2, 5, 10)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_channel_errors_multiply(self):
+        clean = solve_dcf(DcfParameters(n_stations=2))
+        lossy = solve_dcf(DcfParameters(n_stations=2, channel_error_rate=0.1))
+        assert lossy.packet_success_rate == pytest.approx(
+            clean.packet_success_rate * 0.9
+        )
+
+    def test_fixed_point_consistency(self):
+        """At the solution, p = 1 - (1 - tau)^(n-1) holds."""
+        params = DcfParameters(n_stations=5)
+        solution = solve_dcf(params)
+        expected = 1.0 - (1.0 - solution.tau) ** (params.n_stations - 1)
+        assert solution.collision_probability == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_backoff_rate_positive(self):
+        solution = solve_dcf(DcfParameters(n_stations=3))
+        assert solution.backoff_rate_per_s > 0
+        assert solution.mean_backoff_slots > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_stations": 0}, {"cw_min": 1},
+        {"max_backoff_stages": -1}, {"channel_error_rate": 1.0},
+    ])
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DcfParameters(**kwargs)
+
+
+class TestPhy:
+    def test_airtime_monotone_in_size(self):
+        phy = Phy80211g()
+        times = [phy.payload_airtime_s(size) for size in (100, 500, 1460)]
+        assert times == sorted(times)
+
+    def test_rate_scales_airtime(self):
+        slow = Phy80211g(data_rate_bps=6e6)
+        fast = Phy80211g(data_rate_bps=54e6)
+        assert (slow.payload_airtime_s(1460)
+                > 3 * fast.payload_airtime_s(1460))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Phy80211g(data_rate_bps=11e6)  # that's 802.11b, not g
+
+    def test_difs_definition(self):
+        phy = Phy80211g()
+        assert phy.difs_s == pytest.approx(phy.sifs_s + 2 * phy.slot_time_s)
+
+    def test_full_exchange_includes_overheads(self):
+        phy = Phy80211g()
+        total = phy.packet_transmission_time_s(1460)
+        assert total > phy.payload_airtime_s(1460)
+        # An MTU frame at 54 Mb/s takes a few hundred microseconds.
+        assert 2e-4 < total < 2e-3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Phy80211g().payload_airtime_s(-1)
+
+
+class TestChannels:
+    def test_iid_rate_empirical(self):
+        channel = IidLossChannel(0.8, seed=1)
+        outcomes = channel.deliver_many(20_000)
+        assert np.mean(outcomes) == pytest.approx(0.8, abs=0.02)
+
+    def test_iid_extremes(self):
+        assert IidLossChannel(1.0, seed=0).deliver_many(100).all()
+        assert not IidLossChannel(0.0, seed=0).deliver_many(100).any()
+
+    def test_iid_validation(self):
+        with pytest.raises(ValueError):
+            IidLossChannel(1.5)
+
+    def test_gilbert_stationary_rate(self):
+        channel = GilbertElliottChannel(
+            p_gb=0.1, p_bg=0.3, good_success=1.0, bad_success=0.2, seed=2
+        )
+        expected = channel.long_run_success_rate
+        outcomes = [channel.deliver() for _ in range(40_000)]
+        assert np.mean(outcomes) == pytest.approx(expected, abs=0.02)
+
+    def test_gilbert_stationary_good_probability(self):
+        channel = GilbertElliottChannel(p_gb=0.1, p_bg=0.3)
+        assert channel.stationary_good_probability == pytest.approx(0.75)
+
+    def test_gilbert_burstiness(self):
+        """Losses cluster: consecutive-loss probability exceeds iid."""
+        channel = GilbertElliottChannel(
+            p_gb=0.02, p_bg=0.1, good_success=1.0, bad_success=0.0, seed=3
+        )
+        outcomes = np.array([channel.deliver() for _ in range(40_000)])
+        losses = ~outcomes
+        loss_rate = losses.mean()
+        consecutive = (losses[:-1] & losses[1:]).mean()
+        assert consecutive > 1.5 * loss_rate ** 2
+
+    def test_gilbert_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_gb=0.0, p_bg=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_gb=1.2, p_bg=0.1)

@@ -1,0 +1,136 @@
+"""YUV frame/sequence containers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.video.yuv import CIF_HEIGHT, CIF_WIDTH, Frame, Sequence420, write_pgm
+
+
+def _frame(width=16, height=16, luma=100):
+    return Frame(
+        y=np.full((height, width), luma, dtype=np.uint8),
+        u=np.full((height // 2, width // 2), 128, dtype=np.uint8),
+        v=np.full((height // 2, width // 2), 128, dtype=np.uint8),
+    )
+
+
+class TestFrame:
+    def test_geometry(self):
+        frame = _frame(32, 16)
+        assert frame.width == 32
+        assert frame.height == 16
+
+    def test_blank_defaults_to_cif(self):
+        frame = Frame.blank()
+        assert (frame.width, frame.height) == (CIF_WIDTH, CIF_HEIGHT)
+        assert int(frame.y[0, 0]) == 16
+        assert int(frame.u[0, 0]) == 128
+
+    def test_rejects_non_uint8(self):
+        with pytest.raises(ValueError):
+            Frame(
+                y=np.zeros((16, 16), dtype=np.float32),
+                u=np.zeros((8, 8), dtype=np.uint8),
+                v=np.zeros((8, 8), dtype=np.uint8),
+            )
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(ValueError):
+            Frame(
+                y=np.zeros((15, 16), dtype=np.uint8),
+                u=np.zeros((7, 8), dtype=np.uint8),
+                v=np.zeros((7, 8), dtype=np.uint8),
+            )
+
+    def test_rejects_wrong_chroma_shape(self):
+        with pytest.raises(ValueError):
+            Frame(
+                y=np.zeros((16, 16), dtype=np.uint8),
+                u=np.zeros((16, 16), dtype=np.uint8),
+                v=np.zeros((8, 8), dtype=np.uint8),
+            )
+
+    def test_planar_roundtrip(self):
+        rng = np.random.default_rng(0)
+        frame = Frame(
+            y=rng.integers(0, 256, (16, 16), dtype=np.uint8),
+            u=rng.integers(0, 256, (8, 8), dtype=np.uint8),
+            v=rng.integers(0, 256, (8, 8), dtype=np.uint8),
+        )
+        restored = Frame.from_planar_bytes(frame.to_planar_bytes(), 16, 16)
+        assert np.array_equal(frame.y, restored.y)
+        assert np.array_equal(frame.u, restored.u)
+        assert np.array_equal(frame.v, restored.v)
+
+    def test_planar_size_check(self):
+        with pytest.raises(ValueError):
+            Frame.from_planar_bytes(b"short", 16, 16)
+
+    def test_copy_is_independent(self):
+        frame = _frame()
+        duplicate = frame.copy()
+        duplicate.y[0, 0] = 0
+        assert frame.y[0, 0] == 100
+
+
+class TestSequence:
+    def test_basic_properties(self):
+        seq = Sequence420([_frame() for _ in range(30)], fps=30.0)
+        assert len(seq) == 30
+        assert seq.duration_s == pytest.approx(1.0)
+        assert seq.width == 16
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequence420([])
+
+    def test_rejects_mixed_geometry(self):
+        with pytest.raises(ValueError):
+            Sequence420([_frame(16, 16), _frame(32, 16)])
+
+    def test_luma_stack_shape(self):
+        seq = Sequence420([_frame() for _ in range(5)])
+        assert seq.luma_stack().shape == (5, 16, 16)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        frames = [
+            Frame(
+                y=rng.integers(0, 256, (16, 16), dtype=np.uint8),
+                u=rng.integers(0, 256, (8, 8), dtype=np.uint8),
+                v=rng.integers(0, 256, (8, 8), dtype=np.uint8),
+            )
+            for _ in range(4)
+        ]
+        seq = Sequence420(frames, fps=25.0)
+        path = tmp_path / "clip.yuv"
+        seq.save(path)
+        loaded = Sequence420.load(path, 16, 16, fps=25.0)
+        assert len(loaded) == 4
+        for a, b in zip(seq, loaded):
+            assert np.array_equal(a.y, b.y)
+            assert np.array_equal(a.v, b.v)
+
+    def test_load_rejects_truncated(self, tmp_path):
+        path = tmp_path / "bad.yuv"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError):
+            Sequence420.load(path, 16, 16)
+
+    def test_indexing_and_iteration(self):
+        seq = Sequence420([_frame(luma=i) for i in range(5)])
+        assert int(seq[3].y[0, 0]) == 3
+        assert [int(f.y[0, 0]) for f in seq] == [0, 1, 2, 3, 4]
+
+
+class TestPgm:
+    def test_writes_valid_header(self, tmp_path):
+        path = tmp_path / "shot.pgm"
+        write_pgm(path, np.zeros((4, 6), dtype=np.uint8))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n6 4\n255\n")
+        assert len(data) == len(b"P5\n6 4\n255\n") + 24
+
+    def test_rejects_wrong_dtype(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((4, 4), dtype=np.float64))
