@@ -12,11 +12,11 @@ Fig. 9b's screenshots are covered by the fig06 bench's PGM dumps.
 
 from functools import lru_cache
 
-from conftest import REPEATS, get_bitstream, get_clip, get_sensitivity, publish
+from conftest import ENGINE, get_sensitivity, grid_cell, publish, run_cell
 
 from repro.analysis import render_table
 from repro.core import EncryptionPolicy
-from repro.testbed import DEVICES, ExperimentConfig, run_repeated
+from repro.testbed import DEVICES, ExperimentConfig
 
 FRACTIONS = (0.10, 0.15, 0.20, 0.25, 0.30, 0.50)
 
@@ -28,23 +28,36 @@ def _policy(algorithm: str, fraction: float) -> EncryptionPolicy:
                             fraction=fraction)
 
 
-@lru_cache(maxsize=None)
-def run_cell(device_key: str, algorithm: str, fraction: float,
-             decode: bool):
-    config = ExperimentConfig(
+def _cell_config(device_key: str, algorithm: str, fraction: float,
+                 decode: bool) -> ExperimentConfig:
+    return ExperimentConfig(
         policy=_policy(algorithm, fraction),
         device=DEVICES[device_key],
         sensitivity_fraction=get_sensitivity("fast"),
         decode_video=decode,
     )
-    return run_repeated(get_clip("fast"), get_bitstream("fast", 30),
-                        config, repeats=REPEATS)
+
+
+@lru_cache(maxsize=None)
+def measure_cell(device_key: str, algorithm: str, fraction: float,
+                 decode: bool):
+    return run_cell("fast", 30,
+                    _cell_config(device_key, algorithm, fraction, decode))
+
+
+@lru_cache(maxsize=None)
+def _prefetch(spec: tuple) -> None:
+    """One engine fan-out for every cell a figure needs."""
+    ENGINE.run_grid([grid_cell("fast", 30, _cell_config(*args))
+                     for args in spec])
 
 
 def build_table2() -> str:
+    _prefetch(tuple(("samsung-s2", "AES256", fraction, True)
+                    for fraction in (0.0,) + FRACTIONS))
     rows = []
     for fraction in (0.0,) + FRACTIONS:
-        cell = run_cell("samsung-s2", "AES256", fraction, True)
+        cell = measure_cell("samsung-s2", "AES256", fraction, True)
         label = "I" if fraction == 0.0 else f"I+{fraction:.0%} P"
         rows.append([
             label,
@@ -76,10 +89,13 @@ def build_fig09() -> str:
         ("samsung-s2", "AES256"),
         ("samsung-s2", "3DES"),
     )
+    _prefetch(tuple((device_key, algorithm, fraction, False)
+                    for device_key, algorithm in series
+                    for fraction in FRACTIONS))
     rows = []
     for device_key, algorithm in series:
         for fraction in FRACTIONS:
-            cell = run_cell(device_key, algorithm, fraction, False)
+            cell = measure_cell(device_key, algorithm, fraction, False)
             rows.append([
                 f"{DEVICES[device_key].name} / {algorithm}",
                 f"{fraction:.0%}",

@@ -10,7 +10,16 @@ Knobs (environment variables):
 - ``REPRO_BENCH_REPEATS``  repetitions per experimental cell (default 3;
   the paper uses 20 — set 20 for paper-grade confidence intervals);
 - ``REPRO_BENCH_FRAMES``   clip length in frames (default 240; the paper
-  uses 300).
+  uses 300);
+- ``REPRO_CACHE``          set 0 to disable the on-disk result cache
+  (default: cache under ``benchmarks/results/cache``);
+- ``REPRO_CACHE_DIR``      override the cache directory;
+- ``REPRO_ENGINE_WORKERS`` worker processes for the experiment engine
+  (default: CPU count; 1 = serial).
+
+Experiment-backed benches go through the shared :data:`ENGINE`, so
+already-computed grid cells replay from the content-addressed cache
+with zero new simulations (see EXPERIMENTS.md "Result cache").
 """
 
 from __future__ import annotations
@@ -28,7 +37,14 @@ from repro.analysis import (
     measure_reference_distance_distortion,
 )
 from repro.core import FrameworkModel, calibrate_scenario
-from repro.testbed import DEVICES
+from repro.testbed import (
+    DEVICES,
+    CellSummary,
+    ExperimentConfig,
+    ExperimentEngine,
+    GridCell,
+    ResultCache,
+)
 from repro.video import (
     CodecConfig,
     analyze_motion,
@@ -44,6 +60,39 @@ N_FRAMES = int(os.environ.get("REPRO_BENCH_FRAMES", "240"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 _SEEDS = {"slow": 2013, "medium": 2015, "fast": 2014}
+
+_CACHE_ENABLED = os.environ.get("REPRO_CACHE", "1").lower() not in (
+    "0", "false", "no")
+CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR",
+                                str(RESULTS_DIR / "cache")))
+
+ENGINE = ExperimentEngine(
+    cache=ResultCache(CACHE_DIR) if _CACHE_ENABLED else None,
+    master_seed=int(os.environ.get("REPRO_BENCH_SEED", "0")),
+    repeats=REPEATS,
+)
+
+
+def scenario_key(motion: str, gop_size: int) -> str:
+    """Register the clip/bitstream for one cell and return its key."""
+    key = f"{motion}/gop{gop_size}/{N_FRAMES}f"
+    ENGINE.add_scenario(
+        key, get_clip(motion), get_bitstream(motion, gop_size),
+        meta={"motion": motion, "gop_size": gop_size, "frames": N_FRAMES},
+    )
+    return key
+
+
+def grid_cell(motion: str, gop_size: int,
+              config: ExperimentConfig) -> GridCell:
+    """A :class:`GridCell` for the shared engine (scenario auto-registered)."""
+    return GridCell(scenario_key(motion, gop_size), config)
+
+
+def run_cell(motion: str, gop_size: int,
+             config: ExperimentConfig) -> CellSummary:
+    """Run (or replay from cache) one experiment cell via the engine."""
+    return ENGINE.run_cell(scenario_key(motion, gop_size), config)
 
 
 @lru_cache(maxsize=None)
@@ -98,3 +147,15 @@ def publish(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def repeats() -> int:
     return REPEATS
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_lifecycle():
+    """Release the engine's worker pool when the bench session ends."""
+    yield
+    stats = [f"simulations run: {ENGINE.simulations_run}"]
+    if ENGINE.cache is not None:
+        stats.append(f"cache hits: {ENGINE.cache.hits}")
+        stats.append(f"cache misses: {ENGINE.cache.misses}")
+    print(f"\n[experiment engine] {', '.join(stats)}")
+    ENGINE.close()

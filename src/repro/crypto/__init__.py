@@ -17,6 +17,7 @@ from .timing import (
     measure_cipher_cost,
     reference_cipher_cost,
 )
+from .vector import VectorAES, has_vector_support, make_vector_cipher
 
 __all__ = [
     "AES",
@@ -29,4 +30,7 @@ __all__ = [
     "make_cipher",
     "measure_cipher_cost",
     "reference_cipher_cost",
+    "VectorAES",
+    "has_vector_support",
+    "make_vector_cipher",
 ]

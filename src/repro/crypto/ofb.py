@@ -11,23 +11,68 @@ is ``O_1 = E_K(IV), O_i = E_K(O_{i-1})`` and the ciphertext is the plain
 XOR of the keystream, so ciphertext length equals plaintext length (no
 padding — important because RTP payloads are odd-sized) and encryption
 and decryption are the same operation.
+
+Two performance tiers coexist here:
+
+- the scalar path XORs via ``int.from_bytes`` (stdlib-only, so receiver
+  paths without numpy still avoid per-byte Python work), upgraded to a
+  ``np.frombuffer`` vectorized XOR when numpy is importable;
+- :meth:`OFBMode.keystream_batch` / :meth:`OFBMode.encrypt_segments`
+  advance many per-segment keystream chains in lockstep, so a cipher
+  exposing ``encrypt_blocks`` (:class:`repro.crypto.vector.VectorAES`)
+  encrypts one *batch* of blocks per call instead of one block.  A chain
+  is inherently sequential (each output block feeds the next), but the
+  paper encrypts every segment under its own IV, so real payloads are
+  many independent chains — exactly the shape numpy vectorizes.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Protocol
+from typing import List, Protocol, Sequence
+
+try:  # numpy accelerates XOR and enables the batched keystream path.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image always has numpy
+    _np = None
 
 __all__ = ["BlockCipher", "OFBMode", "derive_iv"]
+
+# derive_iv truncates a SHA-256 digest, so block sizes beyond the digest
+# length cannot be served.
+_MAX_IV_BYTES = hashlib.sha256().digest_size
 
 
 class BlockCipher(Protocol):
     """Structural interface shared by :class:`~repro.crypto.aes.AES`,
-    :class:`~repro.crypto.des.DES` and :class:`~repro.crypto.des.TripleDES`."""
+    :class:`~repro.crypto.des.DES` and :class:`~repro.crypto.des.TripleDES`.
+
+    Ciphers may additionally expose ``encrypt_blocks(np.ndarray) ->
+    np.ndarray`` over an ``(n, block_size)`` uint8 array (see
+    :class:`repro.crypto.vector.VectorAES`); :class:`OFBMode` detects it
+    and batches keystream generation across segments.
+    """
 
     block_size: int
 
     def encrypt_block(self, block: bytes) -> bytes: ...
+
+
+def _xor_bytes_stdlib(data: bytes, keystream: bytes) -> bytes:
+    """Stdlib-only XOR: one big-int XOR instead of a per-byte Python loop."""
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+    ).to_bytes(len(data), "big")
+
+
+def _xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    """XOR two equal-length byte strings, vectorized when numpy is present."""
+    if _np is not None:
+        return (
+            _np.frombuffer(data, dtype=_np.uint8)
+            ^ _np.frombuffer(keystream, dtype=_np.uint8)
+        ).tobytes()
+    return _xor_bytes_stdlib(data, keystream)
 
 
 def derive_iv(session_salt: bytes, segment_index: int, block_size: int) -> bytes:
@@ -39,6 +84,14 @@ def derive_iv(session_salt: bytes, segment_index: int, block_size: int) -> bytes
     sequence number means the receiver can regenerate it without extra
     header bytes.
     """
+    if segment_index < 0:
+        raise ValueError(
+            f"segment index must be non-negative, got {segment_index}"
+        )
+    if not 1 <= block_size <= _MAX_IV_BYTES:
+        raise ValueError(
+            f"block size must be in [1, {_MAX_IV_BYTES}], got {block_size}"
+        )
     digest = hashlib.sha256(
         session_salt + segment_index.to_bytes(8, "big")
     ).digest()
@@ -56,12 +109,17 @@ class OFBMode:
     def block_size(self) -> int:
         return self._block_size
 
-    def keystream(self, iv: bytes, length: int) -> bytes:
-        """Generate ``length`` keystream bytes from ``iv``."""
+    def _check_iv(self, iv: bytes) -> None:
         if len(iv) != self._block_size:
             raise ValueError(
                 f"IV must be {self._block_size} bytes, got {len(iv)}"
             )
+
+    def keystream(self, iv: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes from ``iv``."""
+        self._check_iv(iv)
+        if length < 0:
+            raise ValueError(f"keystream length must be non-negative, got {length}")
         stream = bytearray()
         feedback = iv
         while len(stream) < length:
@@ -72,7 +130,68 @@ class OFBMode:
     def encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
         """Encrypt (or, identically, decrypt) ``plaintext`` under ``iv``."""
         stream = self.keystream(iv, len(plaintext))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        return _xor_bytes(plaintext, stream)
 
     # OFB is an involution given the same IV.
     decrypt = encrypt
+
+    # -- batched (multi-segment) path ---------------------------------------
+
+    def keystream_batch(self, ivs: Sequence[bytes],
+                        lengths: Sequence[int]) -> List[bytes]:
+        """Keystreams for many independent segments, advanced in lockstep.
+
+        Chain ``i`` produces ``lengths[i]`` bytes from ``ivs[i]``.  With a
+        vectorized cipher every lockstep iteration encrypts the feedback
+        blocks of *all* still-active chains in a single ``encrypt_blocks``
+        call; otherwise this degrades gracefully to the scalar path.  The
+        output is byte-identical to ``[keystream(iv, n) for iv, n in ...]``
+        either way.
+        """
+        if len(ivs) != len(lengths):
+            raise ValueError(
+                f"got {len(ivs)} IVs for {len(lengths)} lengths"
+            )
+        for iv in ivs:
+            self._check_iv(iv)
+        for length in lengths:
+            if length < 0:
+                raise ValueError(
+                    f"keystream length must be non-negative, got {length}"
+                )
+        if not ivs:
+            return []
+        encrypt_blocks = getattr(self._cipher, "encrypt_blocks", None)
+        if _np is None or encrypt_blocks is None:
+            return [self.keystream(iv, length)
+                    for iv, length in zip(ivs, lengths)]
+
+        bs = self._block_size
+        n_chains = len(ivs)
+        n_blocks = _np.array([-(-length // bs) for length in lengths])
+        max_blocks = int(n_blocks.max())
+        feedback = (
+            _np.frombuffer(b"".join(ivs), dtype=_np.uint8)
+            .reshape(n_chains, bs)
+            .copy()
+        )
+        out = _np.zeros((n_chains, max_blocks, bs), dtype=_np.uint8)
+        for step in range(max_blocks):
+            active = _np.nonzero(n_blocks > step)[0]
+            encrypted = encrypt_blocks(feedback[active])
+            feedback[active] = encrypted
+            out[active, step] = encrypted
+        return [
+            out[i].reshape(-1)[: lengths[i]].tobytes()
+            for i in range(n_chains)
+        ]
+
+    def encrypt_segments(self, ivs: Sequence[bytes],
+                         payloads: Sequence[bytes]) -> List[bytes]:
+        """Encrypt (or decrypt) many segments, each under its own IV."""
+        lengths = [len(payload) for payload in payloads]
+        streams = self.keystream_batch(ivs, lengths)
+        return [_xor_bytes(payload, stream)
+                for payload, stream in zip(payloads, streams)]
+
+    decrypt_segments = encrypt_segments

@@ -3,8 +3,16 @@ Fig. 3 sender pipeline as a discrete-event simulation, RTP/UDP and
 HTTP/TCP transports, per-packet tracing, the power model, and the
 end-to-end experiment runner."""
 
+from .cache import ResultCache, RunMetrics, code_fingerprint, stable_key
 from .devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G, DeviceProfile
 from .energy import EnergyBreakdown, average_power_w, microamp_hours_to_watts
+from .engine import (
+    CellSummary,
+    ExperimentEngine,
+    GridCell,
+    describe_config,
+    scenario_fingerprint,
+)
 from .experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -21,6 +29,9 @@ __all__ = [
     "EnergyBreakdown", "average_power_w", "microamp_hours_to_watts",
     "ExperimentConfig", "ExperimentResult", "RepeatedResult",
     "run_experiment", "run_repeated",
+    "CellSummary", "ExperimentEngine", "GridCell",
+    "describe_config", "scenario_fingerprint",
+    "ResultCache", "RunMetrics", "code_fingerprint", "stable_key",
     "LinkConfig", "SenderSimulator", "SimulationRun",
     "PacketTrace", "TraceLog",
     "HTTP_TCP", "UDP_RTP", "TransportConfig", "delivery_outcome",

@@ -1,0 +1,153 @@
+"""Content-addressed on-disk cache for experiment summaries.
+
+The advisor workflow (Fig. 1) repeatedly sweeps a clip x policy x device
+grid looking for the cheapest policy meeting a confidentiality target;
+benches re-run the same grid on every invocation.  Each grid cell is
+deterministic given (scenario content, experiment config, seed, code
+version), so its per-run metrics can be persisted once and replayed
+forever: a cache hit performs **zero** new simulations and reproduces the
+summary byte-for-byte, because the same floats feed the same
+:func:`repro.analysis.stats.summarize`.
+
+Keys are SHA-256 digests of a canonical JSON payload that includes a
+fingerprint of the simulation source code, so editing the simulator,
+transport, energy, video-quality or policy code automatically invalidates
+stale entries.  Deleting the cache directory (or setting ``REPRO_CACHE=0``
+for the benches) is always safe — entries are pure derived data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ResultCache", "RunMetrics", "stable_key", "code_fingerprint"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The scalar metrics of one experiment run — everything the paper's
+    aggregate statistics consume, small enough to persist as JSON."""
+
+    mean_delay_ms: float
+    mean_waiting_ms: float
+    average_power_w: float
+    receiver_psnr_db: Optional[float] = None
+    receiver_mos: Optional[float] = None
+    eavesdropper_psnr_db: Optional[float] = None
+    eavesdropper_mos: Optional[float] = None
+
+    @classmethod
+    def from_experiment_result(cls, result) -> "RunMetrics":
+        return cls(
+            mean_delay_ms=result.mean_delay_ms,
+            mean_waiting_ms=result.mean_waiting_ms,
+            average_power_w=result.average_power_w,
+            receiver_psnr_db=result.receiver_psnr_db,
+            receiver_mos=result.receiver_mos,
+            eavesdropper_psnr_db=result.eavesdropper_psnr_db,
+            eavesdropper_mos=result.eavesdropper_mos,
+        )
+
+
+def stable_key(payload: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    ``json.dumps`` with sorted keys and ``repr``-based float encoding is
+    deterministic across processes and Python >= 3.1, which makes the
+    digest a stable content address.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the source files whose behaviour experiment results
+    depend on; changing any of them invalidates every cache entry."""
+    from ..core import frame_success, policies
+    from ..video import concealment, packetizer, quality
+    from ..wifi import dcf, phy
+    from . import devices, energy, experiment, simulator, tracing, transport
+
+    modules = (simulator, experiment, transport, energy, tracing, devices,
+               packetizer, concealment, quality, frame_success, policies,
+               dcf, phy)
+    digest = hashlib.sha256()
+    for module in modules:
+        digest.update(Path(module.__file__).read_bytes())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` files mapping cell keys to run metrics.
+
+    Writes are atomic (tempfile + rename) so concurrent bench processes
+    sharing a cache directory can only ever observe complete entries.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored payload for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def get_runs(self, key: str) -> Optional[List[RunMetrics]]:
+        """Cached per-run metrics for ``key``, or ``None``."""
+        payload = self.get(key)
+        if payload is None:
+            return None
+        return [RunMetrics(**run) for run in payload["runs"]]
+
+    def put_runs(self, key: str, runs: List[RunMetrics],
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        """Persist one cell's per-run metrics (plus a readable ``meta``
+        block describing what the key hashes, for debuggability)."""
+        payload = {"meta": meta or {}, "runs": [asdict(run) for run in runs]}
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

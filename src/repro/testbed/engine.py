@@ -1,0 +1,358 @@
+"""Parallel, cached experiment engine: the sweep backend of the advisor.
+
+The paper's argument rests on sweeping many encryption policies across
+clips and devices to find the cheapest one meeting a confidentiality
+target (the Fig. 1 advisor workflow).  :func:`~repro.testbed.experiment.
+run_repeated` executes one cell serially; this module fans a whole grid
+out over a ``multiprocessing`` pool and memoizes finished cells through
+the content-addressed :class:`~repro.testbed.cache.ResultCache`.
+
+Reproducibility contract:
+
+- every cell derives its own ``np.random.SeedSequence`` from the master
+  seed *and the cell's content digest* — not from its position in the
+  grid — so a cell's results are identical whether it runs alone, inside
+  a larger grid, serially, or on any number of workers;
+- each repeat receives one spawned child sequence, so repeat streams are
+  statistically independent and never overlap across cells;
+- summaries are byte-identical between the serial and parallel paths
+  (same per-run floats, same :func:`~repro.analysis.stats.summarize`).
+
+Worker processes are forked, so the (large) clips and bitstreams are
+inherited by reference from module globals instead of being pickled per
+task; platforms without ``fork`` silently fall back to serial execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import asdict, dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import Summary, summarize
+from ..video.gop import Bitstream
+from ..video.yuv import Sequence420
+from .cache import ResultCache, RunMetrics, code_fingerprint, stable_key
+from .experiment import ExperimentConfig, run_experiment
+
+__all__ = ["CellSummary", "GridCell", "ExperimentEngine",
+           "describe_config", "scenario_fingerprint"]
+
+ENGINE_SCHEMA_VERSION = 1
+
+
+# -- cache-key serialization ---------------------------------------------------
+
+
+def describe_config(config: ExperimentConfig) -> Dict[str, Any]:
+    """Canonical JSON-able description of an experiment cell's config."""
+    device = config.device
+    link = None
+    if config.link is not None:
+        link = {
+            "retry_limit": config.link.retry_limit,
+            "phy": asdict(config.link.phy),
+            "dcf": asdict(config.link.dcf),
+        }
+    return {
+        "policy": {
+            "mode": config.policy.mode,
+            "algorithm": config.policy.algorithm,
+            "fraction": config.policy.fraction,
+        },
+        "device": {
+            "name": device.name,
+            "base_power_w": device.base_power_w,
+            "cpu_power_w": device.cpu_power_w,
+            "radio_tx_power_w": device.radio_tx_power_w,
+            "cipher_costs": {
+                name: asdict(cost)
+                for name, cost in sorted(device.cipher_costs.items())
+            },
+        },
+        "transport": asdict(config.transport),
+        "link": link,
+        "sensitivity_fraction": config.sensitivity_fraction,
+        "decode_video": config.decode_video,
+        "eavesdropper_mode": config.eavesdropper_mode,
+        "receiver_mode": config.receiver_mode,
+    }
+
+
+def scenario_fingerprint(original: Sequence420, bitstream: Bitstream) -> str:
+    """Content digest of a scenario's inputs (raw clip + encoded stream)."""
+    digest = hashlib.sha256()
+    digest.update(f"{original.width}x{original.height}@{original.fps}".encode())
+    for frame in original.frames:
+        digest.update(frame.y.tobytes())
+        digest.update(frame.u.tobytes())
+        digest.update(frame.v.tobytes())
+    digest.update(
+        f"|{bitstream.width}x{bitstream.height}@{bitstream.fps}"
+        f"|gop={bitstream.gop_layout.gop_size}"
+        f"|b={bitstream.gop_layout.b_frames}"
+        f"|q={bitstream.quantizer}".encode()
+    )
+    for frame in bitstream.frames:
+        digest.update(frame.frame_type.value.encode())
+        digest.update(frame.payload)
+    return digest.hexdigest()
+
+
+# -- grid cells ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of an experiment grid: a registered scenario under a
+    config, optionally overriding the engine-wide repeat count."""
+
+    scenario: str
+    config: ExperimentConfig
+    repeats: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Aggregates of one cell (the paper's mean +/- 95% CI protocol).
+
+    Field names mirror :class:`~repro.testbed.experiment.RepeatedResult`
+    so benches can consume either; ``from_cache`` is excluded from
+    equality because cached and freshly computed summaries are the same
+    result.
+    """
+
+    delay_ms: Summary
+    waiting_ms: Summary
+    power_w: Summary
+    receiver_psnr_db: Optional[Summary]
+    receiver_mos: Optional[Summary]
+    eavesdropper_psnr_db: Optional[Summary]
+    eavesdropper_mos: Optional[Summary]
+    n_runs: int
+    from_cache: bool = field(default=False, compare=False)
+
+
+def _summarize_runs(runs: Sequence[RunMetrics], decode: bool,
+                    from_cache: bool) -> CellSummary:
+    def agg(name: str) -> Optional[Summary]:
+        values = [getattr(run, name) for run in runs]
+        if not decode or any(value is None for value in values):
+            return None
+        return summarize(values)
+
+    return CellSummary(
+        delay_ms=summarize([run.mean_delay_ms for run in runs]),
+        waiting_ms=summarize([run.mean_waiting_ms for run in runs]),
+        power_w=summarize([run.average_power_w for run in runs]),
+        receiver_psnr_db=agg("receiver_psnr_db"),
+        receiver_mos=agg("receiver_mos"),
+        eavesdropper_psnr_db=agg("eavesdropper_psnr_db"),
+        eavesdropper_mos=agg("eavesdropper_mos"),
+        n_runs=len(runs),
+        from_cache=from_cache,
+    )
+
+
+# -- worker side ---------------------------------------------------------------
+
+# Scenario payloads are installed here in the *parent* before the pool is
+# created; forked workers inherit them by reference (no per-task pickling
+# of megabytes of video).
+_WORKER_SCENARIOS: Dict[str, Tuple[Sequence420, Bitstream]] = {}
+
+
+def _run_single(task) -> RunMetrics:
+    scenario_key, config, seed_seq = task
+    original, bitstream = _WORKER_SCENARIOS[scenario_key]
+    result = run_experiment(original, bitstream, config, seed=seed_seq)
+    return RunMetrics.from_experiment_result(result)
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class ExperimentEngine:
+    """Runs experiment grids in parallel with content-addressed caching.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`ResultCache`, or ``None`` to always recompute.
+    workers:
+        Process count; ``None`` reads ``REPRO_ENGINE_WORKERS`` and falls
+        back to the CPU count.  ``1`` runs serially in-process.
+    master_seed:
+        Root of every cell's :class:`np.random.SeedSequence`.
+    repeats:
+        Default repetition count per cell (the paper uses 20).
+    """
+
+    def __init__(self, *, cache: Optional[ResultCache] = None,
+                 workers: Optional[int] = None, master_seed: int = 0,
+                 repeats: int = 3) -> None:
+        if workers is None:
+            workers = int(os.environ.get("REPRO_ENGINE_WORKERS", "0")) or \
+                (os.cpu_count() or 1)
+        if repeats < 1:
+            raise ValueError("need at least one repetition")
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.master_seed = master_seed
+        self.repeats = repeats
+        self.simulations_run = 0
+        self._scenarios: Dict[str, Dict[str, Any]] = {}
+        self._memo: Dict[str, CellSummary] = {}
+        self._pool = None
+
+    # -- scenarios ---------------------------------------------------------
+
+    def add_scenario(self, key: str, original: Sequence420,
+                     bitstream: Bitstream, *,
+                     meta: Optional[Dict[str, Any]] = None) -> None:
+        """Register (or re-register, idempotently) a scenario's inputs."""
+        fingerprint = scenario_fingerprint(original, bitstream)
+        existing = self._scenarios.get(key)
+        if existing is not None:
+            if existing["fingerprint"] != fingerprint:
+                raise ValueError(
+                    f"scenario {key!r} already registered with different"
+                    " content; use a distinct key per clip/bitstream"
+                )
+            return
+        self._scenarios[key] = {"fingerprint": fingerprint,
+                                "meta": dict(meta or {})}
+        _WORKER_SCENARIOS[key] = (original, bitstream)
+        # Live workers predate this scenario; rebuild the pool lazily.
+        self._close_pool()
+
+    # -- keys and seeding --------------------------------------------------
+
+    def _seed_payload(self, cell: GridCell, repeats: int) -> Dict[str, Any]:
+        # Deliberately excludes the code fingerprint: results depend on
+        # code through the *cache* key; the random streams should not.
+        return {
+            "scenario": self._scenarios[cell.scenario]["fingerprint"],
+            "config": describe_config(cell.config),
+            "repeats": repeats,
+            "master_seed": self.master_seed,
+        }
+
+    def cell_key(self, cell: GridCell) -> str:
+        """Content address of one cell's results."""
+        repeats = cell.repeats or self.repeats
+        payload = self._seed_payload(cell, repeats)
+        payload["schema"] = ENGINE_SCHEMA_VERSION
+        payload["code"] = code_fingerprint()
+        return stable_key(payload)
+
+    def _cell_seeds(self, cell: GridCell,
+                    repeats: int) -> List[np.random.SeedSequence]:
+        digest = stable_key(self._seed_payload(cell, repeats))
+        words = [int(digest[i:i + 8], 16) for i in range(0, 32, 8)]
+        root = np.random.SeedSequence([self.master_seed, *words])
+        return root.spawn(repeats)
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, tasks: List[tuple]) -> List[RunMetrics]:
+        self.simulations_run += len(tasks)
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [_run_single(task) for task in tasks]
+        pool = self._ensure_pool()
+        if pool is None:  # no fork on this platform
+            return [_run_single(task) for task in tasks]
+        return pool.map(_run_single, tasks)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            try:
+                context = get_context("fork")
+            except ValueError:
+                return None
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Release worker processes (safe to call repeatedly)."""
+        self._close_pool()
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- public API --------------------------------------------------------
+
+    def run_cell(self, scenario: str, config: ExperimentConfig, *,
+                 repeats: Optional[int] = None) -> CellSummary:
+        """Run (or replay from cache) a single grid cell."""
+        return self.run_grid([GridCell(scenario, config, repeats)])[0]
+
+    def run_grid(self, cells: Sequence[GridCell]) -> List[CellSummary]:
+        """Run a whole grid; cached cells are replayed, the rest fan out
+        over the worker pool.  Output order matches input order."""
+        summaries: List[Optional[CellSummary]] = [None] * len(cells)
+        pending: List[Tuple[int, str, GridCell]] = []
+        for index, cell in enumerate(cells):
+            if cell.scenario not in self._scenarios:
+                raise KeyError(
+                    f"unknown scenario {cell.scenario!r}; call"
+                    " add_scenario() first"
+                )
+            key = self.cell_key(cell)
+            memoized = self._memo.get(key)
+            if memoized is not None:
+                summaries[index] = memoized
+                continue
+            if self.cache is not None:
+                runs = self.cache.get_runs(key)
+                if runs is not None:
+                    summary = _summarize_runs(
+                        runs, cell.config.decode_video, from_cache=True
+                    )
+                    self._memo[key] = summary
+                    summaries[index] = summary
+                    continue
+            pending.append((index, key, cell))
+
+        tasks: List[tuple] = []
+        slices: List[Tuple[int, str, GridCell, int, int]] = []
+        for index, key, cell in pending:
+            repeats = cell.repeats or self.repeats
+            seeds = self._cell_seeds(cell, repeats)
+            start = len(tasks)
+            tasks.extend(
+                (cell.scenario, cell.config, seed) for seed in seeds
+            )
+            slices.append((index, key, cell, start, start + repeats))
+
+        results = self._execute(tasks)
+
+        for index, key, cell, start, stop in slices:
+            runs = results[start:stop]
+            summary = _summarize_runs(
+                runs, cell.config.decode_video, from_cache=False
+            )
+            if self.cache is not None:
+                self.cache.put_runs(key, runs, meta={
+                    "scenario": cell.scenario,
+                    "scenario_meta": self._scenarios[cell.scenario]["meta"],
+                    "config": describe_config(cell.config),
+                    "repeats": cell.repeats or self.repeats,
+                    "master_seed": self.master_seed,
+                })
+            self._memo[key] = summary
+            summaries[index] = summary
+        return summaries  # type: ignore[return-value]

@@ -15,7 +15,7 @@ at the eavesdropper (encrypted packets are erasures), and report
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,7 +32,11 @@ from .simulator import LinkConfig, SenderSimulator, SimulationRun
 from .transport import UDP_RTP, TransportConfig
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "RepeatedResult",
-           "run_experiment", "run_repeated"]
+           "Seed", "run_experiment", "run_repeated"]
+
+# Anything np.random.default_rng accepts; SeedSequence children are what
+# the engine and run_repeated hand out so streams never overlap.
+Seed = Union[int, np.random.SeedSequence]
 
 
 @dataclass(frozen=True)
@@ -78,7 +82,7 @@ def run_experiment(
     bitstream: Bitstream,
     config: ExperimentConfig,
     *,
-    seed: Optional[int] = None,
+    seed: Optional[Seed] = None,
     simulator: Optional[SenderSimulator] = None,
 ) -> ExperimentResult:
     """Run one transfer and measure everything the paper measures."""
@@ -144,7 +148,14 @@ def run_repeated(
     repeats: int = 20,
     base_seed: int = 0,
 ) -> RepeatedResult:
-    """The paper's 20-repetition protocol with aggregate statistics."""
+    """The paper's 20-repetition protocol with aggregate statistics.
+
+    Per-run randomness comes from ``SeedSequence(base_seed).spawn(repeats)``
+    rather than ``base_seed + i``: consecutive integer seeds made different
+    experiment cells reuse overlapping seed ranges (cell A's run 1 and cell
+    B's run 0 shared a stream whenever their base seeds differed by one),
+    so repeats are now statistically independent across cells.
+    """
     if repeats < 1:
         raise ValueError("need at least one repetition")
     simulator = SenderSimulator(
@@ -153,9 +164,10 @@ def run_repeated(
         link=config.link,
         transport=config.transport,
     )
+    seeds = np.random.SeedSequence(base_seed).spawn(repeats)
     results = [
         run_experiment(original, bitstream, config,
-                       seed=base_seed + i, simulator=simulator)
+                       seed=seeds[i], simulator=simulator)
         for i in range(repeats)
     ]
     decode = config.decode_video

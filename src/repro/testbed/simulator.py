@@ -136,7 +136,8 @@ class SenderSimulator:
     # -- the run ------------------------------------------------------------------
 
     def run(self, policy: EncryptionPolicy, *,
-            seed: Optional[int] = None) -> SimulationRun:
+            seed: "Optional[int | np.random.SeedSequence]" = None
+            ) -> SimulationRun:
         """One transfer of the whole clip under ``policy``."""
         rng = np.random.default_rng(seed)
         cost = (self.device.cipher_cost(policy.algorithm)

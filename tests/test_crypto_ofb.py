@@ -67,6 +67,16 @@ class TestOfb:
         with pytest.raises(ValueError):
             mode.encrypt(b"short", b"data")
 
+    def test_zero_length_plaintext_is_valid(self, mode):
+        iv = derive_iv(b"salt", 5, 16)
+        assert mode.encrypt(iv, b"") == b""
+        assert mode.keystream(iv, 0) == b""
+
+    def test_negative_keystream_length_rejected(self, mode):
+        iv = derive_iv(b"salt", 6, 16)
+        with pytest.raises(ValueError, match="non-negative"):
+            mode.keystream(iv, -1)
+
     def test_works_over_3des(self):
         mode = OFBMode(TripleDES(bytes(range(24))))
         iv = derive_iv(b"salt", 0, 8)
@@ -89,6 +99,16 @@ class TestDeriveIv:
     def test_length_matches_block(self, block_size):
         assert len(derive_iv(b"s", 0, block_size)) == block_size
 
+    def test_negative_segment_index_rejected(self):
+        """Used to escape as a bare OverflowError from int.to_bytes."""
+        with pytest.raises(ValueError, match="non-negative"):
+            derive_iv(b"s", -1, 16)
+
+    @pytest.mark.parametrize("block_size", [0, -4, 33])
+    def test_unservable_block_size_rejected(self, block_size):
+        with pytest.raises(ValueError, match="block size"):
+            derive_iv(b"s", 0, block_size)
+
 
 @settings(max_examples=25, deadline=None)
 @given(message=st.binary(max_size=256), segment=st.integers(0, 1000))
@@ -96,3 +116,73 @@ def test_property_roundtrip(message, segment):
     mode = OFBMode(AES(KEY))
     iv = derive_iv(b"prop", segment, 16)
     assert mode.decrypt(iv, mode.encrypt(iv, message)) == message
+
+
+# RTP payloads are odd-sized by design, so the round-trip properties are
+# exercised with odd payload sizes (plus the zero-length edge case) over
+# every cipher the paper evaluates — and AES-192 for FIPS completeness.
+_CIPHER_FACTORIES = {
+    "AES128": lambda: AES(bytes(range(16))),
+    "AES192": lambda: AES(bytes(range(24))),
+    "AES256": lambda: AES(bytes(range(32))),
+    "3DES": lambda: TripleDES(bytes(range(24))),
+}
+
+_odd_sizes = st.integers(0, 400).map(lambda n: 2 * n + 1)
+
+
+@pytest.mark.parametrize("cipher_name", sorted(_CIPHER_FACTORIES))
+@settings(max_examples=15, deadline=None)
+@given(size=_odd_sizes, segment=st.integers(0, 1000), data=st.data())
+def test_property_roundtrip_odd_sizes(cipher_name, size, segment, data):
+    cipher = _CIPHER_FACTORIES[cipher_name]()
+    mode = OFBMode(cipher)
+    message = data.draw(st.binary(min_size=size, max_size=size))
+    iv = derive_iv(b"odd", segment, cipher.block_size)
+    ciphertext = mode.encrypt(iv, message)
+    assert len(ciphertext) == size  # no padding, ever
+    assert mode.decrypt(iv, ciphertext) == message
+
+
+@pytest.mark.parametrize("cipher_name", sorted(_CIPHER_FACTORIES))
+def test_zero_length_roundtrip_all_ciphers(cipher_name):
+    cipher = _CIPHER_FACTORIES[cipher_name]()
+    mode = OFBMode(cipher)
+    iv = derive_iv(b"zero", 0, cipher.block_size)
+    assert mode.decrypt(iv, mode.encrypt(iv, b"")) == b""
+
+
+@settings(max_examples=25, deadline=None)
+@given(message=st.binary(max_size=512), segment=st.integers(0, 100))
+def test_property_vectorized_and_scalar_keystreams_identical(message,
+                                                             segment):
+    from repro.crypto import VectorAES
+
+    iv = derive_iv(b"vec", segment, 16)
+    scalar = OFBMode(AES(KEY))
+    vectorized = OFBMode(VectorAES(KEY))
+    assert vectorized.keystream(iv, len(message)) == \
+        scalar.keystream(iv, len(message))
+    assert vectorized.keystream_batch([iv], [len(message)])[0] == \
+        scalar.keystream(iv, len(message))
+    assert vectorized.encrypt(iv, message) == scalar.encrypt(iv, message)
+
+
+class TestXorFallback:
+    """The stdlib XOR path must agree with the numpy path so receivers
+    without numpy decrypt the same bytes."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(max_size=512))
+    def test_stdlib_xor_matches_numpy_xor(self, payload):
+        from repro.crypto.ofb import _xor_bytes, _xor_bytes_stdlib
+
+        keystream = bytes((i * 37 + 11) & 0xFF for i in range(len(payload)))
+        expected = bytes(p ^ s for p, s in zip(payload, keystream))
+        assert _xor_bytes_stdlib(payload, keystream) == expected
+        assert _xor_bytes(payload, keystream) == expected
+
+    def test_stdlib_xor_zero_length(self):
+        from repro.crypto.ofb import _xor_bytes_stdlib
+
+        assert _xor_bytes_stdlib(b"", b"") == b""

@@ -6,6 +6,7 @@ from repro.core import standard_policies
 from repro.testbed import (
     ExperimentConfig,
     GALAXY_S2,
+    HTC_AMAZE_4G,
     run_experiment,
     run_repeated,
 )
@@ -66,6 +67,58 @@ class TestRepeatedRuns:
     def test_repeats_validated(self, slow_clip, slow_bitstream, base_config):
         with pytest.raises(ValueError):
             run_repeated(slow_clip, slow_bitstream, base_config, repeats=0)
+
+
+class TestSeeding:
+    """Regression: ``seed=base_seed + i`` let different experiment cells
+    reuse overlapping seed ranges — cell A's run 1 (base_seed=0) and cell
+    B's run 0 (base_seed=1) both ran on seed 1 and were bit-identical.
+    ``SeedSequence(base_seed).spawn(n)`` keeps every stream distinct."""
+
+    def test_overlapping_base_seeds_no_longer_share_streams(
+            self, slow_clip, slow_bitstream, base_config):
+        cell_a = run_repeated(slow_clip, slow_bitstream, base_config,
+                              repeats=2, base_seed=0)
+        cell_b = run_repeated(slow_clip, slow_bitstream, base_config,
+                              repeats=2, base_seed=1)
+        # Old scheme: cell_a seeds {0, 1}, cell_b seeds {1, 2} — so
+        # cell_a.runs[1] equalled cell_b.runs[0] exactly.
+        assert (cell_a.runs[1].mean_delay_ms
+                != cell_b.runs[0].mean_delay_ms)
+        delays = [r.mean_delay_ms for r in cell_a.runs + cell_b.runs]
+        assert len(set(delays)) == 4, "repeat streams must all be distinct"
+
+    def test_distinct_configs_no_longer_correlated(self, slow_clip,
+                                                   slow_bitstream):
+        """Two *distinct* configs with overlapping seed ranges used to be
+        perfectly correlated: under the ``none`` policy the delay path is
+        device-independent, so the Samsung cell's run 1 (seed 0+1) and
+        the HTC cell's run 0 (seed 1+0) produced bit-identical traces."""
+        config_a = ExperimentConfig(
+            policy=standard_policies("AES256")["none"],
+            device=GALAXY_S2, sensitivity_fraction=0.55, decode_video=False,
+        )
+        config_b = ExperimentConfig(
+            policy=standard_policies("AES256")["none"],
+            device=HTC_AMAZE_4G, sensitivity_fraction=0.55,
+            decode_video=False,
+        )
+        cell_a = run_repeated(slow_clip, slow_bitstream, config_a,
+                              repeats=2, base_seed=0)
+        cell_b = run_repeated(slow_clip, slow_bitstream, config_b,
+                              repeats=2, base_seed=1)
+        assert (cell_a.runs[1].mean_delay_ms
+                != cell_b.runs[0].mean_delay_ms)
+
+    def test_reproducible_for_fixed_base_seed(self, slow_clip,
+                                              slow_bitstream, base_config):
+        first = run_repeated(slow_clip, slow_bitstream, base_config,
+                             repeats=3, base_seed=42)
+        second = run_repeated(slow_clip, slow_bitstream, base_config,
+                              repeats=3, base_seed=42)
+        assert ([r.mean_delay_ms for r in first.runs]
+                == [r.mean_delay_ms for r in second.runs])
+        assert first.delay_ms == second.delay_ms
 
 
 class TestEnergyAccounting:
