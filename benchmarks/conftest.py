@@ -14,6 +14,8 @@ Knobs (environment variables):
 - ``REPRO_CACHE``          set 0 to disable the on-disk result cache
   (default: cache under ``benchmarks/results/cache``);
 - ``REPRO_CACHE_DIR``      override the cache directory;
+- ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES``  size caps for
+  the cache (LRU eviction; default: unbounded);
 - ``REPRO_ENGINE_WORKERS`` worker processes for the experiment engine
   (default: CPU count; 1 = serial).
 
@@ -66,8 +68,23 @@ _CACHE_ENABLED = os.environ.get("REPRO_CACHE", "1").lower() not in (
 CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR",
                                 str(RESULTS_DIR / "cache")))
 
+
+def _env_int(name: str):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(f"{name} must be an integer, got {raw!r}")
+
+
 ENGINE = ExperimentEngine(
-    cache=ResultCache(CACHE_DIR) if _CACHE_ENABLED else None,
+    cache=ResultCache(
+        CACHE_DIR,
+        max_bytes=_env_int("REPRO_CACHE_MAX_BYTES"),
+        max_entries=_env_int("REPRO_CACHE_MAX_ENTRIES"),
+    ) if _CACHE_ENABLED else None,
     master_seed=int(os.environ.get("REPRO_BENCH_SEED", "0")),
     repeats=REPEATS,
 )
@@ -153,9 +170,17 @@ def repeats() -> int:
 def _engine_lifecycle():
     """Release the engine's worker pool when the bench session ends."""
     yield
-    stats = [f"simulations run: {ENGINE.simulations_run}"]
-    if ENGINE.cache is not None:
-        stats.append(f"cache hits: {ENGINE.cache.hits}")
-        stats.append(f"cache misses: {ENGINE.cache.misses}")
-    print(f"\n[experiment engine] {', '.join(stats)}")
+    stats = ENGINE.stats()
+    parts = [f"simulations run: {stats['simulations_run']}"]
+    cache_stats = stats["cache"]
+    if cache_stats is not None:
+        parts.append(f"cache hits: {cache_stats['hits']}")
+        parts.append(f"misses: {cache_stats['misses']}")
+        parts.append(f"evictions: {cache_stats['evictions']}")
+        parts.append(f"corrupt: {cache_stats['corrupt']}")
+        parts.append(
+            f"entries: {cache_stats['entries']}"
+            f" ({cache_stats['total_bytes']} B,"
+            f" {cache_stats['index_backend']} index)")
+    print(f"\n[experiment engine] {', '.join(parts)}")
     ENGINE.close()

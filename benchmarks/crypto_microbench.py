@@ -20,15 +20,19 @@ to push the entire payload through it.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import tempfile
 import time
 from pathlib import Path
 
 from repro.crypto import AES, OFBMode, VectorAES, derive_iv
+from repro.testbed.cache import ResultCache, RunMetrics
 
 DEFAULT_PAYLOAD = 1 << 20          # the acceptance target: 1 MiB
 DEFAULT_SEGMENT = 1460             # MTU-sized RTP payload
 DEFAULT_SCALAR_SAMPLE = 192 * 1024
+DEFAULT_CACHE_ENTRIES = 10_000     # the grid size the sharded cache targets
 KEY = bytes(range(32))             # AES256, the paper's headline cipher
 SALT = b"crypto-microbench"
 
@@ -64,6 +68,54 @@ def _time_vector(ivs, payloads) -> float:
     return time.perf_counter() - start
 
 
+def _bench_cache(n_entries: int) -> dict:
+    """Cache-layer micro-section: cold puts, warm gets, ``len``/``stats``
+    (index-backed, so they must not scale like a directory scan), and a
+    gc that evicts half the entries under ``max_entries``."""
+    runs = [RunMetrics(mean_delay_ms=1.25, mean_waiting_ms=0.5,
+                       average_power_w=2.0, receiver_psnr_db=38.0)]
+    keys = [hashlib.sha256(b"cache-bench-%d" % i).hexdigest()
+            for i in range(n_entries)]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        start = time.perf_counter()
+        for key in keys:
+            cache.put_runs(key, runs)
+        cold_put_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for key in keys:
+            cache.get_runs(key)
+        warm_get_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        entries = len(cache)
+        len_s = time.perf_counter() - start
+        assert entries == n_entries, "index disagrees with the puts"
+
+        start = time.perf_counter()
+        stats = cache.stats()
+        stats_s = time.perf_counter() - start
+        cache.close()
+
+        capped = ResultCache(tmp, max_entries=max(1, n_entries // 2))
+        start = time.perf_counter()
+        gc_report = capped.gc()
+        gc_s = time.perf_counter() - start
+        capped.close()
+
+    return {
+        "entries": n_entries,
+        "index_backend": stats["index_backend"],
+        "cold_put_per_s": n_entries / cold_put_s,
+        "warm_get_per_s": n_entries / warm_get_s,
+        "len_s": len_s,
+        "stats_s": stats_s,
+        "gc_s": gc_s,
+        "gc_evicted": gc_report["evicted"],
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bytes", type=int, default=DEFAULT_PAYLOAD,
@@ -75,6 +127,10 @@ def main() -> None:
                              "instead of a sample")
     parser.add_argument("--out", type=Path, default=Path("BENCH_crypto.json"),
                         help="output JSON path (default ./BENCH_crypto.json)")
+    parser.add_argument("--cache-entries", type=int,
+                        default=DEFAULT_CACHE_ENTRIES,
+                        help="entries for the result-cache micro-section"
+                             " (0 skips it; default 10000)")
     args = parser.parse_args()
     if args.bytes < 1:
         parser.error("--bytes must be at least 1")
@@ -115,12 +171,23 @@ def main() -> None:
         "vector_bytes_per_s": vector_rate,
         "speedup": vector_rate / scalar_rate,
     }
+    if args.cache_entries > 0:
+        report["cache"] = _bench_cache(args.cache_entries)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"scalar : {scalar_rate / 1e3:8.1f} KB/s"
           f"  ({scalar_bytes} bytes in {scalar_s:.2f}s)")
     print(f"vector : {vector_rate / 1e3:8.1f} KB/s"
           f"  ({vector_bytes} bytes in {vector_s:.2f}s)")
     print(f"speedup: {report['speedup']:.1f}x  [target >= 10x]")
+    if "cache" in report:
+        cache = report["cache"]
+        print(f"cache  : {cache['entries']} entries"
+              f" ({cache['index_backend']} index),"
+              f" put {cache['cold_put_per_s']:.0f}/s,"
+              f" get {cache['warm_get_per_s']:.0f}/s,"
+              f" len {cache['len_s'] * 1e3:.2f} ms,"
+              f" stats {cache['stats_s'] * 1e3:.2f} ms,"
+              f" gc evicted {cache['gc_evicted']} in {cache['gc_s']:.2f}s")
     print(f"[saved to {args.out}]")
 
 

@@ -8,6 +8,7 @@ reproduction's equivalents behind subcommands:
     python -m repro.cli inspect --motion slow --gop 30
     python -m repro.cli advise --motion fast --target-psnr 15
     python -m repro.cli experiment --motion slow --policy I --device samsung-s2
+    python -m repro.cli cache stats --dir benchmarks/results/cache
 
 Every subcommand prints an aligned table; none requires network access
 or external binaries.
@@ -16,6 +17,7 @@ or external binaries.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -32,7 +34,7 @@ from .core import (
     calibrate_scenario,
     standard_policies,
 )
-from .testbed import DEVICES, ExperimentConfig, run_experiment
+from .testbed import DEVICES, ExperimentConfig, ResultCache, run_experiment
 from .video import (
     CodecConfig,
     analyze_motion,
@@ -173,6 +175,42 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.dir, max_bytes=args.max_bytes,
+                        max_entries=args.max_entries)
+    try:
+        if args.action == "stats":
+            stats = cache.stats()
+            rows = [[name, str(stats[name])] for name in (
+                "index_backend", "entries", "total_bytes", "hits", "misses",
+                "hit_rate", "evictions", "corrupt", "migrated", "max_bytes",
+                "max_entries",
+            )]
+            print(render_table(["statistic", "value"], rows,
+                               title=f"result cache at {args.dir}"))
+            return 0
+        if args.action == "gc":
+            report = cache.gc()
+            rows = [[name, str(report[name])] for name in
+                    ("evicted", "tmp_removed", "entries", "total_bytes")]
+            print(render_table(["gc action", "value"], rows,
+                               title=f"result cache at {args.dir}"))
+            return 0
+        if args.action == "clear":
+            removed = cache.clear()
+            print(f"removed {removed} cache entries from {args.dir}")
+            return 0
+        report = cache.verify()
+        rows = [[name, str(report[name])] for name in
+                ("entries", "total_bytes", "corrupt", "adopted",
+                 "stale_index", "tmp_removed")]
+        print(render_table(["verify result", "value"], rows,
+                           title=f"result cache at {args.dir}"))
+        return 1 if report["corrupt"] else 0
+    finally:
+        cache.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("AES128", "AES256", "3DES"),
                        default="AES256")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the sharded result cache",
+        description="stats: counters and index aggregates; gc: sweep stale"
+                    " temp files and enforce the size caps; clear: delete"
+                    " every entry; verify: rebuild the index from the shard"
+                    " files, quarantining corrupt entries (exit 1 if any"
+                    " were found).",
+    )
+    p_cache.add_argument("action", choices=("stats", "gc", "clear", "verify"))
+    p_cache.add_argument(
+        "--dir",
+        default=os.environ.get("REPRO_CACHE_DIR",
+                               "benchmarks/results/cache"),
+        help="cache directory (default: $REPRO_CACHE_DIR or"
+             " benchmarks/results/cache)",
+    )
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="byte cap enforced by gc (LRU eviction)")
+    p_cache.add_argument("--max-entries", type=int, default=None,
+                         help="entry cap enforced by gc (LRU eviction)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -3,7 +3,15 @@ Fig. 3 sender pipeline as a discrete-event simulation, RTP/UDP and
 HTTP/TCP transports, per-packet tracing, the power model, and the
 end-to-end experiment runner."""
 
-from .cache import ResultCache, RunMetrics, code_fingerprint, stable_key
+from .cache import (
+    DirectoryBackend,
+    JsonlIndexBackend,
+    ResultCache,
+    RunMetrics,
+    SqliteIndexBackend,
+    code_fingerprint,
+    stable_key,
+)
 from .devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G, DeviceProfile
 from .energy import EnergyBreakdown, average_power_w, microamp_hours_to_watts
 from .engine import (
@@ -32,6 +40,7 @@ __all__ = [
     "CellSummary", "ExperimentEngine", "GridCell",
     "describe_config", "scenario_fingerprint",
     "ResultCache", "RunMetrics", "code_fingerprint", "stable_key",
+    "DirectoryBackend", "SqliteIndexBackend", "JsonlIndexBackend",
     "LinkConfig", "SenderSimulator", "SimulationRun",
     "PacketTrace", "TraceLog",
     "HTTP_TCP", "UDP_RTP", "TransportConfig", "delivery_outcome",

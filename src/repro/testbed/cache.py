@@ -1,4 +1,5 @@
-"""Content-addressed on-disk cache for experiment summaries.
+"""Content-addressed, sharded, size-capped on-disk cache for experiment
+summaries.
 
 The advisor workflow (Fig. 1) repeatedly sweeps a clip x policy x device
 grid looking for the cheapest policy meeting a confidentiality target;
@@ -9,11 +10,34 @@ forever: a cache hit performs **zero** new simulations and reproduces the
 summary byte-for-byte, because the same floats feed the same
 :func:`repro.analysis.stats.summarize`.
 
+Layout.  Entries are sharded by key prefix — the entry for key
+``abcd…`` lives at ``<dir>/ab/abcd….json`` — so no single directory ever
+holds the whole grid.  A persistent index (:class:`SqliteIndexBackend`
+by default, :class:`JsonlIndexBackend` where the ``sqlite3`` module is
+unavailable) records key, byte size, and created/last-accessed
+timestamps, so ``__len__``, :meth:`ResultCache.stats` and LRU eviction
+never walk the directory tree.  The index is *derived* data: it is
+rebuilt from the shard files whenever it is missing or disagrees with
+them, and is never trusted over the files themselves, so deleting
+``index.sqlite``/``index.jsonl`` (or the whole cache directory) is
+always safe.
+
+Writes stay atomic (tempfile + rename within the shard), so concurrent
+bench processes sharing a cache directory can only ever observe complete
+entries.  Size caps (``max_bytes`` / ``max_entries``) are enforced on
+:meth:`ResultCache.put_runs` and by an explicit :meth:`ResultCache.gc`,
+evicting least-recently-accessed entries first.  Payloads that read back
+malformed — undecodable JSON, a missing ``"runs"`` key, fields a current
+:class:`RunMetrics` does not know — are counted as ``corrupt``, moved to
+``<dir>/quarantine/`` for post-mortem, and reported as misses instead of
+crashing the engine.
+
 Keys are SHA-256 digests of a canonical JSON payload that includes a
 fingerprint of the simulation source code, so editing the simulator,
 transport, energy, video-quality or policy code automatically invalidates
-stale entries.  Deleting the cache directory (or setting ``REPRO_CACHE=0``
-for the benches) is always safe — entries are pure derived data.
+stale entries.  A legacy flat-layout directory (one ``<key>.json`` per
+entry at the top level, the pre-sharding format) is adopted into shards
+the first time it is opened.
 """
 
 from __future__ import annotations
@@ -22,12 +46,27 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import asdict, dataclass
+import time
+from dataclasses import MISSING, asdict, dataclass, fields
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ResultCache", "RunMetrics", "stable_key", "code_fingerprint"]
+try:
+    import sqlite3
+except ImportError:  # pragma: no cover - stdlib sqlite3 is near-universal
+    sqlite3 = None  # type: ignore[assignment]
+
+SQLITE_AVAILABLE = sqlite3 is not None
+
+__all__ = [
+    "ResultCache", "RunMetrics", "stable_key", "code_fingerprint",
+    "DirectoryBackend", "SqliteIndexBackend", "JsonlIndexBackend",
+    "IndexEntry", "SQLITE_AVAILABLE",
+]
+
+TMP_PREFIX = ".tmp-"
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass(frozen=True)
@@ -54,6 +93,37 @@ class RunMetrics:
             eavesdropper_psnr_db=result.eavesdropper_psnr_db,
             eavesdropper_mos=result.eavesdropper_mos,
         )
+
+
+_RUN_FIELDS = frozenset(field.name for field in fields(RunMetrics))
+_REQUIRED_RUN_FIELDS = frozenset(
+    field.name for field in fields(RunMetrics) if field.default is MISSING
+)
+
+
+def _parse_runs(payload: Any) -> Optional[List[RunMetrics]]:
+    """``payload["runs"]`` as :class:`RunMetrics`, or ``None`` if the
+    payload is structurally unusable (future schema, truncated writer,
+    hand-edited file…) — the caller treats that as a corrupt entry."""
+    if not isinstance(payload, dict):
+        return None
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return None
+    parsed = []
+    for run in runs:
+        if not isinstance(run, dict):
+            return None
+        names = set(run)
+        if not names <= _RUN_FIELDS or not _REQUIRED_RUN_FIELDS <= names:
+            return None
+        for name, value in run.items():
+            if value is None and name not in _REQUIRED_RUN_FIELDS:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return None
+        parsed.append(RunMetrics(**run))
+    return parsed
 
 
 def stable_key(payload: Dict[str, Any]) -> str:
@@ -85,69 +155,658 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
-class ResultCache:
-    """Directory of ``<key>.json`` files mapping cell keys to run metrics.
+# -- the sharded file store ----------------------------------------------------
 
-    Writes are atomic (tempfile + rename) so concurrent bench processes
-    sharing a cache directory can only ever observe complete entries.
+
+class DirectoryBackend:
+    """Sharded entry files: key ``abcd…`` lives at ``ab/abcd….json``.
+
+    Owns everything that touches the filesystem — atomic writes, deletes,
+    quarantine moves, the maintenance walk, and the stale-temp sweep —
+    so :class:`ResultCache` itself never composes paths.
     """
 
     def __init__(self, directory) -> None:
         self.directory = Path(directory)
-        self.hits = 0
-        self.misses = 0
 
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Stored payload for ``key``, or ``None`` (counted as a miss)."""
-        path = self._path(key)
+    def read(self, key: str) -> Optional[bytes]:
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
+            return self.path_for(key).read_bytes()
+        except OSError:
             return None
-        self.hits += 1
-        return payload
 
-    def get_runs(self, key: str) -> Optional[List[RunMetrics]]:
-        """Cached per-run metrics for ``key``, or ``None``."""
-        payload = self.get(key)
-        if payload is None:
-            return None
-        return [RunMetrics(**run) for run in payload["runs"]]
-
-    def put_runs(self, key: str, runs: List[RunMetrics],
-                 meta: Optional[Dict[str, Any]] = None) -> None:
-        """Persist one cell's per-run metrics (plus a readable ``meta``
-        block describing what the key hashes, for debuggability)."""
-        payload = {"meta": meta or {}, "runs": [asdict(run) for run in runs]}
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def write(self, key: str, data: bytes) -> int:
+        """Atomically persist one entry; returns its size in bytes."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, temp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
+            dir=path.parent, prefix=TMP_PREFIX, suffix=".json"
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(temp_name, self._path(key))
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_name, path)
         except BaseException:
             try:
                 os.unlink(temp_name)
             except OSError:
                 pass
             raise
+        return len(data)
 
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+    def delete(self, key: str) -> bool:
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    def quarantine(self, key: str) -> bool:
+        """Move a corrupt entry to ``quarantine/`` for post-mortem."""
+        source = self.path_for(key)
+        target_dir = self.directory / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(source, target_dir / source.name)
+            return True
+        except OSError:
+            return False
+
+    def _shard_dirs(self) -> Iterator[Path]:
+        if not self.directory.is_dir():
+            return
+        for child in sorted(self.directory.iterdir()):
+            if (child.is_dir() and child.name != QUARANTINE_DIR
+                    and not child.name.startswith(".")):
+                yield child
+
+    def scan(self) -> Iterator[Tuple[str, Path, int, float]]:
+        """Yield ``(key, path, size, mtime)`` for every entry on disk.
+
+        This is the maintenance walk (migration/verify/clear); the hot
+        paths — ``get``/``__len__``/``stats`` — go through the index and
+        never call it.
+        """
+        for shard in self._shard_dirs():
+            for path in sorted(shard.glob("*.json")):
+                if path.name.startswith("."):
+                    continue  # in-flight or orphaned temp file
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                yield path.stem, path, stat.st_size, stat.st_mtime
+
+    def sweep_temp(self, max_age_s: float = 0.0) -> int:
+        """Remove ``.tmp-*`` files older than ``max_age_s`` seconds —
+        the droppings of writers that crashed between create and rename."""
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
-                removed += 1
+        now = time.time()
+        for parent in (self.directory, *self._shard_dirs()):
+            if not parent.is_dir():
+                continue
+            for path in parent.glob(f"{TMP_PREFIX}*"):
+                try:
+                    if now - path.stat().st_mtime >= max_age_s:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
         return removed
 
-    def __len__(self) -> int:
+    def legacy_files(self) -> Iterator[Path]:
+        """Flat-layout entries (``<key>.json`` at the top level) left by
+        the pre-sharding cache format."""
         if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            if path.is_file() and not path.name.startswith("."):
+                yield path
+
+
+# -- index backends ------------------------------------------------------------
+
+
+@dataclass
+class IndexEntry:
+    """One indexed cache entry: identity, size, and LRU bookkeeping."""
+
+    key: str
+    size: int
+    created: float
+    accessed: float
+
+
+class SqliteIndexBackend:
+    """Key → (size, created, accessed) in a single sqlite file.
+
+    The index is rebuildable derived data, so durability is deliberately
+    traded for speed (``synchronous=OFF``): losing it in a crash costs a
+    one-off rescan of the shards, never any results.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path) -> None:
+        if sqlite3 is None:  # pragma: no cover - guarded by the caller
+            raise RuntimeError("sqlite3 is not available")
+        self.path = Path(path)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " key TEXT PRIMARY KEY,"
+            " size INTEGER NOT NULL,"
+            " created REAL NOT NULL,"
+            " accessed REAL NOT NULL)"
+        )
+        self._conn.commit()
+
+    def upsert(self, entry: IndexEntry) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+            (entry.key, entry.size, entry.created, entry.accessed),
+        )
+        self._conn.commit()
+
+    def touch(self, key: str, size: int, accessed: float) -> None:
+        cursor = self._conn.execute(
+            "UPDATE entries SET size = ?, accessed = ? WHERE key = ?",
+            (size, accessed, key),
+        )
+        if cursor.rowcount == 0:  # untracked file observed: self-heal
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+                (key, size, accessed, accessed),
+            )
+        self._conn.commit()
+
+    def remove(self, key: str) -> None:
+        self._conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    def total_bytes(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(size), 0) FROM entries").fetchone()
+        return row[0]
+
+    def entries(self) -> List[IndexEntry]:
+        rows = self._conn.execute(
+            "SELECT key, size, created, accessed FROM entries ORDER BY key"
+        ).fetchall()
+        return [IndexEntry(*row) for row in rows]
+
+    def lru(self) -> List[IndexEntry]:
+        rows = self._conn.execute(
+            "SELECT key, size, created, accessed FROM entries"
+            " ORDER BY accessed, created, key"
+        ).fetchall()
+        return [IndexEntry(*row) for row in rows]
+
+    def replace_all(self, entries: List[IndexEntry]) -> None:
+        self._conn.execute("DELETE FROM entries")
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+            [(e.key, e.size, e.created, e.accessed) for e in entries],
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class JsonlIndexBackend:
+    """Append-only JSON-lines index for platforms without ``sqlite3``.
+
+    State lives in memory; every mutation appends one op record
+    (``put``/``touch``/``del``) so a crash at worst leaves a torn final
+    line, which the loader skips.  The log is compacted to one ``put``
+    per live entry when it grows past ~2x the entry count.
+    """
+
+    name = "jsonl"
+    _COMPACT_SLACK = 256
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, IndexEntry] = {}
+        self._ops = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn append from a crashed writer
+            if not isinstance(record, dict):
+                continue
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            op = record.get("op")
+            try:
+                if op == "put":
+                    self._entries[key] = IndexEntry(
+                        key, int(record["size"]),
+                        float(record["created"]), float(record["accessed"]),
+                    )
+                elif op == "touch":
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        entry.size = int(record["size"])
+                        entry.accessed = float(record["accessed"])
+                elif op == "del":
+                    self._entries.pop(key, None)
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._ops += 1
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        self._ops += 1
+        if self._ops > 2 * len(self._entries) + self._COMPACT_SLACK:
+            self._compact()
+
+    def _compact(self) -> None:
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=TMP_PREFIX, suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for entry in self._entries.values():
+                    handle.write(json.dumps({
+                        "op": "put", "key": entry.key, "size": entry.size,
+                        "created": entry.created, "accessed": entry.accessed,
+                    }) + "\n")
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._ops = len(self._entries)
+
+    def upsert(self, entry: IndexEntry) -> None:
+        self._entries[entry.key] = entry
+        self._append({"op": "put", "key": entry.key, "size": entry.size,
+                      "created": entry.created, "accessed": entry.accessed})
+
+    def touch(self, key: str, size: int, accessed: float) -> None:
+        entry = self._entries.get(key)
+        if entry is None:  # untracked file observed: self-heal
+            self.upsert(IndexEntry(key, size, accessed, accessed))
+            return
+        entry.size = size
+        entry.accessed = accessed
+        self._append({"op": "touch", "key": key, "size": size,
+                      "accessed": accessed})
+
+    def remove(self, key: str) -> None:
+        if self._entries.pop(key, None) is not None:
+            self._append({"op": "del", "key": key})
+
+    def count(self) -> int:
+        return len(self._entries)
+
+    def total_bytes(self) -> int:
+        return sum(entry.size for entry in self._entries.values())
+
+    def entries(self) -> List[IndexEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.key)
+
+    def lru(self) -> List[IndexEntry]:
+        return sorted(self._entries.values(),
+                      key=lambda e: (e.accessed, e.created, e.key))
+
+    def replace_all(self, entries: List[IndexEntry]) -> None:
+        self._entries = {entry.key: entry for entry in entries}
+        self._compact()
+
+    def close(self) -> None:
+        pass
+
+
+# -- the cache -----------------------------------------------------------------
+
+
+class ResultCache:
+    """Sharded, size-capped directory of cell results with an LRU index.
+
+    Parameters
+    ----------
+    directory:
+        Cache root.  A legacy flat-layout directory is migrated into
+        shards on first open.
+    max_bytes, max_entries:
+        Optional caps; least-recently-accessed entries are evicted on
+        :meth:`put_runs` and :meth:`gc` until both hold.
+    index:
+        ``"auto"`` (sqlite when available, else JSON-lines), or force
+        ``"sqlite"`` / ``"jsonl"``.
+    stale_tmp_seconds:
+        Age after which :meth:`gc` deletes orphaned ``.tmp-*`` files left
+        by crashed writers (``clear`` removes them regardless of age).
+    """
+
+    def __init__(self, directory, *, max_bytes: Optional[int] = None,
+                 max_entries: Optional[int] = None, index: str = "auto",
+                 stale_tmp_seconds: float = 3600.0) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
+        if index not in ("auto", "sqlite", "jsonl"):
+            raise ValueError(
+                f"index must be 'auto', 'sqlite' or 'jsonl', got {index!r}")
+        if index == "sqlite" and not SQLITE_AVAILABLE:
+            raise ValueError("index='sqlite' requested but the sqlite3"
+                             " module is unavailable; use 'jsonl'")
+        self.directory = Path(directory)
+        self.backend = DirectoryBackend(self.directory)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.stale_tmp_seconds = stale_tmp_seconds
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self.migrated = 0
+        self._index_kind = index
+        self._index = None
+
+    # -- index lifecycle ---------------------------------------------------
+
+    def _open_index(self):
+        kind = self._index_kind
+        if kind == "auto":
+            kind = "sqlite" if SQLITE_AVAILABLE else "jsonl"
+        if kind == "sqlite":
+            path = self.directory / "index.sqlite"
+            for attempt in (0, 1):
+                try:
+                    return SqliteIndexBackend(path)
+                except sqlite3.Error:
+                    # A corrupt index is just derived data: delete and
+                    # retry once, then fall back to the JSON-lines log.
+                    if attempt == 0:
+                        for suffix in ("", "-wal", "-shm"):
+                            try:
+                                os.unlink(f"{path}{suffix}")
+                            except OSError:
+                                pass
+        return JsonlIndexBackend(self.directory / "index.jsonl")
+
+    def _ensure_index(self, create: bool = False):
+        if self._index is not None:
+            return self._index
+        if not self.directory.is_dir():
+            if not create:
+                return None
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._index = self._open_index()
+        self._migrate_legacy()
+        if self._index.count() == 0:
+            # Lost/blank index over existing shards: rebuild from disk
+            # (the files are the truth, the index never is).
+            rebuilt = [IndexEntry(key, size, mtime, mtime)
+                       for key, _path, size, mtime in self.backend.scan()]
+            if rebuilt:
+                self._index.replace_all(rebuilt)
+        return self._index
+
+    def _migrate_legacy(self) -> None:
+        """Adopt pre-sharding flat-layout entries (one-shot per open)."""
+        now = time.time()
+        for path in list(self.backend.legacy_files()):
+            key = path.stem
+            target = self.backend.path_for(key)
+            try:
+                size = path.stat().st_size
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except OSError:
+                continue
+            self._index.upsert(IndexEntry(key, size, now, now))
+            self.migrated += 1
+
+    def close(self) -> None:
+        """Release the index handle (safe to call repeatedly)."""
+        if self._index is not None:
+            self._index.close()
+            self._index = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- read path ---------------------------------------------------------
+
+    def _read_payload(self, key: str) -> Tuple[Optional[Any], int]:
+        """(decoded payload, size) for ``key``; quarantines and counts
+        undecodable entries.  ``(None, 0)`` means miss."""
+        # Opening the index first also adopts any legacy flat-layout
+        # entries into their shards, so the read below can see them.
+        index = self._ensure_index()
+        data = self.backend.read(key)
+        if data is None:
+            if index is not None:
+                index.remove(key)  # heal: file vanished under the index
+            return None, 0
+        try:
+            return json.loads(data), len(data)
+        except ValueError:
+            self._quarantine(key)
+            return None, 0
+
+    def _quarantine(self, key: str) -> None:
+        self.corrupt += 1
+        if not self.backend.quarantine(key):
+            self.backend.delete(key)
+        index = self._ensure_index()
+        if index is not None:
+            index.remove(key)
+
+    def _record_hit(self, key: str, size: int) -> None:
+        self.hits += 1
+        index = self._ensure_index(create=True)
+        index.touch(key, size, time.time())
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored payload for ``key``, or ``None`` (counted as a miss)."""
+        payload, size = self._read_payload(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._record_hit(key, size)
+        return payload
+
+    def get_runs(self, key: str) -> Optional[List[RunMetrics]]:
+        """Cached per-run metrics for ``key``, or ``None``.
+
+        Entries that are valid JSON but structurally unusable (missing
+        ``"runs"``, fields from a future schema…) are quarantined and
+        reported as misses rather than raising into the engine.
+        """
+        payload, size = self._read_payload(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        runs = _parse_runs(payload)
+        if runs is None:
+            self._quarantine(key)
+            self.misses += 1
+            return None
+        self._record_hit(key, size)
+        return runs
+
+    # -- write path --------------------------------------------------------
+
+    def put_runs(self, key: str, runs: List[RunMetrics],
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        """Persist one cell's per-run metrics (plus a readable ``meta``
+        block describing what the key hashes, for debuggability), then
+        enforce the size caps."""
+        payload = {"meta": meta or {}, "runs": [asdict(run) for run in runs]}
+        index = self._ensure_index(create=True)
+        size = self.backend.write(key, json.dumps(payload).encode("utf-8"))
+        now = time.time()
+        index.upsert(IndexEntry(key, size, now, now))
+        self._enforce_caps(protect=key)
+
+    def _enforce_caps(self, protect: Optional[str] = None) -> int:
+        if self.max_bytes is None and self.max_entries is None:
             return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        index = self._index
+        if index is None:
+            return 0
+        count = index.count()
+        total = index.total_bytes()
+
+        def over() -> bool:
+            return ((self.max_entries is not None and count > self.max_entries)
+                    or (self.max_bytes is not None and total > self.max_bytes))
+
+        evicted = 0
+        if not over():
+            return 0
+        for entry in index.lru():
+            if not over():
+                break
+            if entry.key == protect:
+                continue  # never evict the entry just written
+            self.backend.delete(entry.key)
+            index.remove(entry.key)
+            count -= 1
+            total -= entry.size
+            evicted += 1
+            self.evictions += 1
+        return evicted
+
+    # -- maintenance -------------------------------------------------------
+
+    def gc(self) -> Dict[str, int]:
+        """Sweep stale writer temp files and enforce the size caps;
+        returns what was done."""
+        report = {"evicted": 0, "tmp_removed": 0,
+                  "entries": 0, "total_bytes": 0}
+        index = self._ensure_index()
+        if index is None:
+            return report
+        report["tmp_removed"] = self.backend.sweep_temp(self.stale_tmp_seconds)
+        report["evicted"] = self._enforce_caps()
+        report["entries"] = index.count()
+        report["total_bytes"] = index.total_bytes()
+        return report
+
+    def verify(self) -> Dict[str, int]:
+        """Full reconcile: walk the shards, quarantine undecodable or
+        schema-invalid entries, and rebuild the index from the surviving
+        files (keeping known access times).  The files win every
+        disagreement."""
+        report = {"entries": 0, "total_bytes": 0, "corrupt": 0,
+                  "adopted": 0, "stale_index": 0, "tmp_removed": 0}
+        index = self._ensure_index()
+        if index is None:
+            return report
+        known = {entry.key: entry for entry in index.entries()}
+        survivors: List[IndexEntry] = []
+        seen = set()
+        for key, path, size, mtime in list(self.backend.scan()):
+            try:
+                payload = json.loads(path.read_bytes())
+            except OSError:
+                continue
+            except ValueError:
+                payload = None
+            if payload is None or _parse_runs(payload) is None:
+                self.corrupt += 1
+                report["corrupt"] += 1
+                if not self.backend.quarantine(key):
+                    self.backend.delete(key)
+                continue
+            previous = known.get(key)
+            if previous is None:
+                report["adopted"] += 1
+                survivors.append(IndexEntry(key, size, mtime, mtime))
+            else:
+                survivors.append(
+                    IndexEntry(key, size, previous.created, previous.accessed))
+            seen.add(key)
+        report["stale_index"] = sum(1 for key in known if key not in seen)
+        index.replace_all(survivors)
+        report["tmp_removed"] = self.backend.sweep_temp(0.0)
+        report["entries"] = len(survivors)
+        report["total_bytes"] = sum(entry.size for entry in survivors)
+        return report
+
+    def clear(self) -> int:
+        """Delete every entry (plus temp-file orphans and quarantined
+        payloads); returns how many entries were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        index = self._ensure_index()
+        for _key, path, _size, _mtime in list(self.backend.scan()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        self.backend.sweep_temp(0.0)
+        quarantine = self.directory / QUARANTINE_DIR
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+        if index is not None:
+            index.replace_all([])
+        return removed
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        index = self._ensure_index()
+        return 0 if index is None else index.count()
+
+    def total_bytes(self) -> int:
+        index = self._ensure_index()
+        return 0 if index is None else index.total_bytes()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters and index aggregates — O(1) in the entry count (never
+        a directory walk)."""
+        index = self._ensure_index()
+        lookups = self.hits + self.misses
+        return {
+            "directory": str(self.directory),
+            "index_backend": None if index is None else index.name,
+            "entries": 0 if index is None else index.count(),
+            "total_bytes": 0 if index is None else index.total_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "migrated": self.migrated,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }

@@ -196,10 +196,18 @@ class ExperimentEngine:
                  workers: Optional[int] = None, master_seed: int = 0,
                  repeats: int = 3) -> None:
         if workers is None:
-            workers = int(os.environ.get("REPRO_ENGINE_WORKERS", "0")) or \
-                (os.cpu_count() or 1)
+            raw = os.environ.get("REPRO_ENGINE_WORKERS", "0")
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_ENGINE_WORKERS must be an integer process"
+                    f" count, got {raw!r}"
+                ) from None
+            workers = workers or (os.cpu_count() or 1)
         if repeats < 1:
-            raise ValueError("need at least one repetition")
+            raise ValueError(
+                f"engine repeats must be >= 1, got {repeats}")
         self.cache = cache
         self.workers = max(1, int(workers))
         self.master_seed = master_seed
@@ -242,9 +250,25 @@ class ExperimentEngine:
             "master_seed": self.master_seed,
         }
 
+    def _resolve_repeats(self, cell: GridCell) -> int:
+        """The cell's effective repeat count, validated.
+
+        ``None`` means "use the engine default"; an explicit value is
+        taken literally, so ``GridCell(repeats=0)`` is an error rather
+        than silently coerced to the default.
+        """
+        repeats = self.repeats if cell.repeats is None else cell.repeats
+        if not isinstance(repeats, int) or isinstance(repeats, bool) \
+                or repeats < 1:
+            raise ValueError(
+                f"GridCell repeats must be a positive integer or None,"
+                f" got {cell.repeats!r}"
+            )
+        return repeats
+
     def cell_key(self, cell: GridCell) -> str:
         """Content address of one cell's results."""
-        repeats = cell.repeats or self.repeats
+        repeats = self._resolve_repeats(cell)
         payload = self._seed_payload(cell, repeats)
         payload["schema"] = ENGINE_SCHEMA_VERSION
         payload["code"] = code_fingerprint()
@@ -302,9 +326,14 @@ class ExperimentEngine:
 
     def run_grid(self, cells: Sequence[GridCell]) -> List[CellSummary]:
         """Run a whole grid; cached cells are replayed, the rest fan out
-        over the worker pool.  Output order matches input order."""
+        over the worker pool.  Output order matches input order.
+
+        Duplicate cells (same content key) are simulated once and the
+        summary fanned back to every position that requested it.
+        """
         summaries: List[Optional[CellSummary]] = [None] * len(cells)
-        pending: List[Tuple[int, str, GridCell]] = []
+        pending_indices: Dict[str, List[int]] = {}
+        pending_cells: Dict[str, GridCell] = {}
         for index, cell in enumerate(cells):
             if cell.scenario not in self._scenarios:
                 raise KeyError(
@@ -312,6 +341,9 @@ class ExperimentEngine:
                     " add_scenario() first"
                 )
             key = self.cell_key(cell)
+            if key in pending_indices:
+                pending_indices[key].append(index)
+                continue
             memoized = self._memo.get(key)
             if memoized is not None:
                 summaries[index] = memoized
@@ -325,22 +357,23 @@ class ExperimentEngine:
                     self._memo[key] = summary
                     summaries[index] = summary
                     continue
-            pending.append((index, key, cell))
+            pending_indices[key] = [index]
+            pending_cells[key] = cell
 
         tasks: List[tuple] = []
-        slices: List[Tuple[int, str, GridCell, int, int]] = []
-        for index, key, cell in pending:
-            repeats = cell.repeats or self.repeats
+        slices: List[Tuple[str, GridCell, int, int]] = []
+        for key, cell in pending_cells.items():
+            repeats = self._resolve_repeats(cell)
             seeds = self._cell_seeds(cell, repeats)
             start = len(tasks)
             tasks.extend(
                 (cell.scenario, cell.config, seed) for seed in seeds
             )
-            slices.append((index, key, cell, start, start + repeats))
+            slices.append((key, cell, start, start + repeats))
 
         results = self._execute(tasks)
 
-        for index, key, cell, start, stop in slices:
+        for key, cell, start, stop in slices:
             runs = results[start:stop]
             summary = _summarize_runs(
                 runs, cell.config.decode_video, from_cache=False
@@ -350,9 +383,20 @@ class ExperimentEngine:
                     "scenario": cell.scenario,
                     "scenario_meta": self._scenarios[cell.scenario]["meta"],
                     "config": describe_config(cell.config),
-                    "repeats": cell.repeats or self.repeats,
+                    "repeats": self._resolve_repeats(cell),
                     "master_seed": self.master_seed,
                 })
             self._memo[key] = summary
-            summaries[index] = summary
+            for index in pending_indices[key]:
+                summaries[index] = summary
         return summaries  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine counters plus the cache's counters/aggregates (or
+        ``cache=None`` when caching is disabled)."""
+        return {
+            "simulations_run": self.simulations_run,
+            "memo_entries": len(self._memo),
+            "workers": self.workers,
+            "cache": None if self.cache is None else self.cache.stats(),
+        }

@@ -1,8 +1,11 @@
 """The command-line front end (the EvalVid-toolchain analogue)."""
 
+import hashlib
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.testbed import ResultCache, RunMetrics
 
 
 class TestParser:
@@ -73,6 +76,58 @@ class TestCommands:
                      "--target-psnr", "-5"])
         assert code == 1
         assert "encrypt everything" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    @staticmethod
+    def _populate(directory, n=2):
+        with ResultCache(directory) as cache:
+            keys = []
+            for i in range(n):
+                key = hashlib.sha256(f"cli-{i}".encode()).hexdigest()
+                cache.put_runs(key, [RunMetrics(
+                    mean_delay_ms=float(i), mean_waiting_ms=2.0,
+                    average_power_w=3.0)])
+                keys.append(key)
+        return keys
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "index_backend" in out
+
+    def test_gc_enforces_caps(self, tmp_path, capsys):
+        self._populate(tmp_path, n=4)
+        code = main(["cache", "gc", "--dir", str(tmp_path),
+                     "--max-entries", "1"])
+        assert code == 0
+        assert "evicted" in capsys.readouterr().out
+        with ResultCache(tmp_path) as cache:
+            assert len(cache) == 1
+
+    def test_clear(self, tmp_path, capsys):
+        self._populate(tmp_path, n=3)
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        with ResultCache(tmp_path) as cache:
+            assert len(cache) == 0
+
+    def test_verify_flags_corruption(self, tmp_path, capsys):
+        keys = self._populate(tmp_path)
+        with ResultCache(tmp_path) as cache:
+            cache.backend.path_for(keys[0]).write_text("{broken")
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+        # a clean cache verifies green
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+
+    def test_stats_on_missing_directory(self, tmp_path, capsys):
+        target = tmp_path / "nothing-here"
+        assert main(["cache", "stats", "--dir", str(target)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert not target.exists()
 
 
 class TestExampleModules:

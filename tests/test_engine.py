@@ -166,6 +166,68 @@ class TestCacheFidelity:
         assert cache.misses == 1
 
 
+class TestBugfixes:
+    def test_duplicate_cells_simulated_once(self, engine_factory):
+        """Two identical uncached cells must share one simulation batch,
+        with the summary fanned back to both grid positions."""
+        engine = engine_factory(workers=1)
+        out = engine.run_grid([GridCell("slow", _config("I")),
+                               GridCell("slow", _config("all")),
+                               GridCell("slow", _config("I"))])
+        assert engine.simulations_run == 3 * 2  # 2 unique cells, not 3
+        assert out[0] == out[2]
+
+    def test_duplicate_cells_single_cache_write(self, engine_factory,
+                                                tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = engine_factory(workers=1, cache=cache)
+        engine.run_grid([GridCell("slow", _config("I")),
+                         GridCell("slow", _config("I"))])
+        assert engine.simulations_run == 3
+        assert len(cache) == 1
+
+    def test_zero_repeats_rejected_not_coerced(self, engine_factory):
+        engine = engine_factory(workers=1)
+        with pytest.raises(ValueError, match="repeats"):
+            engine.run_cell("slow", _config("I"), repeats=0)
+        with pytest.raises(ValueError, match="repeats"):
+            engine.cell_key(GridCell("slow", _config("I"), repeats=-2))
+
+    def test_engine_repeats_validated(self):
+        with pytest.raises(ValueError, match="repeats"):
+            ExperimentEngine(workers=1, repeats=0)
+
+    def test_garbage_workers_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_WORKERS"):
+            ExperimentEngine()
+
+    def test_workers_env_still_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "1")
+        assert ExperimentEngine().workers == 1
+
+
+class TestStatsSurface:
+    def test_stats_without_cache(self, engine_factory):
+        engine = engine_factory(workers=1)
+        engine.run_cell("slow", _config("I"))
+        stats = engine.stats()
+        assert stats["simulations_run"] == 3
+        assert stats["memo_entries"] == 1
+        assert stats["cache"] is None
+
+    def test_stats_with_cache(self, engine_factory, tmp_path):
+        engine = engine_factory(workers=1, cache=ResultCache(tmp_path))
+        engine.run_cell("slow", _config("I"))
+        engine.run_cell("slow", _config("I"))  # memo hit, no new lookup
+        cache_stats = engine.stats()["cache"]
+        assert cache_stats["entries"] == 1
+        assert cache_stats["misses"] == 1
+        assert cache_stats["evictions"] == 0
+        assert cache_stats["corrupt"] == 0
+        assert cache_stats["index_backend"] in ("sqlite", "jsonl")
+
+
 class TestScenarios:
     def test_conflicting_registration_rejected(self, slow_clip,
                                                slow_bitstream, fast_clip,
