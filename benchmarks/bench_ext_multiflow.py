@@ -1,0 +1,104 @@
+"""Extension: multi-flow contention on the event-kernel transport.
+
+The paper's testbed ran two phones against one AP, but its sender model
+(eq. 19) is single-flow; the discrete-event kernel makes the contention
+scenario expressible.  This bench sweeps the contender count and
+reports *per-flow delay percentiles* — the tail behaviour per-packet
+retry/contention dynamics create and a mean-service-time model cannot:
+
+- mean per-packet delay grows with the number of contending flows (the
+  DCF fixed point yields a lower packet success rate, so more backoff,
+  plus head-of-line blocking on the shared medium);
+- the flows are fair: identical offered load sees similar delays;
+- tails amplify contention (p99 >> p50 for every flow count).
+
+Grid cells run through the shared cached engine — a warm re-run of the
+whole multi-flow grid performs zero new simulations.
+"""
+
+from conftest import ENGINE, get_bitstream, get_sensitivity, grid_cell, publish
+
+from repro.analysis import render_table
+from repro.core import standard_policies
+from repro.testbed import DEVICES, ExperimentConfig, run_multiflow
+
+FLOW_COUNTS = (1, 2, 4)
+MOTION = "slow"
+GOP = 30
+DEVICE = "samsung-s2"
+
+
+def _config(flows: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        policy=standard_policies("AES256")["I"],
+        device=DEVICES[DEVICE],
+        sensitivity_fraction=get_sensitivity(MOTION),
+        decode_video=False,
+        flows=flows,
+        engine="events",
+    )
+
+
+def build_percentile_figure() -> str:
+    """Direct kernel runs: one table row per (flow count, flow)."""
+    rows = []
+    means = {}
+    for flows in FLOW_COUNTS:
+        run = run_multiflow(
+            get_bitstream(MOTION, GOP),
+            flows=flows,
+            policy=standard_policies("AES256")["I"],
+            device=DEVICES[DEVICE],
+            seed=0,
+        )
+        means[flows] = run.mean_delay_ms
+        for flow_id, row in enumerate(run.delay_percentiles_ms()):
+            rows.append([
+                flows, flow_id, f"{row['mean']:.2f}", f"{row['p50']:.2f}",
+                f"{row['p90']:.2f}", f"{row['p99']:.2f}",
+            ])
+            assert row["p99"] >= row["p90"] >= row["p50"]
+        per_flow = [row["mean"] for row in run.delay_percentiles_ms()]
+        # Fairness: same offered load, similar delays.
+        assert max(per_flow) < 2.0 * min(per_flow)
+    # Contention grows delay: 4 contenders are strictly worse than 1.
+    assert means[4] > means[1]
+    assert means[2] > means[1]
+    return render_table(
+        ["flows", "flow", "mean (ms)", "p50 (ms)", "p90 (ms)", "p99 (ms)"],
+        rows,
+        title="ext: per-flow delay percentiles vs contender count"
+              f" ({DEVICES[DEVICE].name}, {MOTION} motion, I(AES256))",
+    )
+
+
+def test_ext_multiflow_percentiles(benchmark):
+    text = benchmark.pedantic(build_percentile_figure, rounds=1,
+                              iterations=1)
+    publish("ext_multiflow", text)
+
+
+def test_ext_multiflow_grid_cached(benchmark):
+    """The flows sweep as engine grid cells: cached, and a warm re-run
+    performs zero new simulations."""
+    def sweep():
+        cells = [grid_cell(MOTION, GOP, _config(flows))
+                 for flows in FLOW_COUNTS]
+        first = ENGINE.run_grid(cells)
+        before = ENGINE.simulations_run
+        second = ENGINE.run_grid(cells)
+        assert ENGINE.simulations_run == before, \
+            "warm multi-flow grid re-run must perform 0 simulations"
+        assert [s.delay_ms for s in first] == [s.delay_ms for s in second]
+        delays = {flows: summary.delay_ms
+                  for flows, summary in zip(FLOW_COUNTS, first)}
+        assert delays[4].mean > delays[1].mean
+        return delays
+    delays = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(
+        "ext_multiflow_grid",
+        "Engine grid (cached) — mean per-packet delay vs contenders:\n"
+        + "\n".join(f"  {flows} flow(s): {delay.mean:.2f}"
+                    f" +/- {delay.ci_halfwidth:.2f} ms"
+                    for flows, delay in sorted(delays.items())),
+    )

@@ -14,6 +14,13 @@ from .cache import (
 )
 from .devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G, DeviceProfile
 from .energy import EnergyBreakdown, average_power_w, microamp_hours_to_watts
+from .events import (
+    EventKernel,
+    Request,
+    Resource,
+    Timeout,
+    WaitUntil,
+)
 from .engine import (
     CellSummary,
     ExperimentEngine,
@@ -28,9 +35,21 @@ from .experiment import (
     run_experiment,
     run_repeated,
 )
-from .simulator import LinkConfig, SenderSimulator, SimulationRun
+from .multiflow import ContentionMAC, FlowProcess, MultiFlowRun, run_multiflow
+from .simulator import (
+    LinkConfig,
+    PacketService,
+    SenderSimulator,
+    SimulationRun,
+)
 from .tracing import PacketTrace, TraceLog
-from .transport import HTTP_TCP, UDP_RTP, TransportConfig, delivery_outcome
+from .transport import (
+    HTTP_TCP,
+    UDP_RTP,
+    TransportConfig,
+    delivery_outcome,
+    delivery_outcome_with,
+)
 
 __all__ = [
     "DEVICES", "GALAXY_S2", "HTC_AMAZE_4G", "DeviceProfile",
@@ -41,7 +60,10 @@ __all__ = [
     "describe_config", "scenario_fingerprint",
     "ResultCache", "RunMetrics", "code_fingerprint", "stable_key",
     "DirectoryBackend", "SqliteIndexBackend", "JsonlIndexBackend",
-    "LinkConfig", "SenderSimulator", "SimulationRun",
+    "LinkConfig", "PacketService", "SenderSimulator", "SimulationRun",
+    "EventKernel", "Request", "Resource", "Timeout", "WaitUntil",
+    "ContentionMAC", "FlowProcess", "MultiFlowRun", "run_multiflow",
     "PacketTrace", "TraceLog",
     "HTTP_TCP", "UDP_RTP", "TransportConfig", "delivery_outcome",
+    "delivery_outcome_with",
 ]

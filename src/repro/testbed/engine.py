@@ -42,7 +42,12 @@ from .experiment import ExperimentConfig, run_experiment
 __all__ = ["CellSummary", "GridCell", "ExperimentEngine",
            "describe_config", "scenario_fingerprint"]
 
-ENGINE_SCHEMA_VERSION = 1
+# v2: cell descriptions gained the "flows" and "engine" fields (the
+# multi-flow event-kernel transport).  They are emitted only when they
+# differ from the single-flow/legacy defaults, so every pre-existing
+# cell keeps its v1 seed stream (and therefore its published bench
+# numbers) — see EXPERIMENTS.md "Cache-key versioning".
+ENGINE_SCHEMA_VERSION = 2
 
 
 # -- cache-key serialization ---------------------------------------------------
@@ -58,7 +63,7 @@ def describe_config(config: ExperimentConfig) -> Dict[str, Any]:
             "phy": asdict(config.link.phy),
             "dcf": asdict(config.link.dcf),
         }
-    return {
+    description = {
         "policy": {
             "mode": config.policy.mode,
             "algorithm": config.policy.algorithm,
@@ -81,6 +86,13 @@ def describe_config(config: ExperimentConfig) -> Dict[str, Any]:
         "eavesdropper_mode": config.eavesdropper_mode,
         "receiver_mode": config.receiver_mode,
     }
+    # Additive fields must not perturb pre-existing keys/seed streams:
+    # emit them only when they leave the single-flow legacy defaults.
+    if config.flows != 1:
+        description["flows"] = config.flows
+    if config.engine != "legacy":
+        description["engine"] = config.engine
+    return description
 
 
 def scenario_fingerprint(original: Sequence420, bitstream: Bitstream) -> str:

@@ -41,7 +41,16 @@ Seed = Union[int, np.random.SeedSequence]
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Inputs of one experiment cell."""
+    """Inputs of one experiment cell.
+
+    ``engine`` selects the execution path (``"legacy"`` single loop vs
+    the ``"events"`` discrete-event kernel; identical results for one
+    flow).  ``flows > 1`` runs that many senders contending for one AP
+    through :func:`repro.testbed.multiflow.run_multiflow` — it requires
+    ``engine="events"`` (contention is only expressible there) and
+    ``decode_video=False`` (per-flow delay/power are the multi-flow
+    metrics; video reconstruction remains a single-flow concern).
+    """
 
     policy: EncryptionPolicy
     device: DeviceProfile
@@ -51,11 +60,40 @@ class ExperimentConfig:
     decode_video: bool = True
     eavesdropper_mode: str = "best_effort"  # what a real attacker's decoder does
     receiver_mode: str = "strict"           # EvalVid's reconstruction policy
+    flows: int = 1
+    engine: str = "legacy"                  # "legacy" | "events"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("legacy", "events"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected 'legacy' or"
+                " 'events'"
+            )
+        if not isinstance(self.flows, int) or isinstance(self.flows, bool) \
+                or self.flows < 1:
+            raise ValueError(
+                f"flows must be a positive integer, got {self.flows!r}")
+        if self.flows > 1:
+            if self.engine != "events":
+                raise ValueError(
+                    "multi-flow experiments need engine='events' (the"
+                    " legacy loop cannot express contention)"
+                )
+            if self.decode_video:
+                raise ValueError(
+                    "multi-flow experiments report per-flow delay/power;"
+                    " set decode_video=False"
+                )
 
 
 @dataclass
 class ExperimentResult:
-    """Metrics of a single run."""
+    """Metrics of a single run.
+
+    For multi-flow cells ``run`` is flow 0's trace, the scalar metrics
+    aggregate over every flow's packets, and ``multiflow`` keeps the
+    full per-flow runs (percentile views included).
+    """
 
     run: SimulationRun
     mean_delay_ms: float
@@ -65,6 +103,7 @@ class ExperimentResult:
     receiver_mos: Optional[float] = None
     eavesdropper_psnr_db: Optional[float] = None
     eavesdropper_mos: Optional[float] = None
+    multiflow: "Optional[object]" = None  # MultiFlowRun when flows > 1
 
     @property
     def average_power_w(self) -> float:
@@ -86,13 +125,15 @@ def run_experiment(
     simulator: Optional[SenderSimulator] = None,
 ) -> ExperimentResult:
     """Run one transfer and measure everything the paper measures."""
+    if config.flows > 1:
+        return _run_multiflow_experiment(bitstream, config, seed)
     simulator = simulator or SenderSimulator(
         bitstream,
         device=config.device,
         link=config.link,
         transport=config.transport,
     )
-    run = simulator.run(config.policy, seed=seed)
+    run = simulator.run(config.policy, seed=seed, engine=config.engine)
     trace = run.trace
 
     # Energy: the transfer occupies the device from t=0 to the last
@@ -128,6 +169,47 @@ def run_experiment(
     return result
 
 
+def _run_multiflow_experiment(bitstream: Bitstream, config: ExperimentConfig,
+                              seed: Optional[Seed]) -> ExperimentResult:
+    """The ``flows > 1`` cell: N contending senders on the event kernel.
+
+    Scalar metrics aggregate across flows — delays over every packet of
+    every flow, and the energy breakdown is the *average sender's*:
+    per-flow CPU/radio busy times averaged over the shared transfer
+    window (every phone is powered for the whole contention period).
+    """
+    from .multiflow import run_multiflow  # imports this module's config
+
+    mrun = run_multiflow(
+        bitstream,
+        flows=config.flows,
+        policy=config.policy,
+        device=config.device,
+        transport=config.transport,
+        link=config.link,
+        seed=seed,
+    )
+    traces = [run.trace for run in mrun.flows]
+    delays = [t.sojourn_time_s for trace in traces for t in trace]
+    waits = [t.waiting_time_s for trace in traces for t in trace]
+    duration = mrun.makespan_s
+    energy = average_power_w(
+        config.device,
+        duration_s=duration,
+        crypto_time_s=float(np.mean(
+            [trace.total_crypto_time_s() for trace in traces])),
+        airtime_s=float(np.mean(
+            [trace.total_airtime_s() for trace in traces])),
+    )
+    return ExperimentResult(
+        run=mrun.flows[0],
+        mean_delay_ms=float(np.mean(delays)) * 1e3,
+        mean_waiting_ms=float(np.mean(waits)) * 1e3,
+        energy=energy,
+        multiflow=mrun,
+    )
+
+
 @dataclass
 class RepeatedResult:
     """Aggregates over repeated runs (mean +/- 95% CI, Section 6.1)."""
@@ -158,7 +240,7 @@ def run_repeated(
     """
     if repeats < 1:
         raise ValueError("need at least one repetition")
-    simulator = SenderSimulator(
+    simulator = None if config.flows > 1 else SenderSimulator(
         bitstream,
         device=config.device,
         link=config.link,

@@ -10,6 +10,19 @@ instrumented Android app logged.
 Arrival process: frame ``f`` is read at ``f / fps``; an I-frame's MTU
 fragments are enqueued back to back at the disk read rate, which is what
 creates the two-phase (burst/trickle) structure the 2-MMPP models.
+
+Two execution engines produce the run:
+
+- ``"legacy"`` — the original single loop, one packet at a time (the
+  sender owns the channel, eq. 19's single-flow assumption);
+- ``"events"`` — the same flow as the single-flow special case of the
+  :mod:`repro.testbed.events` kernel, sharing the channel through a
+  :class:`~repro.testbed.multiflow.ContentionMAC`.
+
+Both engines consume the same :class:`PacketService` sampling object in
+the same per-packet draw order (encryption, backoff, delivery,
+transmission), so with identical seeds they produce *identical* traces —
+``tests/test_events_differential.py`` asserts exact equality.
 """
 
 from __future__ import annotations
@@ -29,7 +42,10 @@ from .devices import DeviceProfile
 from .tracing import PacketTrace, TraceLog
 from .transport import UDP_RTP, TransportConfig, delivery_outcome
 
-__all__ = ["LinkConfig", "SenderSimulator", "SimulationRun"]
+__all__ = ["LinkConfig", "PacketService", "SenderSimulator",
+           "SimulationRun", "arrival_times", "sample_backoff_time"]
+
+ENGINES = ("legacy", "events")
 
 
 @dataclass(frozen=True)
@@ -52,6 +68,65 @@ class LinkConfig:
         """End-to-end per-packet delivery after MAC retries."""
         p = self.dcf.packet_success_rate
         return 1.0 - (1.0 - p) ** (self.retry_limit + 1)
+
+
+def arrival_times(packets: Sequence[Packet], *, fps: float,
+                  disk_read_rate_pkts_per_s: float) -> np.ndarray:
+    """Enqueue instant of every packet (producer side of Fig. 3)."""
+    times = np.empty(len(packets))
+    fragment_gap = 1.0 / disk_read_rate_pkts_per_s
+    for i, packet in enumerate(packets):
+        frame_time = packet.frame_index / fps
+        times[i] = frame_time + packet.fragment_index * fragment_gap
+    return times
+
+
+def sample_backoff_time(dcf: DcfSolution, rng: np.random.Generator) -> float:
+    """Geometric collisions, exponential waits (the eq. 6-7 process)."""
+    collisions = rng.geometric(dcf.packet_success_rate) - 1
+    if collisions == 0:
+        return 0.0
+    lam = dcf.backoff_rate_per_s
+    return float(rng.exponential(1.0 / lam, collisions).sum())
+
+
+@dataclass(frozen=True)
+class PacketService:
+    """The stochastic per-packet service components (paper eqs. 6-7, 15).
+
+    Both execution engines sample through this object, and the per-packet
+    draw order — encryption, backoff, delivery, transmission — is part of
+    its contract: it is what makes the legacy loop and the event kernel
+    produce identical streams from identical seeds.
+    """
+
+    link: LinkConfig
+    transport: TransportConfig
+    policy: EncryptionPolicy
+    cost: Optional[CipherCost]
+
+    def encrypts(self, packet: Packet) -> bool:
+        return self.cost is not None and self.policy.encrypts(packet)
+
+    def encryption_time(self, packet: Packet,
+                        rng: np.random.Generator) -> float:
+        if not self.encrypts(packet):
+            return 0.0
+        mean = self.cost.time_for(packet.payload_size)
+        sigma = self.cost.sigma_for(packet.payload_size)
+        return max(0.0, rng.normal(mean, sigma)) if sigma > 0 else mean
+
+    def backoff_time(self, rng: np.random.Generator) -> float:
+        return sample_backoff_time(self.link.dcf, rng)
+
+    def delivery(self, rng: np.random.Generator):
+        return delivery_outcome(self.transport, self.link.delivery_rate, rng)
+
+    def transmission_time(self, packet: Packet,
+                          rng: np.random.Generator) -> float:
+        wire = packet.payload_size + self.transport.header_bytes
+        mean = self.link.phy.packet_transmission_time_s(wire)
+        return max(0.0, rng.normal(mean, 0.03 * mean))
 
 
 @dataclass
@@ -81,13 +156,18 @@ class SenderSimulator:
         mtu: int = DEFAULT_MTU,
         disk_read_rate_pkts_per_s: float = 600.0,
         padding: str = "none",
+        engine: str = "legacy",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.bitstream = bitstream
         self.device = device
         self.link = link or LinkConfig.default()
         self.transport = transport
         self.mtu = mtu
         self.disk_read_rate = disk_read_rate_pkts_per_s
+        self.engine = engine
         self.packets = packetize(bitstream, mtu=mtu, carry_payload=False)
         if padding != "none":
             # Traffic-analysis countermeasure (see testbed.traffic_analysis):
@@ -98,51 +178,44 @@ class SenderSimulator:
     # -- arrival process --------------------------------------------------------
 
     def _arrival_times(self) -> np.ndarray:
-        """Enqueue instant of every packet (producer side of Fig. 3)."""
-        fps = self.bitstream.fps
-        times = np.empty(len(self.packets))
-        fragment_gap = 1.0 / self.disk_read_rate
-        for i, packet in enumerate(self.packets):
-            frame_time = packet.frame_index / fps
-            times[i] = frame_time + packet.fragment_index * fragment_gap
-        return times
+        return arrival_times(
+            self.packets, fps=self.bitstream.fps,
+            disk_read_rate_pkts_per_s=self.disk_read_rate,
+        )
 
-    # -- service components -----------------------------------------------------
-
-    def _encryption_time(self, packet: Packet, cost: Optional[CipherCost],
-                         policy: EncryptionPolicy,
-                         rng: np.random.Generator) -> float:
-        if cost is None or not policy.encrypts(packet):
-            return 0.0
-        mean = cost.time_for(packet.payload_size)
-        sigma = cost.sigma_for(packet.payload_size)
-        return max(0.0, rng.normal(mean, sigma)) if sigma > 0 else mean
-
-    def _backoff_time(self, rng: np.random.Generator) -> float:
-        """Geometric collisions, exponential waits (the eq. 6-7 process)."""
-        p_s = self.link.dcf.packet_success_rate
-        collisions = rng.geometric(p_s) - 1
-        if collisions == 0:
-            return 0.0
-        lam = self.link.dcf.backoff_rate_per_s
-        return float(rng.exponential(1.0 / lam, collisions).sum())
-
-    def _transmission_time(self, packet: Packet,
-                           rng: np.random.Generator) -> float:
-        wire = packet.payload_size + self.transport.header_bytes
-        mean = self.link.phy.packet_transmission_time_s(wire)
-        return max(0.0, rng.normal(mean, 0.03 * mean))
+    def _service(self, policy: EncryptionPolicy) -> PacketService:
+        cost = (self.device.cipher_cost(policy.algorithm)
+                if policy.algorithm is not None and policy.mode != "none"
+                else None)
+        return PacketService(link=self.link, transport=self.transport,
+                             policy=policy, cost=cost)
 
     # -- the run ------------------------------------------------------------------
 
     def run(self, policy: EncryptionPolicy, *,
-            seed: "Optional[int | np.random.SeedSequence]" = None
-            ) -> SimulationRun:
-        """One transfer of the whole clip under ``policy``."""
+            seed: "Optional[int | np.random.SeedSequence]" = None,
+            engine: Optional[str] = None) -> SimulationRun:
+        """One transfer of the whole clip under ``policy``.
+
+        ``engine`` overrides the simulator-wide engine for this run:
+        ``"legacy"`` is the original loop, ``"events"`` routes the same
+        flow through the discrete-event kernel (identical results for
+        identical seeds; the kernel additionally supports multi-flow
+        contention via :mod:`repro.testbed.multiflow`).
+        """
+        engine = engine or self.engine
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine == "events":
+            return self._run_events(policy, seed)
+        return self._run_legacy(policy, seed)
+
+    def _run_legacy(self, policy: EncryptionPolicy,
+                    seed: "Optional[int | np.random.SeedSequence]"
+                    ) -> SimulationRun:
         rng = np.random.default_rng(seed)
-        cost = (self.device.cipher_cost(policy.algorithm)
-                if policy.algorithm is not None and policy.mode != "none"
-                else None)
+        service = self._service(policy)
         arrivals = self._arrival_times()
 
         traces: List[PacketTrace] = []
@@ -152,19 +225,16 @@ class SenderSimulator:
 
         for packet, arrival in zip(self.packets, arrivals):
             start = max(arrival, server_free_at)
-            encryption = self._encryption_time(packet, cost, policy, rng)
-            backoff = self._backoff_time(rng)
-            outcome = delivery_outcome(
-                self.transport, self.link.delivery_rate, rng
-            )
-            transmission = (self._transmission_time(packet, rng)
+            encryption = service.encryption_time(packet, rng)
+            backoff = service.backoff_time(rng)
+            outcome = service.delivery(rng)
+            transmission = (service.transmission_time(packet, rng)
                             * outcome.attempts)
             transmit_at = start + encryption + backoff + outcome.extra_delay_s
             departure = transmit_at + transmission
             server_free_at = departure
 
-            encrypted = bool(encryption > 0.0 or
-                             (cost is not None and policy.encrypts(packet)))
+            encrypted = bool(encryption > 0.0 or service.encrypts(packet))
             traces.append(PacketTrace(
                 sequence_number=packet.sequence_number,
                 frame_index=packet.frame_index,
@@ -188,3 +258,25 @@ class SenderSimulator:
             usable_by_receiver=usable_receiver,
             usable_by_eavesdropper=usable_eavesdropper,
         )
+
+    def _run_events(self, policy: EncryptionPolicy,
+                    seed: "Optional[int | np.random.SeedSequence]"
+                    ) -> SimulationRun:
+        """The same transfer as the single-flow special case of the
+        event kernel: one FlowProcess, an uncontended ContentionMAC
+        built from this simulator's link (no DCF re-solve), and a flow
+        RNG constructed exactly like the legacy path's."""
+        # Imported here: multiflow builds on this module's PacketService.
+        from .events import EventKernel
+        from .multiflow import ContentionMAC, FlowProcess
+
+        kernel = EventKernel()
+        mac = ContentionMAC(kernel, link=self.link)
+        flow = FlowProcess(
+            0, self.packets, self._arrival_times(),
+            mac=mac, service=self._service(policy),
+            rng=np.random.default_rng(seed),
+        )
+        kernel.add_process(flow.process(kernel), name="flow-0")
+        kernel.run()
+        return flow.as_run()

@@ -13,11 +13,14 @@ higher latency from retransmissions.  The two transports differ in:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-__all__ = ["TransportConfig", "UDP_RTP", "HTTP_TCP", "delivery_outcome"]
+__all__ = ["TransportConfig", "UDP_RTP", "HTTP_TCP", "DeliveryOutcome",
+           "delivery_outcome", "delivery_outcome_with"]
 
 
 @dataclass(frozen=True)
@@ -51,18 +54,18 @@ class DeliveryOutcome:
     extra_delay_s: float   # retransmission delay beyond the first attempt
 
 
-def delivery_outcome(config: TransportConfig, delivery_rate: float,
-                     rng: np.random.Generator) -> DeliveryOutcome:
-    """Sample the fate of one packet.
+def delivery_outcome_with(config: TransportConfig,
+                          attempt: Callable[[], bool]) -> DeliveryOutcome:
+    """Sample the fate of one packet given a per-attempt success draw.
 
-    ``delivery_rate`` is the end-to-end per-attempt delivery probability
-    (MAC retries already folded in).  Unreliable transport: one attempt.
-    Reliable transport: geometric attempts capped at
-    ``max_retransmissions``, each failed round costing one RTO.
+    ``attempt`` is called once per (re)transmission round and returns
+    whether that round delivered.  Unreliable transport: one attempt.
+    Reliable transport: attempts capped at ``max_retransmissions``, each
+    failed round costing one RTO.  The callable form lets the multi-flow
+    MAC thread bursty :class:`~repro.wifi.channel.LossChannel` state
+    through the retransmission loop.
     """
-    if not 0.0 <= delivery_rate <= 1.0:
-        raise ValueError("delivery rate must be in [0, 1]")
-    if rng.random() < delivery_rate:
+    if attempt():
         return DeliveryOutcome(delivered=True, attempts=1, extra_delay_s=0.0)
     if not config.reliable:
         return DeliveryOutcome(delivered=False, attempts=1, extra_delay_s=0.0)
@@ -71,8 +74,24 @@ def delivery_outcome(config: TransportConfig, delivery_rate: float,
     while attempts <= config.max_retransmissions:
         attempts += 1
         extra += config.rto_s
-        if rng.random() < delivery_rate:
+        if attempt():
             return DeliveryOutcome(delivered=True, attempts=attempts,
                                    extra_delay_s=extra)
     return DeliveryOutcome(delivered=False, attempts=attempts,
                            extra_delay_s=extra)
+
+
+def delivery_outcome(config: TransportConfig, delivery_rate: float,
+                     rng: np.random.Generator) -> DeliveryOutcome:
+    """Sample the fate of one packet.
+
+    ``delivery_rate`` is the end-to-end per-attempt delivery probability
+    (MAC retries already folded in) and must be a real number in
+    [0, 1] — NaN, infinities and out-of-range values raise
+    ``ValueError`` instead of silently skewing the loss process.
+    """
+    rate = float(delivery_rate)
+    if math.isnan(rate) or not 0.0 <= rate <= 1.0:
+        raise ValueError(
+            f"delivery rate must be in [0, 1], got {delivery_rate!r}")
+    return delivery_outcome_with(config, lambda: bool(rng.random() < rate))

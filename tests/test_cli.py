@@ -77,6 +77,19 @@ class TestCommands:
         assert code == 1
         assert "encrypt everything" in capsys.readouterr().out
 
+    def test_multiflow_reports_per_flow_percentiles(self, capsys):
+        code = main(["multiflow", "--flows", "2", "--frames", "30",
+                     "--gop", "10"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 contending slow-motion flows" in output
+        assert "p99 (ms)" in output
+        assert "all-flow mean delay" in output
+
+    def test_multiflow_rejects_zero_flows(self):
+        with pytest.raises(SystemExit):
+            main(["multiflow", "--flows", "0", "--frames", "30"])
+
 
 class TestCacheCommand:
     @staticmethod

@@ -15,12 +15,15 @@ from repro.testbed import (
 )
 
 
-def _config(policy_name="I", algorithm="AES256", decode=False):
+def _config(policy_name="I", algorithm="AES256", decode=False, flows=1,
+            engine="legacy"):
     return ExperimentConfig(
         policy=standard_policies(algorithm)[policy_name],
         device=DEVICES["samsung-s2"],
         sensitivity_fraction=0.55,
         decode_video=decode,
+        flows=flows,
+        engine=engine,
     )
 
 
@@ -138,8 +141,11 @@ class TestCache:
             engine.cell_key(GridCell("slow", _config("all"))),
             engine.cell_key(GridCell("slow", _config("I", decode=True))),
             engine.cell_key(GridCell("slow", _config("I"), repeats=5)),
+            engine.cell_key(GridCell("slow", _config("I", engine="events"))),
+            engine.cell_key(GridCell(
+                "slow", _config("I", flows=2, engine="events"))),
         }
-        assert len(keys) == 4
+        assert len(keys) == 6
 
     def test_clear(self, engine_factory, tmp_path):
         cache = ResultCache(tmp_path)
@@ -250,3 +256,20 @@ class TestScenarios:
         assert description["policy"]["mode"] == "i_frames"
         assert description["device"]["name"] == "Samsung Galaxy S-II"
         assert description["link"] is None
+        # schema v2: flows/engine appear only off their defaults, so
+        # pre-existing cells keep their v1 payloads and seed streams.
+        assert "flows" not in description
+        assert "engine" not in description
+        multi = describe_config(_config("I", flows=2, engine="events"))
+        assert multi["flows"] == 2
+        assert multi["engine"] == "events"
+
+    def test_multiflow_cells_run_and_cache(self, engine_factory, tmp_path):
+        engine = engine_factory(workers=1, cache=ResultCache(tmp_path))
+        cell = GridCell("slow", _config("I", flows=2, engine="events"))
+        first = engine.run_grid([cell])[0]
+        before = engine.simulations_run
+        second = engine.run_grid([cell])[0]
+        assert engine.simulations_run == before
+        assert second == first
+        assert first.delay_ms.mean > 0

@@ -1,0 +1,120 @@
+"""Differential layer: the event kernel vs the legacy sender loop.
+
+For one flow the two engines share the :class:`PacketService` draw
+order, so a fixed seed must give *identical* per-packet traces — far
+inside the "statistical tolerance" the multi-flow work needs.  A
+separate check compares the independent-stream multi-flow wiring
+(``run_multiflow`` with one flow, spawned RNGs) against the legacy mean
+across seeds, which genuinely is a statistical comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import standard_policies
+from repro.core.policies import EncryptionPolicy
+from repro.testbed.devices import GALAXY_S2, HTC_AMAZE_4G
+from repro.testbed.multiflow import run_multiflow
+from repro.testbed.simulator import LinkConfig, SenderSimulator
+from repro.testbed.transport import HTTP_TCP
+
+
+def _trace_tuples(run):
+    return [
+        (t.sequence_number, t.enqueue_time_s, t.service_start_s,
+         t.encryption_time_s, t.transmit_time_s, t.departure_time_s,
+         t.encrypted, t.delivered, t.attempts)
+        for t in run.trace
+    ]
+
+
+def _both(simulator, policy, seed):
+    legacy = simulator.run(policy, seed=seed, engine="legacy")
+    events = simulator.run(policy, seed=seed, engine="events")
+    return legacy, events
+
+
+@pytest.fixture(scope="module")
+def simulator(slow_bitstream):
+    return SenderSimulator(slow_bitstream, device=GALAXY_S2)
+
+
+class TestSingleFlowIdentical:
+    @pytest.mark.parametrize("policy_name", ["none", "I", "P", "all"])
+    def test_trace_identical_per_policy(self, simulator, policy_name):
+        policy = standard_policies("AES256")[policy_name]
+        legacy, events = _both(simulator, policy, seed=11)
+        assert _trace_tuples(legacy) == _trace_tuples(events)
+        assert legacy.usable_by_receiver == events.usable_by_receiver
+        assert legacy.usable_by_eavesdropper == events.usable_by_eavesdropper
+
+    @pytest.mark.parametrize("seed", [0, 7, 2013])
+    def test_trace_identical_across_seeds(self, simulator, seed):
+        policy = standard_policies("AES256")["I"]
+        legacy, events = _both(simulator, policy, seed=seed)
+        assert _trace_tuples(legacy) == _trace_tuples(events)
+
+    def test_mixture_policy_identical(self, simulator):
+        policy = EncryptionPolicy("i_plus_p_fraction", "3DES", fraction=0.2)
+        legacy, events = _both(simulator, policy, seed=3)
+        assert _trace_tuples(legacy) == _trace_tuples(events)
+
+    def test_seed_sequence_identical(self, simulator):
+        policy = standard_policies("AES256")["all"]
+        seed = np.random.SeedSequence(42).spawn(1)[0]
+        legacy = simulator.run(policy, seed=seed, engine="legacy")
+        seed = np.random.SeedSequence(42).spawn(1)[0]
+        events = simulator.run(policy, seed=seed, engine="events")
+        assert _trace_tuples(legacy) == _trace_tuples(events)
+
+    def test_tcp_on_lossy_link_identical(self, slow_bitstream):
+        """The retransmission path (extra RTO delays, attempts > 1)."""
+        lossy = LinkConfig.default(channel_error_rate=0.2)
+        lossy = LinkConfig(phy=lossy.phy, dcf=lossy.dcf, retry_limit=0)
+        simulator = SenderSimulator(slow_bitstream, device=HTC_AMAZE_4G,
+                                    link=lossy, transport=HTTP_TCP)
+        legacy, events = _both(
+            simulator, standard_policies("AES256")["I"], seed=12)
+        assert _trace_tuples(legacy) == _trace_tuples(events)
+        assert any(t.attempts > 1 for t in events.trace)
+
+    def test_engine_constructor_default(self, slow_bitstream):
+        """The constructor-level switch routes run() the same way."""
+        policy = standard_policies("AES256")["I"]
+        via_events = SenderSimulator(
+            slow_bitstream, device=GALAXY_S2, engine="events"
+        ).run(policy, seed=5)
+        via_override = SenderSimulator(
+            slow_bitstream, device=GALAXY_S2
+        ).run(policy, seed=5, engine="events")
+        assert _trace_tuples(via_events) == _trace_tuples(via_override)
+
+    def test_unknown_engine_rejected(self, slow_bitstream):
+        with pytest.raises(ValueError, match="engine"):
+            SenderSimulator(slow_bitstream, device=GALAXY_S2,
+                            engine="simpy")
+        simulator = SenderSimulator(slow_bitstream, device=GALAXY_S2)
+        with pytest.raises(ValueError, match="engine"):
+            simulator.run(standard_policies("AES256")["I"], seed=1,
+                          engine="asyncio")
+
+
+@pytest.mark.slow
+class TestSingleFlowStatistical:
+    def test_multiflow_one_flow_matches_legacy_mean(self, slow_bitstream):
+        """run_multiflow(flows=1) draws from spawned streams, so it can
+        only match the legacy engine statistically: mean per-packet
+        delay over several seeds must agree within a few percent."""
+        policy = standard_policies("AES256")["I"]
+        simulator = SenderSimulator(slow_bitstream, device=GALAXY_S2)
+        seeds = range(8)
+        legacy_mean = np.mean([
+            simulator.run(policy, seed=seed).mean_delay_ms
+            for seed in seeds
+        ])
+        kernel_mean = np.mean([
+            run_multiflow(slow_bitstream, flows=1, policy=policy,
+                          device=GALAXY_S2, seed=seed).mean_delay_ms
+            for seed in seeds
+        ])
+        assert kernel_mean == pytest.approx(legacy_mean, rel=0.05)

@@ -1,0 +1,99 @@
+"""Golden regression fixtures for the multi-flow kernel.
+
+Small JSON traces of a 2-flow and a 4-flow run are committed under
+``tests/golden/``; replaying the same scenario must reproduce them
+**byte-identically** (full-precision floats via ``repr``), so a kernel
+refactor cannot silently shift results.  Regenerate deliberately with
+
+    REPRO_REGEN_GOLDEN=1 pytest tests/test_events_golden.py
+
+after a change that is *supposed* to move the traces (and say so in the
+commit).
+"""
+
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.core import standard_policies
+from repro.testbed.devices import GALAXY_S2
+from repro.testbed.multiflow import run_multiflow
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEED = 2013
+
+
+@lru_cache(maxsize=1)
+def _bitstream():
+    # Deliberately not the conftest fixtures: the golden scenario must
+    # stay frozen even if the shared test clips are ever re-tuned.
+    clip = generate_clip("slow", 24, seed=5)
+    return encode_sequence(clip, CodecConfig(gop_size=6, quantizer=8))
+
+
+def _payload(mrun):
+    return {
+        "schema": 1,
+        "seed": SEED,
+        "n_flows": mrun.n_flows,
+        "flows": [
+            [
+                {
+                    "seq": t.sequence_number,
+                    "frame": t.frame_index,
+                    "type": t.frame_type.value,
+                    "bytes": t.payload_bytes,
+                    "encrypted": t.encrypted,
+                    "enqueue_s": t.enqueue_time_s,
+                    "start_s": t.service_start_s,
+                    "encrypt_s": t.encryption_time_s,
+                    "transmit_s": t.transmit_time_s,
+                    "depart_s": t.departure_time_s,
+                    "delivered": t.delivered,
+                    "attempts": t.attempts,
+                }
+                for t in run.trace
+            ]
+            for run in mrun.flows
+        ],
+    }
+
+
+def _serialize(payload) -> str:
+    # sort_keys + fixed separators + repr-precision floats: the byte
+    # representation is canonical, so equality really is bit equality.
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+@pytest.mark.parametrize("flows", [2, 4])
+def test_golden_replay_byte_identical(flows):
+    mrun = run_multiflow(
+        _bitstream(),
+        flows=flows,
+        policy=standard_policies("AES256")["I"],
+        device=GALAXY_S2,
+        seed=SEED,
+    )
+    text = _serialize(_payload(mrun))
+    path = GOLDEN_DIR / f"multiflow_{flows}flows.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"{path} missing; run REPRO_REGEN_GOLDEN=1 pytest {__file__}"
+    )
+    assert path.read_text() == text
+
+
+def test_golden_fixtures_are_valid_json():
+    for flows in (2, 4):
+        payload = json.loads(
+            (GOLDEN_DIR / f"multiflow_{flows}flows.json").read_text())
+        assert payload["n_flows"] == flows
+        assert all(len(flow_trace) > 0 for flow_trace in payload["flows"])

@@ -1,0 +1,259 @@
+"""Property tests for the discrete-event kernel's determinism contract.
+
+Three invariants pin the kernel down (tests/test_events_differential.py
+and the golden fixtures then pin the *simulations* built on it):
+
+- identical seeds and process setup give an identical fired-event trace;
+- no event ever fires before its scheduled time, and a ``Timeout``
+  fires at *exactly* ``now + delay`` (no float drift through the heap);
+- same-time events fire in scheduling order (FIFO), no matter how many
+  unrelated events share the heap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testbed.events import (
+    EventKernel,
+    Request,
+    Resource,
+    Timeout,
+    WaitUntil,
+)
+
+
+def _random_walk_kernel(seed: int, n_processes: int, steps: int):
+    """N processes, each sleeping through its own spawned RNG stream."""
+    kernel = EventKernel(seed=seed, trace=True)
+
+    def sleeper(rng):
+        def gen():
+            for _ in range(steps):
+                yield Timeout(float(rng.exponential(1.0)))
+        return gen()
+
+    for i in range(n_processes):
+        kernel.add_process(sleeper(kernel.spawn_rng()), name=f"p{i}")
+    kernel.run()
+    return kernel
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_processes=st.integers(1, 5),
+        steps=st.integers(1, 15),
+    )
+    def test_identical_seeds_identical_event_trace(self, seed, n_processes,
+                                                   steps):
+        first = _random_walk_kernel(seed, n_processes, steps)
+        second = _random_walk_kernel(seed, n_processes, steps)
+        assert first.fired == second.fired
+        assert first.now == second.now
+
+    def test_different_seeds_differ(self):
+        a = _random_walk_kernel(1, 3, 10)
+        b = _random_walk_kernel(2, 3, 10)
+        assert a.fired != b.fired
+
+    def test_spawned_streams_are_independent_of_later_processes(self):
+        """Adding more processes never perturbs earlier streams' draws."""
+        def first_draw(n_streams):
+            kernel = EventKernel(seed=99)
+            rngs = [kernel.spawn_rng() for _ in range(n_streams)]
+            return float(rngs[0].random())
+        assert first_draw(1) == first_draw(5)
+
+
+class TestNoEarlyFiring:
+    @settings(max_examples=25, deadline=None)
+    @given(delays=st.lists(
+        st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=20,
+    ))
+    def test_timeout_fires_exactly_on_schedule(self, delays):
+        kernel = EventKernel()
+        observed = []
+
+        def gen():
+            for delay in delays:
+                target = kernel.now + delay
+                yield Timeout(delay)
+                observed.append((target, kernel.now))
+
+        kernel.add_process(gen())
+        kernel.run()
+        assert len(observed) == len(delays)
+        for target, fired_at in observed:
+            assert fired_at == target  # exact, not approximate
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_processes=st.integers(1, 4),
+    )
+    def test_fired_times_monotone(self, seed, n_processes):
+        kernel = _random_walk_kernel(seed, n_processes, 10)
+        times = [event.time for event in kernel.fired]
+        assert times == sorted(times)
+
+    def test_wait_until_past_fires_now_not_backwards(self):
+        kernel = EventKernel()
+        observed = []
+
+        def gen():
+            yield Timeout(5.0)
+            yield WaitUntil(1.0)  # already in the past
+            observed.append(kernel.now)
+
+        kernel.add_process(gen())
+        kernel.run()
+        assert observed == [5.0]
+
+    def test_wait_until_future_is_exact(self):
+        kernel = EventKernel()
+        observed = []
+
+        def gen():
+            yield WaitUntil(0.1 + 0.2)  # an instant with no exact float sum
+            observed.append(kernel.now)
+
+        kernel.add_process(gen())
+        kernel.run()
+        assert observed == [0.1 + 0.2]
+
+    def test_run_until_stops_the_clock_exactly(self):
+        kernel = EventKernel()
+        fired = []
+
+        def gen():
+            yield Timeout(1.0)
+            fired.append("early")
+            yield Timeout(10.0)
+            fired.append("late")
+
+        kernel.add_process(gen())
+        assert kernel.run(until=5.0) == 5.0
+        assert fired == ["early"]
+        # The remaining event is still pending and fires on resume.
+        kernel.run()
+        assert fired == ["early", "late"]
+        assert kernel.now == 11.0
+
+
+class TestFifoTieBreaking:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_waiters=st.integers(2, 6),
+        n_fillers=st.integers(0, 25),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_same_time_events_fire_in_schedule_order(self, n_waiters,
+                                                     n_fillers, seed):
+        """The wake order at t=1.0 equals the scheduling order and is
+        unaffected by how many unrelated events crowd the heap."""
+        kernel = EventKernel(seed=seed)
+        order = []
+
+        def waiter(i):
+            yield WaitUntil(1.0)
+            order.append(i)
+
+        def filler(rng):
+            for _ in range(3):
+                yield Timeout(float(rng.uniform(0.0, 0.9)) / 3.0)
+
+        for i in range(n_waiters):
+            kernel.add_process(waiter(i), name=f"w{i}")
+        for j in range(n_fillers):
+            kernel.add_process(filler(kernel.spawn_rng()), name=f"f{j}")
+        kernel.run()
+        assert order == list(range(n_waiters))
+
+    def test_resource_grants_in_request_order(self):
+        kernel = EventKernel()
+        resource = Resource(kernel)
+        order = []
+
+        def user(i, hold):
+            yield WaitUntil(0.0)
+            yield Request(resource)
+            order.append(i)
+            yield Timeout(hold)
+            resource.release()
+
+        for i in range(5):
+            kernel.add_process(user(i, hold=0.5), name=f"u{i}")
+        kernel.run()
+        assert order == [0, 1, 2, 3, 4]
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_resource_serialises_holders(self):
+        """With a capacity-1 resource, hold intervals never overlap."""
+        kernel = EventKernel()
+        resource = Resource(kernel)
+        intervals = []
+
+        def user(hold):
+            yield Request(resource)
+            start = kernel.now
+            yield Timeout(hold)
+            intervals.append((start, kernel.now))
+            resource.release()
+
+        for hold in (0.3, 0.2, 0.5):
+            kernel.add_process(user(hold))
+        kernel.run()
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert start >= end
+
+
+class TestValidation:
+    def test_negative_timeout_rejected(self):
+        kernel = EventKernel()
+
+        def gen():
+            yield Timeout(-1.0)
+
+        kernel.add_process(gen())
+        with pytest.raises(ValueError, match="negative timeout"):
+            kernel.run()
+
+    def test_nan_timeout_rejected(self):
+        kernel = EventKernel()
+
+        def gen():
+            yield Timeout(float("nan"))
+
+        kernel.add_process(gen())
+        with pytest.raises(ValueError):
+            kernel.run()
+
+    def test_unknown_command_rejected(self):
+        kernel = EventKernel()
+
+        def gen():
+            yield "sleep"
+
+        kernel.add_process(gen())
+        with pytest.raises(TypeError, match="yielded"):
+            kernel.run()
+
+    def test_release_without_acquire_rejected(self):
+        kernel = EventKernel()
+        with pytest.raises(RuntimeError, match="release"):
+            Resource(kernel).release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Resource(EventKernel(), capacity=0)
+
+    def test_seed_sequence_accepted(self):
+        root = np.random.SeedSequence(7)
+        kernel = EventKernel(seed=root)
+        assert isinstance(kernel.spawn_rng(), np.random.Generator)

@@ -121,6 +121,59 @@ class TestSeeding:
         assert first.delay_ms == second.delay_ms
 
 
+class TestMultiFlow:
+    @staticmethod
+    def _config(flows):
+        return ExperimentConfig(
+            policy=standard_policies("AES256")["I"],
+            device=GALAXY_S2, sensitivity_fraction=0.55,
+            decode_video=False, flows=flows, engine="events",
+        )
+
+    def test_config_validation(self):
+        base = dict(policy=standard_policies("AES256")["I"],
+                    device=GALAXY_S2, sensitivity_fraction=0.55,
+                    decode_video=False)
+        with pytest.raises(ValueError, match="flows"):
+            ExperimentConfig(**base, flows=0)
+        with pytest.raises(ValueError, match="flows"):
+            ExperimentConfig(**base, flows=True)
+        with pytest.raises(ValueError, match="engine"):
+            ExperimentConfig(**base, flows=2, engine="legacy")
+        with pytest.raises(ValueError, match="engine"):
+            ExperimentConfig(**base, flows=2, engine="simpy")
+        with pytest.raises(ValueError, match="decode_video"):
+            ExperimentConfig(policy=standard_policies("AES256")["I"],
+                             device=GALAXY_S2, sensitivity_fraction=0.55,
+                             decode_video=True, flows=2, engine="events")
+
+    def test_multiflow_experiment_produces_metrics(self, slow_clip,
+                                                   slow_bitstream):
+        result = run_experiment(slow_clip, slow_bitstream,
+                                self._config(flows=2), seed=0)
+        assert result.multiflow is not None
+        assert result.multiflow.n_flows == 2
+        assert result.run is result.multiflow.flows[0]
+        assert result.mean_delay_ms > 0
+        assert result.average_power_w > GALAXY_S2.base_power_w * 0.9
+        assert result.receiver_psnr_db is None
+
+    def test_contention_raises_delay(self, slow_clip, slow_bitstream):
+        one = run_experiment(slow_clip, slow_bitstream,
+                             self._config(flows=1), seed=0)
+        four = run_experiment(slow_clip, slow_bitstream,
+                              self._config(flows=4), seed=0)
+        assert four.mean_delay_ms > one.mean_delay_ms
+
+    def test_repeated_multiflow_aggregates(self, slow_clip, slow_bitstream):
+        repeated = run_repeated(slow_clip, slow_bitstream,
+                                self._config(flows=2), repeats=3,
+                                base_seed=9)
+        assert repeated.delay_ms.n == 3
+        assert len(repeated.runs) == 3
+        assert repeated.delay_ms.mean > 0
+
+
 class TestEnergyAccounting:
     def test_power_ordering_over_policies(self, fast_clip, fast_bitstream):
         powers = {}

@@ -13,6 +13,7 @@ from repro.testbed.transport import (
     UDP_RTP,
     TransportConfig,
     delivery_outcome,
+    delivery_outcome_with,
 )
 
 
@@ -119,3 +120,28 @@ class TestTransport:
             delivery_outcome(UDP_RTP, 1.5, rng)
         with pytest.raises(ValueError):
             TransportConfig("bad", header_bytes=-1, reliable=False)
+
+    @pytest.mark.parametrize("bad_rate", [
+        -0.1, 1.0000001, 2.0, float("nan"), float("inf"), float("-inf"),
+    ])
+    def test_delivery_rate_outside_unit_interval_rejected(self, bad_rate):
+        """delivery_outcome must never silently accept a rate outside
+        [0, 1] (NaN included) — it would skew the whole loss process."""
+        rng = np.random.default_rng(5)
+        for config in (UDP_RTP, HTTP_TCP):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                delivery_outcome(config, bad_rate, rng)
+
+    def test_delivery_rate_boundaries_accepted(self):
+        rng = np.random.default_rng(6)
+        assert not delivery_outcome(UDP_RTP, 0.0, rng).delivered
+        assert delivery_outcome(UDP_RTP, 1.0, rng).delivered
+
+    def test_delivery_outcome_with_custom_attempts(self):
+        """The callable form drives the same retransmission loop: here
+        the third attempt succeeds, costing two RTOs."""
+        draws = iter([False, False, True])
+        outcome = delivery_outcome_with(HTTP_TCP, lambda: next(draws))
+        assert outcome.delivered
+        assert outcome.attempts == 3
+        assert outcome.extra_delay_s == pytest.approx(2 * HTTP_TCP.rto_s)
