@@ -1,20 +1,27 @@
 #!/usr/bin/env python
-"""Micro-benchmark: scalar vs vectorized OFB-AES throughput.
+"""Micro-benchmark: scalar vs vectorized OFB throughput (AES256 and 3DES).
 
 Encrypts a payload the way the paper's sender does — split into MTU-sized
 RTP segments, each under its own derived IV (Section 5) — once through
-the scalar byte-oriented cipher and once through the numpy T-table batch
-path, and emits ``BENCH_crypto.json`` so the performance trajectory is
-tracked from PR to PR.
+the scalar byte-oriented ciphers and once through the numpy batch paths
+(T-table AES, packed-lane 3DES), and emits ``BENCH_crypto.json`` so the
+performance trajectory is tracked from PR to PR.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/crypto_microbench.py
+    PYTHONPATH=src python benchmarks/crypto_microbench.py --check-trend
 
-The scalar cipher is slow by construction (it is the readable reference
-implementation), so by default it is timed on a smaller sample of the
-same segment stream and reported as bytes/second; pass ``--full-scalar``
-to push the entire payload through it.
+The scalar ciphers are slow by construction (they are the readable
+reference implementations), so by default they are timed on smaller
+samples of the same segment stream and reported as bytes/second; pass
+``--full-scalar`` to push the entire payload through them.  3DES gets a
+smaller default sample than AES because its scalar path is ~7x slower
+per byte (which is exactly the paper's Table 1 point).
+
+``--check-trend`` runs the regression gate (``repro bench trend``)
+against ``benchmarks/results/bench_baseline.json`` after writing the
+report, and exits non-zero on a >30% throughput regression.
 """
 
 from __future__ import annotations
@@ -26,18 +33,29 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.crypto import AES, OFBMode, VectorAES, derive_iv
+from repro.cli import main as repro_main
+from repro.crypto import (
+    AES,
+    OFBMode,
+    TripleDES,
+    VectorAES,
+    VectorTripleDES,
+    derive_iv,
+)
 from repro.testbed.cache import ResultCache, RunMetrics
 
 DEFAULT_PAYLOAD = 1 << 20          # the acceptance target: 1 MiB
 DEFAULT_SEGMENT = 1460             # MTU-sized RTP payload
 DEFAULT_SCALAR_SAMPLE = 192 * 1024
+DEFAULT_SCALAR_SAMPLE_3DES = 24 * 1024
 DEFAULT_CACHE_ENTRIES = 10_000     # the grid size the sharded cache targets
+DEFAULT_BASELINE = Path("benchmarks/results/bench_baseline.json")
 KEY = bytes(range(32))             # AES256, the paper's headline cipher
+KEY_3DES = bytes(range(24))        # 3-key 3DES, the paper's slow cipher
 SALT = b"crypto-microbench"
 
 
-def _segments(total_bytes: int, segment_bytes: int):
+def _segments(total_bytes: int, segment_bytes: int, block_size: int = 16):
     """Deterministic odd-and-even sized segment stream summing to
     ``total_bytes`` (RTP payloads are odd-sized by design, so alternate)."""
     payloads = []
@@ -49,23 +67,56 @@ def _segments(total_bytes: int, segment_bytes: int):
                               for offset in range(size)))
         remaining -= size
         index += 1
-    ivs = [derive_iv(SALT, i, 16) for i in range(len(payloads))]
+    ivs = [derive_iv(SALT, i, block_size) for i in range(len(payloads))]
     return ivs, payloads
 
 
-def _time_scalar(ivs, payloads) -> float:
-    mode = OFBMode(AES(KEY))
+def _time_scalar(cipher, ivs, payloads) -> float:
+    mode = OFBMode(cipher)
     start = time.perf_counter()
     for iv, payload in zip(ivs, payloads):
         mode.encrypt(iv, payload)
     return time.perf_counter() - start
 
 
-def _time_vector(ivs, payloads) -> float:
-    mode = OFBMode(VectorAES(KEY))
+def _time_vector(cipher, ivs, payloads) -> float:
+    mode = OFBMode(cipher)
     start = time.perf_counter()
     mode.encrypt_segments(ivs, payloads)
     return time.perf_counter() - start
+
+
+def _bench_cipher(label: str, scalar_factory, vector_factory,
+                  block_size: int, total_bytes: int, segment_bytes: int,
+                  scalar_sample: int) -> dict:
+    """Scalar-vs-vector OFB section for one cipher."""
+    ivs, payloads = _segments(total_bytes, segment_bytes, block_size)
+
+    # Correctness cross-check before timing anything.
+    spot_mode = OFBMode(scalar_factory())
+    vec_mode = OFBMode(vector_factory())
+    spot = vec_mode.encrypt_segments(ivs[:3], payloads[:3])
+    for iv, payload, got in zip(ivs[:3], payloads[:3], spot):
+        assert got == spot_mode.encrypt(iv, payload), \
+            f"{label} vector path diverged"
+
+    vector_s = _time_vector(vector_factory(), ivs, payloads)
+
+    scalar_ivs, scalar_payloads = _segments(
+        min(scalar_sample, total_bytes), segment_bytes, block_size)
+    scalar_bytes = sum(len(p) for p in scalar_payloads)
+    scalar_s = _time_scalar(scalar_factory(), scalar_ivs, scalar_payloads)
+
+    scalar_rate = scalar_bytes / scalar_s
+    vector_rate = total_bytes / vector_s
+    return {
+        "cipher": label,
+        "segments": len(payloads),
+        "scalar_sample_bytes": scalar_bytes,
+        "scalar_bytes_per_s": scalar_rate,
+        "vector_bytes_per_s": vector_rate,
+        "speedup": vector_rate / scalar_rate,
+    }
 
 
 def _bench_cache(n_entries: int) -> dict:
@@ -131,54 +182,48 @@ def main() -> None:
                         default=DEFAULT_CACHE_ENTRIES,
                         help="entries for the result-cache micro-section"
                              " (0 skips it; default 10000)")
+    parser.add_argument("--check-trend", action="store_true",
+                        help="after writing the report, run the regression"
+                             " gate against the committed baseline and exit"
+                             " non-zero on a >30%% throughput drop")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline for --check-trend (default"
+                             f" {DEFAULT_BASELINE})")
     args = parser.parse_args()
     if args.bytes < 1:
         parser.error("--bytes must be at least 1")
-    if args.segment_bytes < 2:
-        parser.error("--segment-bytes must be at least 2")
+    if args.segment_bytes < 3:
+        parser.error("--segment-bytes must be at least 3")
 
-    ivs, payloads = _segments(args.bytes, args.segment_bytes)
+    aes_sample = args.bytes if args.full_scalar else DEFAULT_SCALAR_SAMPLE
+    aes = _bench_cipher("AES256-OFB", lambda: AES(KEY),
+                        lambda: VectorAES(KEY), 16,
+                        args.bytes, args.segment_bytes, aes_sample)
+    des_sample = (args.bytes if args.full_scalar
+                  else DEFAULT_SCALAR_SAMPLE_3DES)
+    des3 = _bench_cipher("3DES-OFB", lambda: TripleDES(KEY_3DES),
+                         lambda: VectorTripleDES(KEY_3DES), 8,
+                         args.bytes, args.segment_bytes, des_sample)
 
-    # Correctness cross-check before timing anything.
-    spot_mode = OFBMode(AES(KEY))
-    vec_mode = OFBMode(VectorAES(KEY))
-    spot = vec_mode.encrypt_segments(ivs[:3], payloads[:3])
-    for iv, payload, got in zip(ivs[:3], payloads[:3], spot):
-        assert got == spot_mode.encrypt(iv, payload), "vector path diverged"
-
-    vector_s = _time_vector(ivs, payloads)
-    vector_bytes = args.bytes
-
-    if args.full_scalar:
-        scalar_ivs, scalar_payloads = ivs, payloads
-    else:
-        scalar_ivs, scalar_payloads = _segments(
-            min(DEFAULT_SCALAR_SAMPLE, args.bytes), args.segment_bytes)
-    scalar_bytes = sum(len(p) for p in scalar_payloads)
-    scalar_s = _time_scalar(scalar_ivs, scalar_payloads)
-
-    scalar_rate = scalar_bytes / scalar_s
-    vector_rate = vector_bytes / vector_s
     report = {
         "workload": {
             "payload_bytes": args.bytes,
             "segment_bytes": args.segment_bytes,
-            "segments": len(payloads),
-            "cipher": "AES256-OFB",
-            "scalar_sample_bytes": scalar_bytes,
+            "segments": aes.pop("segments"),
+            "cipher": aes.pop("cipher"),
+            "scalar_sample_bytes": aes.pop("scalar_sample_bytes"),
         },
-        "scalar_bytes_per_s": scalar_rate,
-        "vector_bytes_per_s": vector_rate,
-        "speedup": vector_rate / scalar_rate,
+        **aes,
+        "3des": des3,
     }
     if args.cache_entries > 0:
         report["cache"] = _bench_cache(args.cache_entries)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"scalar : {scalar_rate / 1e3:8.1f} KB/s"
-          f"  ({scalar_bytes} bytes in {scalar_s:.2f}s)")
-    print(f"vector : {vector_rate / 1e3:8.1f} KB/s"
-          f"  ({vector_bytes} bytes in {vector_s:.2f}s)")
-    print(f"speedup: {report['speedup']:.1f}x  [target >= 10x]")
+    for label, section in (("AES256", report), ("3DES", des3)):
+        print(f"{label:7s}: scalar {section['scalar_bytes_per_s'] / 1e3:8.1f}"
+              f" KB/s, vector {section['vector_bytes_per_s'] / 1e3:8.1f} KB/s,"
+              f" speedup {section['speedup']:.1f}x")
+    print("target : >= 10x (AES256), >= 50x (3DES)")
     if "cache" in report:
         cache = report["cache"]
         print(f"cache  : {cache['entries']} entries"
@@ -189,6 +234,11 @@ def main() -> None:
               f" stats {cache['stats_s'] * 1e3:.2f} ms,"
               f" gc evicted {cache['gc_evicted']} in {cache['gc_s']:.2f}s")
     print(f"[saved to {args.out}]")
+    if args.check_trend:
+        raise SystemExit(repro_main([
+            "bench", "trend", "--current", str(args.out),
+            "--baseline", str(args.baseline),
+        ]))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Bench-regression trend gate: BENCH_crypto.json vs the committed baseline.
+
+Thin wrapper over :mod:`repro.analysis.trend` (also reachable as
+``python -m repro.cli bench trend``) so the bench workflow can run it
+right after ``crypto_microbench.py`` without setting PYTHONPATH::
+
+    python benchmarks/trend.py
+    python benchmarks/trend.py --current BENCH_crypto.json \
+        --baseline benchmarks/results/bench_baseline.json --threshold 0.3
+
+Exits non-zero when any throughput metric (``*_per_s``) dropped more than
+the threshold below the baseline.  Refresh the baseline deliberately::
+
+    cp BENCH_crypto.json benchmarks/results/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.cli import main
+except ImportError:  # benches run from the repo root without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", "trend", *sys.argv[1:]]))

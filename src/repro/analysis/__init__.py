@@ -10,6 +10,15 @@ from .regression import (
 )
 from .stats import Summary, relative_error, summarize
 from .tables import render_series, render_table
+from .trend import (
+    DEFAULT_THRESHOLD,
+    TrendRow,
+    compare_reports,
+    flatten_metrics,
+    load_report,
+    render_trend,
+    trend_gate,
+)
 
 __all__ = [
     "ReferenceDistanceCurve",
@@ -22,4 +31,11 @@ __all__ = [
     "summarize",
     "render_series",
     "render_table",
+    "DEFAULT_THRESHOLD",
+    "TrendRow",
+    "compare_reports",
+    "flatten_metrics",
+    "load_report",
+    "render_trend",
+    "trend_gate",
 ]

@@ -28,6 +28,12 @@ from .analysis import (
     measure_reference_distance_distortion,
     render_table,
 )
+from .analysis.trend import (
+    DEFAULT_THRESHOLD,
+    load_report,
+    render_trend,
+    trend_gate,
+)
 from .core import (
     EncryptionPolicy,
     PolicyAdvisor,
@@ -252,6 +258,26 @@ def cmd_cache(args) -> int:
         cache.close()
 
 
+def cmd_bench(args) -> int:
+    # Only one action today; argparse enforces the choice.
+    try:
+        current = load_report(args.current)
+        baseline = load_report(args.baseline)
+        rows, failed = trend_gate(current, baseline,
+                                  threshold=args.threshold)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(render_trend(rows, threshold=args.threshold,
+                       title=f"{args.current} vs {args.baseline}"))
+    if failed:
+        regressed = [row.metric for row in rows if row.failed]
+        print(f"REGRESSION: {', '.join(regressed)} dropped more than"
+              f" {args.threshold * 100:.0f}% below baseline")
+        return 1
+    print("trend gate passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -342,6 +368,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-entries", type=int, default=None,
                          help="entry cap enforced by gc (LRU eviction)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark maintenance (trend: regression gate vs baseline)",
+        description="trend: compare a BENCH_crypto.json against the"
+                    " committed baseline and exit 1 if any throughput"
+                    " metric (*_per_s) regressed more than the threshold."
+                    "  Refresh the baseline deliberately with"
+                    " `cp BENCH_crypto.json"
+                    " benchmarks/results/bench_baseline.json`.",
+    )
+    p_bench.add_argument("action", choices=("trend",))
+    p_bench.add_argument(
+        "--current", default="BENCH_crypto.json",
+        help="report to check (default ./BENCH_crypto.json)",
+    )
+    p_bench.add_argument(
+        "--baseline", default="benchmarks/results/bench_baseline.json",
+        help="committed baseline report"
+             " (default benchmarks/results/bench_baseline.json)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fractional throughput drop that fails the gate"
+             " (default 0.30)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -14,10 +14,17 @@ from .timing import (
     CIPHERS,
     CipherCost,
     make_cipher,
+    make_fast_cipher,
     measure_cipher_cost,
     reference_cipher_cost,
 )
-from .vector import VectorAES, has_vector_support, make_vector_cipher
+from .vector import (
+    VectorAES,
+    VectorDES,
+    VectorTripleDES,
+    has_vector_support,
+    make_vector_cipher,
+)
 
 __all__ = [
     "AES",
@@ -28,9 +35,12 @@ __all__ = [
     "CIPHERS",
     "CipherCost",
     "make_cipher",
+    "make_fast_cipher",
     "measure_cipher_cost",
     "reference_cipher_cost",
     "VectorAES",
+    "VectorDES",
+    "VectorTripleDES",
     "has_vector_support",
     "make_vector_cipher",
 ]

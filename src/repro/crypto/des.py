@@ -5,7 +5,10 @@ is several times that of AES, which is exactly why the paper's delay and
 power figures (Figs. 7-13) show the "all"/"P" policies being so much more
 expensive under 3DES.  This implementation is a direct transcription of
 the FIPS 46-3 permutation tables and S-boxes, validated against the
-classic known-answer vector in the test suite.
+classic "DES illustrated" vector plus the SP 800-17 variable-plaintext /
+variable-key and NBS-validation known-answer vectors in the test suite
+(:mod:`repro.crypto.vector_des` holds the batched implementation that
+must match it bit-for-bit).
 """
 
 from __future__ import annotations
@@ -159,7 +162,12 @@ class DES:
     def __init__(self, key: bytes) -> None:
         key = bytes(key)
         if len(key) != 8:
-            raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
+            hint = ""
+            if len(key) in (16, 24):
+                hint = " (16/24-byte keys are TripleDES keys, not DES keys)"
+            raise ValueError(
+                f"DES key must be 8 bytes, got {len(key)}{hint}"
+            )
         self._subkeys = self._key_schedule(key)
 
     @staticmethod
@@ -219,8 +227,20 @@ class TripleDES:
         if len(key) == 16:
             key = key + key[:8]
         if len(key) != 24:
+            # A multiple of 8 is still wrong unless it is exactly 16
+            # (2-key) or 24 (3-key); say so explicitly — an 8-byte key is
+            # a single-DES key and a 32-byte one is probably an AES-256
+            # key that reached the wrong cipher.
+            hint = ""
+            if len(key) == 8:
+                hint = " (an 8-byte key is a single-DES key; 3DES needs" \
+                       " 2 or 3 distinct 8-byte subkeys)"
+            elif len(key) % 8 == 0:
+                hint = f" ({len(key) // 8} subkeys; only 2-key and 3-key" \
+                       " keying options exist)"
             raise ValueError(
-                f"3DES key must be 16 or 24 bytes, got {len(key)}"
+                f"3DES key must be 16 bytes (2-key) or 24 bytes (3-key),"
+                f" got {len(key)}{hint}"
             )
         self._des1 = DES(key[0:8])
         self._des2 = DES(key[8:16])

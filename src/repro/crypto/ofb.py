@@ -19,7 +19,8 @@ Two performance tiers coexist here:
   ``np.frombuffer`` vectorized XOR when numpy is importable;
 - :meth:`OFBMode.keystream_batch` / :meth:`OFBMode.encrypt_segments`
   advance many per-segment keystream chains in lockstep, so a cipher
-  exposing ``encrypt_blocks`` (:class:`repro.crypto.vector.VectorAES`)
+  exposing ``encrypt_blocks`` (:class:`repro.crypto.vector.VectorAES`,
+  :class:`repro.crypto.vector_des.VectorTripleDES`)
   encrypts one *batch* of blocks per call instead of one block.  A chain
   is inherently sequential (each output block feeds the next), but the
   paper encrypts every segment under its own IV, so real payloads are
@@ -49,8 +50,9 @@ class BlockCipher(Protocol):
 
     Ciphers may additionally expose ``encrypt_blocks(np.ndarray) ->
     np.ndarray`` over an ``(n, block_size)`` uint8 array (see
-    :class:`repro.crypto.vector.VectorAES`); :class:`OFBMode` detects it
-    and batches keystream generation across segments.
+    :class:`repro.crypto.vector.VectorAES` and
+    :class:`repro.crypto.vector_des.VectorTripleDES`); :class:`OFBMode`
+    detects it and batches keystream generation across segments.
     """
 
     block_size: int
@@ -170,6 +172,13 @@ class OFBMode:
         n_chains = len(ivs)
         n_blocks = _np.array([-(-length // bs) for length in lengths])
         max_blocks = int(n_blocks.max())
+        if max_blocks == 0:
+            # Every requested length is zero; skip the array path instead
+            # of allocating a degenerate (n, 0, bs) buffer.
+            return [b""] * n_chains
+        # Duplicate IVs are fine here: each chain row advances
+        # independently, so equal IVs simply produce equal streams (the
+        # *security* obligation to keep IVs unique lives in derive_iv).
         feedback = (
             _np.frombuffer(b"".join(ivs), dtype=_np.uint8)
             .reshape(n_chains, bs)
@@ -178,7 +187,13 @@ class OFBMode:
         out = _np.zeros((n_chains, max_blocks, bs), dtype=_np.uint8)
         for step in range(max_blocks):
             active = _np.nonzero(n_blocks > step)[0]
-            encrypted = encrypt_blocks(feedback[active])
+            encrypted = _np.asarray(encrypt_blocks(feedback[active]))
+            if encrypted.shape != (len(active), bs):
+                raise ValueError(
+                    f"{type(self._cipher).__name__}.encrypt_blocks returned"
+                    f" shape {encrypted.shape}, expected"
+                    f" {(len(active), bs)}"
+                )
             feedback[active] = encrypted
             out[active, step] = encrypted
         return [

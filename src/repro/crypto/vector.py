@@ -13,9 +13,11 @@ from the same FIPS-197 key schedule, the tables are derived from the same
 generated S-box, and the test suite asserts bit-exact agreement with the
 FIPS-197 appendix vectors and with the scalar cipher on random batches.
 
-DES/3DES vectorization is deferred (see ROADMAP open items): the batched
-OFB path in :mod:`repro.crypto.ofb` transparently falls back to the
-scalar cipher when ``encrypt_blocks`` is absent.
+DES/3DES take the same treatment in :mod:`repro.crypto.vector_des`
+(packed uint64 Feistel lanes, SP-table lookups); this module's factory
+functions route every paper algorithm to its vectorized implementation.
+The batched OFB path in :mod:`repro.crypto.ofb` still transparently
+falls back to the scalar cipher when ``encrypt_blocks`` is absent.
 """
 
 from __future__ import annotations
@@ -25,8 +27,15 @@ from typing import Tuple
 import numpy as np
 
 from .aes import AES, BLOCK_SIZE, _gf_mul, _SBOX
+from .vector_des import VectorDES, VectorTripleDES
 
-__all__ = ["VectorAES", "make_vector_cipher", "has_vector_support"]
+__all__ = [
+    "VectorAES",
+    "VectorDES",
+    "VectorTripleDES",
+    "make_vector_cipher",
+    "has_vector_support",
+]
 
 # Column rotation index vectors implementing ShiftRows on column words:
 # the byte in row r of column c comes from column (c + r) mod 4.
@@ -141,20 +150,27 @@ class VectorAES:
         return self._scalar.decrypt_block(block)
 
 
-_VECTOR_KEY_SIZES = {16, 24, 32}
+# algorithm (paper name) -> vectorized cipher factory
+_VECTOR_FACTORIES = {
+    "AES128": VectorAES,
+    "AES192": VectorAES,
+    "AES256": VectorAES,
+    "3DES": VectorTripleDES,
+}
 
 
 def has_vector_support(algorithm: str) -> bool:
     """Whether ``algorithm`` (paper name) has a vectorized implementation."""
-    return algorithm in ("AES128", "AES192", "AES256")
+    return algorithm in _VECTOR_FACTORIES
 
 
 def make_vector_cipher(algorithm: str, key: bytes):
     """Vectorized cipher for a paper algorithm name, or ``None``.
 
-    3DES returns ``None`` (vectorization deferred); callers fall back to
-    the scalar cipher, which the batched OFB path accepts transparently.
+    Unknown algorithms return ``None``; callers fall back to the scalar
+    cipher, which the batched OFB path accepts transparently.
     """
-    if not has_vector_support(algorithm):
+    factory = _VECTOR_FACTORIES.get(algorithm)
+    if factory is None:
         return None
-    return VectorAES(key)
+    return factory(key)

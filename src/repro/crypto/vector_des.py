@@ -1,0 +1,238 @@
+"""Bit-parallel DES / Triple-DES: many blocks per call on packed numpy lanes.
+
+:class:`~repro.crypto.des.DES` pays Python-level list work for every bit
+of every round, which made 3DES — the paper's most expensive cipher
+(Table 1) and therefore the one its "encrypt-everything" policies stress
+hardest in Figs. 7-13 — the last cipher still running orders of magnitude
+slower than the hardware allows.  This module is the classic software-DES
+formulation lifted onto numpy lanes: the two 32-bit Feistel halves of
+``n`` blocks are held as ``(n,)`` ``uint64`` arrays (DES bit 1 at bit 31),
+so one round is a handful of whole-batch shift/mask/XOR ops plus eight
+64-entry table gathers:
+
+- the E expansion never materializes: each S-box input chunk is six
+  consecutive bits of the circularly extended right half, extracted with
+  one shift+mask from a 34-bit wrap-padded value;
+- the round-key XOR collapses to eight 6-bit constants XORed into the
+  chunk indices (XOR commutes with bit extraction);
+- each S-box is a 64-entry ``uint64`` table with the P permutation
+  pre-applied (the classic SP-table trick), so the Feistel function is
+  the XOR of eight gathers.
+
+IP and FP run once per batch via ``np.unpackbits`` fancy-index gathers.
+Triple-DES chains three 16-round networks *without* leaving the packed
+representation: FP is the inverse of IP, so the FP/IP pairs between the
+EDE stages cancel and only the half-swap between stages remains.
+
+Correctness is anchored to the scalar implementation: subkeys come from
+the same FIPS 46-3 key schedule (the scalar cipher computes them), and
+the test suite asserts bit-exact agreement with the SP 800-17 /
+NBS-validation known-answer vectors and with the scalar ciphers on
+hypothesis-generated batches.  The scalar :class:`~repro.crypto.des.DES`
+remains the differential-test oracle and the model's notion of what the
+*phone* pays (``CipherCost``); this module only accelerates the
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .des import BLOCK_SIZE, DES, TripleDES, _FP, _IP, _P, _SBOXES
+
+__all__ = ["VectorDES", "VectorTripleDES"]
+
+# Permutation tables as 0-based gather indices over (n, 64) bit planes.
+_IP_IDX = np.array(_IP, dtype=np.intp) - 1
+_FP_IDX = np.array(_FP, dtype=np.intp) - 1
+
+
+def _build_sp_tables() -> np.ndarray:
+    """S-boxes pre-composed with P as packed words: ``(8, 64)`` uint64.
+
+    Entry ``[box, v]`` is the 32-bit Feistel-function contribution
+    (already P-permuted, f bit 1 at bit 31) of feeding 6-bit value ``v``
+    into S-box ``box``; the boxes write disjoint bits, so the full
+    f-function is the XOR of eight lookups.
+    """
+    p_idx = [p - 1 for p in _P]
+    tables = np.zeros((8, 64), dtype=np.uint64)
+    for box in range(8):
+        for value in range(64):
+            row = (((value >> 5) & 1) << 1) | (value & 1)
+            col = (value >> 1) & 0xF
+            s_out = _SBOXES[box][row][col]
+            pre_p = [0] * 32
+            for bit in range(4):
+                pre_p[4 * box + bit] = (s_out >> (3 - bit)) & 1
+            word = 0
+            for position, bit in enumerate(pre_p[i] for i in p_idx):
+                word |= bit << (31 - position)
+            tables[box, value] = word
+    return tables
+
+
+_SP_TABLES = _build_sp_tables()
+
+# Right shift extracting S-box k's 6-bit chunk from the 34-bit extended
+# right half (bit 32 replicated above bit 1, bit 1 replicated below
+# bit 32 — the E expansion's circular structure).
+_CHUNK_SHIFTS = tuple(np.uint64(28 - 4 * k) for k in range(8))
+
+_ONE = np.uint64(1)
+_SHIFT31 = np.uint64(31)
+_SHIFT33 = np.uint64(33)
+_MASK6 = np.uint64(0x3F)
+
+
+def _key_chunks(subkeys) -> np.ndarray:
+    """Scalar-schedule subkeys as ``(rounds, 8)`` 6-bit chunk constants."""
+    return np.array(
+        [[sum(subkey[6 * k + j] << (5 - j) for j in range(6))
+          for k in range(8)]
+         for subkey in subkeys],
+        dtype=np.uint64,
+    )
+
+
+def _check_blocks(blocks: np.ndarray) -> np.ndarray:
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2 or blocks.shape[1] != BLOCK_SIZE:
+        raise ValueError(
+            f"blocks must have shape (n, {BLOCK_SIZE}), got {blocks.shape}"
+        )
+    return blocks
+
+
+def _to_halves(blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """IP, then split into packed (L, R) uint64 lanes (DES bit 1 at 31)."""
+    bits = np.unpackbits(blocks, axis=1)[:, _IP_IDX]
+    packed = np.ascontiguousarray(np.packbits(bits, axis=1))
+    words = packed.view(">u4").astype(np.uint64)
+    return np.ascontiguousarray(words[:, 0]), np.ascontiguousarray(words[:, 1])
+
+
+def _from_halves(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Final swap (R16, L16), then FP, back to ``(n, 8)`` uint8 blocks."""
+    n = left.shape[0]
+    words = np.empty((n, 2), dtype=">u4")
+    words[:, 0] = right
+    words[:, 1] = left
+    bits = np.unpackbits(words.view(np.uint8).reshape(n, 8), axis=1)
+    return np.packbits(bits[:, _FP_IDX], axis=1)
+
+
+def _feistel16(left: np.ndarray, right: np.ndarray,
+               key_chunks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Run one 16-round Feistel network over packed uint64 lanes."""
+    for chunks in key_chunks:
+        extended = ((right & _ONE) << _SHIFT33) | (right << _ONE) \
+            | (right >> _SHIFT31)
+        f_out = _SP_TABLES[0][((extended >> _CHUNK_SHIFTS[0]) & _MASK6)
+                              ^ chunks[0]]
+        for box in range(1, 8):
+            f_out = f_out ^ _SP_TABLES[box][
+                ((extended >> _CHUNK_SHIFTS[box]) & _MASK6) ^ chunks[box]]
+        left, right = right, left ^ f_out
+    return left, right
+
+
+class VectorDES:
+    """DES over batches of blocks, bit-exact with :class:`~repro.crypto.des.DES`.
+
+    Satisfies the :class:`repro.crypto.ofb.BlockCipher` protocol (single
+    blocks go through a batch of one) and additionally exposes
+    :meth:`encrypt_blocks` for the vectorized OFB keystream path.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        # The scalar cipher owns key validation and the key schedule.
+        self._scalar = DES(key)
+        self._chunks = _key_chunks(self._scalar._subkeys)
+
+    @property
+    def block_size(self) -> int:
+        return BLOCK_SIZE
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt an ``(n, 8)`` uint8 array of blocks in one call."""
+        left, right = _to_halves(_check_blocks(blocks))
+        return _from_halves(*_feistel16(left, right, self._chunks))
+
+    def decrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Decrypt an ``(n, 8)`` uint8 array of blocks in one call."""
+        left, right = _to_halves(_check_blocks(blocks))
+        return _from_halves(*_feistel16(left, right, self._chunks[::-1]))
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 8-byte block (batch of one)."""
+        return self._one_block(block, self.encrypt_blocks)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 8-byte block (batch of one)."""
+        return self._one_block(block, self.decrypt_blocks)
+
+    @staticmethod
+    def _one_block(block: bytes, crypt) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"DES block must be {BLOCK_SIZE} bytes")
+        batch = np.frombuffer(block, dtype=np.uint8).reshape(1, BLOCK_SIZE)
+        return crypt(batch).tobytes()
+
+
+class VectorTripleDES:
+    """EDE Triple-DES over batches, bit-exact with
+    :class:`~repro.crypto.des.TripleDES` (16- or 24-byte keys).
+
+    The three 16-round stages run back-to-back in the packed
+    representation: FP is the inverse of IP, so the inter-stage FP/IP
+    pairs cancel and only the half-swap between stages remains.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        # The scalar cipher owns key validation (16/24 bytes, 2-key
+        # expansion) and the key schedule.
+        self._scalar = TripleDES(key)
+        self._k1 = _key_chunks(self._scalar._des1._subkeys)
+        self._k2 = _key_chunks(self._scalar._des2._subkeys)
+        self._k3 = _key_chunks(self._scalar._des3._subkeys)
+
+    @property
+    def block_size(self) -> int:
+        return BLOCK_SIZE
+
+    def _crypt_blocks(self, blocks: np.ndarray, stage_keys) -> np.ndarray:
+        left, right = _to_halves(_check_blocks(blocks))
+        left, right = _feistel16(left, right, stage_keys[0])
+        # Each scalar stage ends with a half-swap before FP; FP and the
+        # next stage's IP cancel, leaving just the swap between stages.
+        left, right = _feistel16(right, left, stage_keys[1])
+        left, right = _feistel16(right, left, stage_keys[2])
+        return _from_halves(left, right)
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """EDE-encrypt an ``(n, 8)`` uint8 array of blocks in one call."""
+        return self._crypt_blocks(
+            blocks, (self._k1, self._k2[::-1], self._k3))
+
+    def decrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """EDE-decrypt an ``(n, 8)`` uint8 array of blocks in one call."""
+        return self._crypt_blocks(
+            blocks, (self._k3[::-1], self._k2, self._k1[::-1]))
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """EDE encryption of one 8-byte block (batch of one)."""
+        return self._one_block(block, self.encrypt_blocks)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """EDE decryption of one 8-byte block (batch of one)."""
+        return self._one_block(block, self.decrypt_blocks)
+
+    @staticmethod
+    def _one_block(block: bytes, crypt) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"3DES block must be {BLOCK_SIZE} bytes")
+        batch = np.frombuffer(block, dtype=np.uint8).reshape(1, BLOCK_SIZE)
+        return crypt(batch).tobytes()

@@ -24,6 +24,22 @@ class TestKnownAnswers:
         cipher = DES(bytes(8))
         assert cipher.encrypt_block(bytes(8)).hex() == "8ca64de9c1b123a7"
 
+    @pytest.mark.parametrize("key,pt,ct", [
+        # NBS/SP 800-17 style vectors, verified against an independent
+        # oracle (shared with tests/test_crypto_vector_des.py).
+        ("0101010101010101", "8000000000000000", "95f8a5e5dd31d900"),
+        ("0101010101010101", "4000000000000000", "dd7f121ca5015619"),
+        ("8001010101010101", "0000000000000000", "95a8d72813daa94d"),
+        ("7ca110454a1a6e57", "01a1d6d039776742", "690f5b0d9a26939b"),
+        ("0131d9619dc1376e", "5cd54ca83def57da", "7a389d10354bd271"),
+        ("ffffffffffffffff", "ffffffffffffffff", "7359b2163e4edc58"),
+        ("3000000000000000", "1000000000000001", "958e6e627a05557b"),
+    ])
+    def test_nbs_vectors(self, key, pt, ct):
+        cipher = DES(bytes.fromhex(key))
+        assert cipher.encrypt_block(bytes.fromhex(pt)).hex() == ct
+        assert cipher.decrypt_block(bytes.fromhex(ct)).hex() == pt
+
 
 class TestTripleDes:
     def test_three_key_roundtrip(self):
@@ -49,10 +65,39 @@ class TestTripleDes:
     def test_block_size(self):
         assert TripleDES(bytes(24)).block_size == BLOCK_SIZE == 8
 
+    @pytest.mark.parametrize("key,pt,ct", [
+        # 2-key and 3-key EDE vectors, oracle-verified.
+        ("0123456789abcdeffedcba9876543210",
+         "5468652071756663", "672f1f22f28b0b91"),
+        ("0123456789abcdeffedcba9876543210",
+         "4e6f772069732074", "d80a0d8b2bae5e4e"),
+        ("0123456789abcdef23456789abcdef01456789abcdef0123",
+         "5468652071756663", "a826fd8ce53b855f"),
+        ("0123456789abcdef23456789abcdef01456789abcdef0123",
+         "4e6f772069732074", "314f8327fa7a09a8"),
+    ])
+    def test_ede_vectors(self, key, pt, ct):
+        cipher = TripleDES(bytes.fromhex(key))
+        assert cipher.encrypt_block(bytes.fromhex(pt)).hex() == ct
+        assert cipher.decrypt_block(bytes.fromhex(ct)).hex() == pt
+
     @pytest.mark.parametrize("key_len", [0, 8, 15, 23, 25, 32])
     def test_bad_key_length(self, key_len):
         with pytest.raises(ValueError):
             TripleDES(bytes(key_len))
+
+    def test_key_errors_explain_the_fix(self):
+        """Wrong-length keys that are multiples of 8 are the common
+        confusion (DES key handed to 3DES and vice versa); the errors
+        must say which cipher wants what."""
+        with pytest.raises(ValueError, match="2-key.*3-key|16 bytes.*24"):
+            TripleDES(bytes(8))
+        with pytest.raises(ValueError, match="16 bytes.*24|2-key"):
+            TripleDES(bytes(32))
+        with pytest.raises(ValueError, match="TripleDES"):
+            DES(bytes(16))
+        with pytest.raises(ValueError, match="TripleDES"):
+            DES(bytes(24))
 
 
 class TestValidation:

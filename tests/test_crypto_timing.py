@@ -6,6 +6,7 @@ from repro.crypto.timing import (
     CIPHERS,
     CipherCost,
     make_cipher,
+    make_fast_cipher,
     measure_cipher_cost,
     reference_cipher_cost,
 )
@@ -72,6 +73,85 @@ class TestMakeCipher:
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             make_cipher("DES5", bytes(8))
+
+
+class TestFastCipher:
+    """make_fast_cipher is the simulator's bulk path; it must be
+    byte-identical to the scalar cipher and must not leak into the
+    modelled ``T_e``."""
+
+    @pytest.mark.parametrize("name", sorted(CIPHERS))
+    def test_fast_cipher_byte_identical(self, name):
+        key_size, _ = CIPHERS[name]
+        key = bytes(range(key_size))
+        fast = make_fast_cipher(name, key)
+        scalar = make_cipher(name, key)
+        block = bytes(range(scalar.block_size))
+        assert fast.encrypt_block(block) == scalar.encrypt_block(block)
+
+    @pytest.mark.parametrize("name", sorted(CIPHERS))
+    def test_fast_cipher_is_vectorized(self, name):
+        key_size, _ = CIPHERS[name]
+        fast = make_fast_cipher(name, bytes(key_size))
+        assert hasattr(fast, "encrypt_blocks")
+
+    def test_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            make_fast_cipher("3DES", bytes(10))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_fast_cipher("DES5", bytes(8))
+
+
+class TestModelledTimesPinned:
+    """T_e invariance: the modelled encryption-time inputs of the delay
+    model (Section 4.2.2) must not move when the bulk crypto path gets
+    faster.  These literals are the committed model; a deliberate
+    recalibration must update this test."""
+
+    def test_make_cipher_stays_scalar(self):
+        """The calibration path times the byte-oriented reference
+        implementation — it must never pick up encrypt_blocks."""
+        for name in CIPHERS:
+            key_size, _ = CIPHERS[name]
+            assert not hasattr(make_cipher(name, bytes(key_size)),
+                               "encrypt_blocks")
+
+    def test_reference_costs_pinned(self):
+        pins = {
+            "AES128": (4.0e-6, 1.8e-8),
+            "AES256": (5.0e-6, 2.5e-8),
+            "3DES": (6.0e-6, 9.0e-8),
+        }
+        for name, (setup_s, per_byte_s) in pins.items():
+            cost = reference_cipher_cost(name)
+            assert cost.setup_s == setup_s
+            assert cost.per_byte_s == per_byte_s
+            assert cost.jitter_fraction == 0.05
+
+    def test_device_costs_pinned(self):
+        from repro.testbed.devices import GALAXY_S2, HTC_AMAZE_4G
+
+        pins = [
+            (GALAXY_S2, "3DES", 0.9e-3 * 2.2, 2.0e-6),
+            (GALAXY_S2, "AES256", 0.9e-3, 0.68e-6),
+            (HTC_AMAZE_4G, "3DES", 1.1e-3 * 2.2, 2.5e-6),
+            (HTC_AMAZE_4G, "AES128", 1.1e-3 * 0.85, 0.70e-6),
+        ]
+        for device, algorithm, setup_s, per_byte_s in pins:
+            cost = device.cipher_cost(algorithm)
+            assert cost.setup_s == pytest.approx(setup_s, rel=0, abs=0)
+            assert cost.per_byte_s == per_byte_s
+
+    def test_mtu_packet_times_pinned(self):
+        """The actual T_e numbers fed into eq. 15 for an MTU packet."""
+        assert reference_cipher_cost("3DES").time_for(1460) == \
+            pytest.approx(6.0e-6 + 9.0e-8 * 1460, rel=0, abs=0)
+        from repro.testbed.devices import GALAXY_S2
+
+        assert GALAXY_S2.cipher_cost("3DES").time_for(1460) == \
+            pytest.approx(0.9e-3 * 2.2 + 2.0e-6 * 1460, rel=0, abs=0)
 
 
 class TestMeasurement:

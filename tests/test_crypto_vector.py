@@ -12,6 +12,7 @@ from repro.crypto import (
     OFBMode,
     TripleDES,
     VectorAES,
+    VectorTripleDES,
     derive_iv,
     has_vector_support,
     make_vector_cipher,
@@ -77,11 +78,14 @@ class TestFactory:
     def test_vector_support_map(self):
         assert has_vector_support("AES128")
         assert has_vector_support("AES256")
-        assert not has_vector_support("3DES")
+        assert has_vector_support("3DES")
+        assert not has_vector_support("RC4")
 
     def test_make_vector_cipher(self):
         assert isinstance(make_vector_cipher("AES128", KEY128), VectorAES)
-        assert make_vector_cipher("3DES", bytes(range(24))) is None
+        assert isinstance(make_vector_cipher("3DES", bytes(range(24))),
+                          VectorTripleDES)
+        assert make_vector_cipher("RC4", bytes(16)) is None
 
 
 class TestBatchedOfb:
@@ -95,8 +99,9 @@ class TestBatchedOfb:
             assert stream == scalar.keystream(iv, length)
 
     def test_scalar_cipher_fallback_is_identical(self):
-        """A cipher without encrypt_blocks (3DES) takes the fallback path
-        and must produce the same streams."""
+        """A cipher without encrypt_blocks (the *scalar* TripleDES
+        reference) takes the block-at-a-time fallback path and must
+        produce the same streams."""
         mode = OFBMode(TripleDES(bytes(range(24))))
         lengths = [0, 3, 8, 9, 25]
         ivs = [derive_iv(b"fallback", i, 8) for i in range(len(lengths))]

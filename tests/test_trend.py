@@ -1,0 +1,178 @@
+"""Benchmark trend gate: flattening, gating policy, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.trend import (
+    DEFAULT_THRESHOLD,
+    compare_reports,
+    flatten_metrics,
+    load_report,
+    render_trend,
+    trend_gate,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BASELINE = {
+    "workload": {"payload_bytes": 1048576, "cipher": "AES256-OFB"},
+    "scalar_bytes_per_s": 50_000.0,
+    "vector_bytes_per_s": 7_000_000.0,
+    "speedup": 140.0,
+    "3des": {
+        "scalar_bytes_per_s": 10_000.0,
+        "vector_bytes_per_s": 1_400_000.0,
+        "speedup": 140.0,
+    },
+    "cache": {"cold_put_per_s": 4000.0, "len_s": 0.0001,
+              "index_backend": "sqlite"},
+}
+
+
+def _by_metric(rows):
+    return {row.metric: row for row in rows}
+
+
+class TestFlatten:
+    def test_nested_dotted_keys(self):
+        flat = flatten_metrics(BASELINE)
+        assert flat["3des.vector_bytes_per_s"] == 1_400_000.0
+        assert flat["cache.cold_put_per_s"] == 4000.0
+        assert flat["workload.payload_bytes"] == 1048576.0
+
+    def test_non_numeric_leaves_skipped(self):
+        flat = flatten_metrics({"a": "text", "b": True, "c": None,
+                                "d": [1, 2], "e": 3})
+        assert flat == {"e": 3.0}
+
+
+class TestGatePolicy:
+    def test_equal_reports_pass(self):
+        rows, failed = trend_gate(BASELINE, BASELINE)
+        assert not failed
+        assert all(row.status in ("ok", "info") for row in rows)
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["3des"]["vector_bytes_per_s"] *= 0.65  # -35%
+        rows, failed = trend_gate(current, BASELINE)
+        assert failed
+        assert _by_metric(rows)["3des.vector_bytes_per_s"].status == \
+            "regression"
+
+    def test_drop_within_threshold_is_ok(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["vector_bytes_per_s"] *= 0.75  # -25% < 30%
+        rows, failed = trend_gate(current, BASELINE)
+        assert not failed
+        assert _by_metric(rows)["vector_bytes_per_s"].status == "ok"
+
+    def test_large_gain_reported_improved(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["vector_bytes_per_s"] *= 2
+        rows, failed = trend_gate(current, BASELINE)
+        assert not failed
+        assert _by_metric(rows)["vector_bytes_per_s"].status == "improved"
+
+    def test_ungated_metrics_never_fail(self):
+        """speedup / latency / descriptor drops are context, not gated."""
+        current = json.loads(json.dumps(BASELINE))
+        current["speedup"] = 1.0
+        current["cache"]["len_s"] = 99.0
+        current["workload"]["payload_bytes"] = 1
+        rows, failed = trend_gate(current, BASELINE)
+        assert not failed
+        assert _by_metric(rows)["speedup"].status == "info"
+
+    def test_new_and_missing_metrics_do_not_fail(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["blowfish_bytes_per_s"] = 1.0
+        del current["cache"]
+        rows, failed = trend_gate(current, BASELINE)
+        assert not failed
+        by = _by_metric(rows)
+        assert by["blowfish_bytes_per_s"].status == "new"
+        assert by["cache.cold_put_per_s"].status == "missing"
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.2, 5])
+    def test_bad_threshold_rejected(self, threshold):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_reports(BASELINE, BASELINE, threshold)
+
+    def test_custom_threshold(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["scalar_bytes_per_s"] *= 0.85  # -15%
+        _, failed_default = trend_gate(current, BASELINE)
+        _, failed_tight = trend_gate(current, BASELINE, threshold=0.10)
+        assert not failed_default
+        assert failed_tight
+
+    def test_render_lists_gated_rows_first(self):
+        rows, _ = trend_gate(BASELINE, BASELINE)
+        text = render_trend(rows, threshold=DEFAULT_THRESHOLD)
+        lines = [l for l in text.splitlines() if "per_s" in l or
+                 "speedup" in l]
+        per_s = [i for i, l in enumerate(lines) if "per_s" in l]
+        info = [i for i, l in enumerate(lines) if "speedup" in l]
+        assert max(per_s) < min(info)
+
+
+class TestLoadReport:
+    def test_missing_file_is_actionable(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="crypto_microbench"):
+            load_report(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_report(bad)
+
+    def test_non_object_rejected(self, tmp_path):
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_report(arr)
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        assert main(["bench", "trend", "--current", base,
+                     "--baseline", base]) == 0
+        assert "trend gate passed" in capsys.readouterr().out
+
+    def test_injected_regression_exit_nonzero(self, tmp_path, capsys):
+        """The acceptance fixture: a 30%+ drop must exit non-zero."""
+        current = json.loads(json.dumps(BASELINE))
+        current["3des"]["vector_bytes_per_s"] *= 0.69  # -31%
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cur = self._write(tmp_path, "cur.json", current)
+        assert main(["bench", "trend", "--current", cur,
+                     "--baseline", base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_is_actionable(self, tmp_path):
+        cur = self._write(tmp_path, "cur.json", BASELINE)
+        with pytest.raises(SystemExit, match="crypto_microbench"):
+            main(["bench", "trend", "--current", cur,
+                  "--baseline", str(tmp_path / "absent.json")])
+
+    def test_real_numbers_pass(self):
+        """The committed BENCH_crypto.json must pass against the
+        committed baseline (they are refreshed together)."""
+        current = REPO_ROOT / "BENCH_crypto.json"
+        baseline = REPO_ROOT / "benchmarks" / "results" / \
+            "bench_baseline.json"
+        if not (current.exists() and baseline.exists()):
+            pytest.skip("bench reports not present in this checkout")
+        assert main(["bench", "trend", "--current", str(current),
+                     "--baseline", str(baseline)]) == 0
