@@ -14,6 +14,9 @@ Knobs (environment variables):
 - ``REPRO_CACHE``          set 0 to disable the on-disk result cache
   (default: cache under ``benchmarks/results/cache``);
 - ``REPRO_CACHE_DIR``      override the cache directory;
+- ``REPRO_CACHE_BACKEND``  cache store: ``dir`` (sharded files, the
+  default), ``sqlite`` (single-file WAL store), or a full
+  ``backend:location`` spec;
 - ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES``  size caps for
   the cache (LRU eviction; default: unbounded);
 - ``REPRO_ENGINE_WORKERS`` worker processes for the experiment engine
@@ -46,6 +49,7 @@ from repro.testbed import (
     ExperimentEngine,
     GridCell,
     ResultCache,
+    backend_from_env,
 )
 from repro.video import (
     CodecConfig,
@@ -81,7 +85,7 @@ def _env_int(name: str):
 
 ENGINE = ExperimentEngine(
     cache=ResultCache(
-        CACHE_DIR,
+        backend=backend_from_env(CACHE_DIR),
         max_bytes=_env_int("REPRO_CACHE_MAX_BYTES"),
         max_entries=_env_int("REPRO_CACHE_MAX_ENTRIES"),
     ) if _CACHE_ENABLED else None,

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""CI entry point for the project-specific static checks.
+
+Thin wrapper so the pipeline (and developers without the package on
+their path) can run::
+
+    PYTHONPATH=src python benchmarks/lint_checks.py
+
+which is exactly ``repro lint`` over ``src/``, ``tests/`` and
+``benchmarks/`` — see :mod:`repro.lint` for the rule set.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    roots = sys.argv[1:] or [str(REPO_ROOT / root)
+                             for root in ("src", "tests", "benchmarks")]
+    sys.exit(main(["lint", *roots]))

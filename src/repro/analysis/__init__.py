@@ -8,6 +8,13 @@ from .regression import (
     measure_recovery_fraction,
     measure_reference_distance_distortion,
 )
+from .history import (
+    DEFAULT_HISTORY_DIR,
+    current_git_sha,
+    load_history,
+    record_run,
+    render_history,
+)
 from .stats import Summary, relative_error, summarize
 from .tables import render_series, render_table
 from .trend import (
@@ -38,4 +45,9 @@ __all__ = [
     "load_report",
     "render_trend",
     "trend_gate",
+    "DEFAULT_HISTORY_DIR",
+    "current_git_sha",
+    "load_history",
+    "record_run",
+    "render_history",
 ]

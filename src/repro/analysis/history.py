@@ -1,0 +1,122 @@
+"""Benchmark history: one JSON snapshot per git revision.
+
+The trend gate (:mod:`repro.analysis.trend`) answers "did this run
+regress against the committed baseline?"; this module keeps the longer
+story.  ``repro bench trend`` appends each checked run into
+``benchmarks/results/history/<git-sha>.json`` and ``repro bench
+history`` renders the per-revision throughput table, so a slow drift
+that never trips the 30% gate in any single step is still visible.
+
+Snapshots are keyed by the short git SHA (``nogit`` outside a work
+tree); re-running on the same revision overwrites its snapshot, keeping
+one entry per revision rather than one per run.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .tables import render_table
+from .trend import flatten_metrics
+
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "current_git_sha",
+    "load_history",
+    "record_run",
+    "render_history",
+]
+
+DEFAULT_HISTORY_DIR = "benchmarks/results/history"
+
+
+def current_git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
+    """Short SHA of HEAD, or ``"nogit"`` when git is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "nogit"
+    if proc.returncode != 0:
+        return "nogit"
+    return proc.stdout.strip() or "nogit"
+
+
+def record_run(report: Dict, history_dir: Union[str, Path], *,
+               sha: Optional[str] = None,
+               source: str = "") -> Path:
+    """Snapshot a bench report's numeric metrics under its revision.
+
+    Returns the snapshot path.  Idempotent per revision: a re-run on the
+    same SHA replaces the previous snapshot.
+    """
+    history_dir = Path(history_dir)
+    history_dir.mkdir(parents=True, exist_ok=True)
+    sha = sha or current_git_sha()
+    snapshot = {
+        "sha": sha,
+        "recorded_unix": time.time(),
+        "source": source,
+        "metrics": flatten_metrics(report),
+    }
+    path = history_dir / f"{sha}.json"
+    tmp = path.with_name(f".tmp-{path.name}")
+    tmp.write_text(json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_history(history_dir: Union[str, Path]) -> List[Dict]:
+    """All snapshots, oldest first (by recording time, then SHA)."""
+    history_dir = Path(history_dir)
+    if not history_dir.is_dir():
+        return []
+    snapshots: List[Dict] = []
+    for path in sorted(history_dir.glob("*.json")):
+        try:
+            snapshot = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue  # a torn write is not worth failing the report over
+        if isinstance(snapshot, dict) and "metrics" in snapshot:
+            snapshots.append(snapshot)
+    snapshots.sort(key=lambda s: (s.get("recorded_unix", 0.0),
+                                  s.get("sha", "")))
+    return snapshots
+
+
+def render_history(snapshots: List[Dict], *,
+                   metric_suffix: str = "_per_s",
+                   title: str = "bench history") -> str:
+    """Per-revision table of throughput metrics (``*_per_s`` by default).
+
+    Columns are the union of matching metrics across snapshots; gaps
+    (metrics added later) render as ``-``.
+    """
+    if not snapshots:
+        return f"{title}: no snapshots recorded yet"
+    metrics = sorted({
+        name
+        for snapshot in snapshots
+        for name in snapshot.get("metrics", {})
+        if name.endswith(metric_suffix)
+    })
+    rows = []
+    for snapshot in snapshots:
+        recorded = snapshot.get("recorded_unix")
+        stamp = (time.strftime("%Y-%m-%d", time.gmtime(recorded))
+                 if isinstance(recorded, (int, float)) else "-")
+        row = [snapshot.get("sha", "?"), stamp]
+        for name in metrics:
+            value = snapshot.get("metrics", {}).get(name)
+            row.append("-" if value is None else f"{value:.3g}")
+        rows.append(row)
+    short = [name.rsplit(".", 1)[-1] for name in metrics]
+    if len(set(short)) != len(short):  # e.g. 3des.x_per_s vs x_per_s
+        short = metrics
+    return render_table(["sha", "date"] + short, rows, title=title)

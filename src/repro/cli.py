@@ -28,6 +28,12 @@ from .analysis import (
     measure_reference_distance_distortion,
     render_table,
 )
+from .analysis.history import (
+    DEFAULT_HISTORY_DIR,
+    load_history,
+    record_run,
+    render_history,
+)
 from .analysis.trend import (
     DEFAULT_THRESHOLD,
     load_report,
@@ -40,13 +46,20 @@ from .core import (
     calibrate_scenario,
     standard_policies,
 )
+from .lint import DEFAULT_ROOTS, lint_paths
+from .selftest import run_selftest
 from .testbed import (
     DEVICES,
     ExperimentConfig,
+    ExperimentEngine,
+    GridCell,
     ResultCache,
+    WorkQueue,
     run_experiment,
     run_multiflow,
+    run_worker,
 )
+from .testbed.backends import backend_from_env
 from .video import (
     CodecConfig,
     analyze_motion,
@@ -222,16 +235,25 @@ def cmd_multiflow(args) -> int:
     return 0
 
 
+def _open_cache(spec_or_dir: str, **kwargs) -> ResultCache:
+    """Open a cache from a directory, a ``backend:location`` spec, or —
+    for bare directories — the ``REPRO_CACHE_BACKEND`` environment
+    override (so CI can flip every tool to sqlite with one variable)."""
+    if isinstance(spec_or_dir, str) and ":" in spec_or_dir.split(os.sep)[0]:
+        return ResultCache(spec_or_dir, **kwargs)
+    return ResultCache(backend=backend_from_env(spec_or_dir), **kwargs)
+
+
 def cmd_cache(args) -> int:
-    cache = ResultCache(args.dir, max_bytes=args.max_bytes,
+    cache = _open_cache(args.dir, max_bytes=args.max_bytes,
                         max_entries=args.max_entries)
     try:
         if args.action == "stats":
             stats = cache.stats()
             rows = [[name, str(stats[name])] for name in (
-                "index_backend", "entries", "total_bytes", "hits", "misses",
-                "hit_rate", "evictions", "corrupt", "migrated", "max_bytes",
-                "max_entries",
+                "backend", "index_backend", "entries", "total_bytes",
+                "hits", "misses", "hit_rate", "evictions", "corrupt",
+                "migrated", "max_bytes", "max_entries",
             )]
             print(render_table(["statistic", "value"], rows,
                                title=f"result cache at {args.dir}"))
@@ -259,7 +281,11 @@ def cmd_cache(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    # Only one action today; argparse enforces the choice.
+    if args.action == "history":
+        snapshots = load_history(args.history_dir)
+        print(render_history(
+            snapshots, title=f"bench history in {args.history_dir}"))
+        return 0
     try:
         current = load_report(args.current)
         baseline = load_report(args.baseline)
@@ -269,12 +295,118 @@ def cmd_bench(args) -> int:
         raise SystemExit(str(exc))
     print(render_trend(rows, threshold=args.threshold,
                        title=f"{args.current} vs {args.baseline}"))
+    if not args.no_history:
+        snapshot = record_run(current, args.history_dir,
+                              source=str(args.current))
+        print(f"recorded history snapshot {snapshot}")
     if failed:
         regressed = [row.metric for row in rows if row.failed]
         print(f"REGRESSION: {', '.join(regressed)} dropped more than"
               f" {args.threshold * 100:.0f}% below baseline")
         return 1
     print("trend gate passed")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    results = run_selftest(args.only or None)
+    rows = [[result.name, "ok" if result.ok else "FAIL", result.detail]
+            for result in results]
+    print(render_table(["check", "status", "detail"], rows,
+                       title="repro selftest"))
+    if any(not result.ok for result in results):
+        print("SELFTEST FAILED")
+        return 1
+    print(f"all {len(results)} checks passed")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    roots = args.paths or list(DEFAULT_ROOTS)
+    errors = lint_paths(roots)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"repro lint: {len(errors)} violation(s)")
+        return 1
+    print(f"repro lint: clean ({', '.join(str(r) for r in roots)})")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    report = run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        max_cells=args.max_cells,
+        drain=not args.no_drain,
+        report_path=args.report,
+    )
+    rows = [
+        ["worker", report.worker_id],
+        ["claimed", str(report.claimed)],
+        ["simulations", str(report.simulations)],
+        ["completed", str(report.completed)],
+        ["replayed from cache", str(report.replayed_from_cache)],
+        ["failed", str(report.failed)],
+        ["wall time (s)", f"{report.wall_s:.2f}"],
+    ]
+    print(render_table(["counter", "value"], rows,
+                       title=f"worker drained {args.queue}"))
+    return 1 if report.failed else 0
+
+
+def _grid_cells(args):
+    clip, bitstream = _clip_and_bitstream(args)
+    device = DEVICES[args.device]
+    sensitivity = sensitivity_for(analyze_motion(clip).motion_class)
+    cells = []
+    for name in args.policies.split(","):
+        policy = _policy_from_name(name.strip(), args.algorithm)
+        cells.append(GridCell(
+            args.scenario,
+            ExperimentConfig(policy=policy, device=device,
+                             sensitivity_fraction=sensitivity,
+                             decode_video=args.decode),
+            args.repeats,
+        ))
+    return clip, bitstream, cells
+
+
+def _print_queue_counts(queue: WorkQueue) -> None:
+    counts = queue.counts()
+    rows = [[state, str(counts[state])]
+            for state in ("pending", "leased", "done", "failed")]
+    print(render_table(["state", "cells"], rows,
+                       title=f"queue at {queue.path}"))
+    for key in queue.failed_keys():
+        print(f"failed {key[:16]}…: {queue.failure_reason(key)}")
+
+
+def cmd_grid(args) -> int:
+    queue = WorkQueue(args.queue)
+    if args.action == "status":
+        _print_queue_counts(queue)
+        return 1 if queue.failed_keys() else 0
+    if args.action == "drain":
+        report = run_worker(queue, drain=True)
+        print(f"drained: {report.completed} completed,"
+              f" {report.simulations} simulations,"
+              f" {report.failed} failed")
+        _print_queue_counts(queue)
+        return 1 if report.failed else 0
+    # submit
+    clip, bitstream, cells = _grid_cells(args)
+    engine = ExperimentEngine(dispatch="queue", queue=queue,
+                              master_seed=args.master_seed,
+                              repeats=args.repeats)
+    try:
+        engine.add_scenario(args.scenario, clip, bitstream)
+        submitted = engine.submit_grid(cells)
+    finally:
+        engine.close()
+    print(f"submitted {len(submitted)} of {len(cells)} cells"
+          f" (rest cached or already queued)")
+    _print_queue_counts(queue)
     return 0
 
 
@@ -360,8 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir",
         default=os.environ.get("REPRO_CACHE_DIR",
                                "benchmarks/results/cache"),
-        help="cache directory (default: $REPRO_CACHE_DIR or"
-             " benchmarks/results/cache)",
+        help="cache directory or backend spec like sqlite:PATH /"
+             " dir:PATH (default: $REPRO_CACHE_DIR or"
+             " benchmarks/results/cache; bare directories honour"
+             " $REPRO_CACHE_BACKEND)",
     )
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="byte cap enforced by gc (LRU eviction)")
@@ -379,7 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
                     " `cp BENCH_crypto.json"
                     " benchmarks/results/bench_baseline.json`.",
     )
-    p_bench.add_argument("action", choices=("trend",))
+    p_bench.add_argument("action", choices=("trend", "history"))
     p_bench.add_argument(
         "--current", default="BENCH_crypto.json",
         help="report to check (default ./BENCH_crypto.json)",
@@ -394,7 +528,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional throughput drop that fails the gate"
              " (default 0.30)",
     )
+    p_bench.add_argument(
+        "--history-dir", default=DEFAULT_HISTORY_DIR,
+        help="per-revision snapshot directory (default"
+             f" {DEFAULT_HISTORY_DIR})",
+    )
+    p_bench.add_argument(
+        "--no-history", action="store_true",
+        help="trend only: skip recording this run into the history",
+    )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_selftest = sub.add_parser(
+        "selftest",
+        help="fast end-to-end sanity check (crypto KAT, cached engine,"
+             " event kernel)",
+        description="Runs a known-answer crypto check, a tiny grid"
+                    " through the cached engine (cold then warm), and a"
+                    " 2-flow event-kernel run.  CI runs this before"
+                    " every job; exit 1 on any failure.",
+    )
+    p_selftest.add_argument(
+        "--only", action="append", metavar="CHECK",
+        help="run only this check (repeatable):"
+             " crypto-kat/cached-engine/event-kernel",
+    )
+    p_selftest.set_defaults(func=cmd_selftest)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="project-specific static checks (global RNG and wall-clock"
+             " bans)",
+        description="Bans np.random.seed(), module-level"  # lint: allow
+                    " random.* calls, and time.time() in the event"
+                    " kernel."
+                    "  Exit 1 on any violation.",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help=f"files/dirs to lint (default:"
+                             f" {'/'.join(DEFAULT_ROOTS)})")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="drain a distributed-grid work queue",
+        description="Claims cells from the queue, simulates them with"
+                    " the submitter's exact seeds and config, and lands"
+                    " results in the shared cache.  Run N of these on"
+                    " one queue for an N-way distributed grid.",
+    )
+    p_worker.add_argument("--queue", required=True,
+                          help="queue directory (created by grid submit)")
+    p_worker.add_argument("--max-cells", type=int, default=None,
+                          help="stop after claiming this many cells")
+    p_worker.add_argument("--no-drain", action="store_true",
+                          help="exit when nothing is claimable instead of"
+                               " waiting for other workers to finish")
+    p_worker.add_argument("--worker-id", default=None,
+                          help="identity recorded in cache entries and"
+                               " the report (default host-pid)")
+    p_worker.add_argument("--report", default=None,
+                          help="write a JSON WorkerReport here")
+    p_worker.set_defaults(func=cmd_worker)
+
+    p_grid = sub.add_parser(
+        "grid",
+        help="submit/inspect/drain a distributed experiment grid",
+        description="submit: enqueue a policy sweep over a synthetic"
+                    " clip; status: queue counters and failures; drain:"
+                    " run an in-process worker until the queue is empty."
+                    "  Results land in the cache named by the queue's"
+                    " config.json, so `repro cache stats --dir <spec>`"
+                    " can inspect them.",
+    )
+    p_grid.add_argument("action", choices=("submit", "status", "drain"))
+    p_grid.add_argument("--queue", required=True, help="queue directory")
+    common(p_grid)
+    p_grid.add_argument("--scenario", default="grid",
+                        help="scenario key recorded in cache entries")
+    p_grid.add_argument("--policies", default="none,I,P,all",
+                        help="comma-separated policy names"
+                             " (none/I/P/all or I+<percent>%%P)")
+    p_grid.add_argument("--device", choices=sorted(DEVICES),
+                        default="samsung-s2")
+    p_grid.add_argument("--algorithm",
+                        choices=("AES128", "AES256", "3DES"),
+                        default="AES256")
+    p_grid.add_argument("--repeats", type=int, default=3)
+    p_grid.add_argument("--master-seed", type=int, default=0)
+    p_grid.add_argument("--decode", action="store_true",
+                        help="decode at receiver/eavesdropper (slower)")
+    p_grid.set_defaults(func=cmd_grid)
     return parser
 
 

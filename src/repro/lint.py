@@ -1,0 +1,120 @@
+"""Project-specific static checks: ``repro lint``.
+
+Generic linters cannot know this codebase's reproducibility contract,
+so this module enforces the three rules that protect it:
+
+- ``np.random.seed(...)`` is banned everywhere: global seeding makes a
+  run's results depend on call order.  Use ``np.random.default_rng`` /
+  ``SeedSequence`` plumbed through explicitly.
+- Calls through the *module-level* ``random.*`` API are banned for the
+  same reason (the hidden global Mersenne Twister); constructing a
+  seeded ``random.Random(...)`` instance is fine.
+- ``time.time()`` is banned inside the event kernel (``events.py``):
+  simulated time must come from the kernel's clock, never the wall.
+
+A line may opt out with a trailing ``# lint: allow`` comment (used by
+code that mentions the patterns in strings, e.g. this linter's tests).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["LintError", "lint_file", "lint_paths", "DEFAULT_ROOTS"]
+
+DEFAULT_ROOTS = ("src", "tests", "benchmarks")
+
+ALLOW_MARKER = "# lint: allow"
+
+# Files that legitimately contain the banned patterns as data.
+_SELF_NAMES = {"lint.py", "lint_checks.py"}
+
+_GLOBAL_NP_SEED = re.compile(r"np\.random\.seed\s*\(")
+# module-level random.* calls; random.Random(...) instances are fine and
+# np.random.* / rng.random(...) never match thanks to the lookbehind.
+_GLOBAL_RANDOM = re.compile(r"(?<![\w.])random\.(?!Random\b)\w+")
+_WALL_CLOCK = re.compile(r"time\.time\s*\(\s*\)")
+
+
+@dataclass(frozen=True)
+class LintError:
+    path: str
+    line: int
+    rule: str
+    message: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _strip_comment(line: str) -> str:
+    """Best-effort removal of a trailing ``#`` comment (string-safe
+    enough for these patterns, which never span strings with '#')."""
+    in_string: Optional[str] = None
+    for position, char in enumerate(line):
+        if in_string:
+            if char == in_string and line[position - 1] != "\\":
+                in_string = None
+        elif char in ("'", '"'):
+            in_string = char
+        elif char == "#":
+            return line[:position]
+    return line
+
+
+def lint_file(path: Path) -> List[LintError]:
+    """All rule violations in one Python file."""
+    errors: List[LintError] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [LintError(str(path), 0, "unreadable", str(exc), "")]
+    is_events = path.name == "events.py"
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if ALLOW_MARKER in raw:
+            continue
+        line = _strip_comment(raw)
+        if _GLOBAL_NP_SEED.search(line):
+            errors.append(LintError(
+                str(path), number, "global-np-seed",
+                "np.random.seed() seeds the global state; pass a"
+                " default_rng/SeedSequence instead", raw.strip()))
+        match = _GLOBAL_RANDOM.search(line)
+        if match:
+            errors.append(LintError(
+                str(path), number, "global-random",
+                f"module-level {match.group(0)}() uses the hidden global"
+                " RNG; construct a seeded random.Random instead",
+                raw.strip()))
+        if is_events and _WALL_CLOCK.search(line):
+            errors.append(LintError(
+                str(path), number, "wall-clock-in-kernel",
+                "time.time() in the event kernel: simulated time must"
+                " come from the kernel clock", raw.strip()))
+    return errors
+
+
+def _python_files(roots: Sequence[Path]) -> Iterable[Path]:
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            yield root
+            continue
+        if root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(roots: Sequence = DEFAULT_ROOTS, *,
+               base: Optional[Path] = None) -> List[LintError]:
+    """Lint every ``.py`` under the given roots (relative to ``base``)."""
+    base = Path(base) if base is not None else Path.cwd()
+    resolved = [base / root for root in roots]
+    errors: List[LintError] = []
+    for path in _python_files(resolved):
+        if path.name in _SELF_NAMES:
+            continue
+        errors.extend(lint_file(path))
+    return errors

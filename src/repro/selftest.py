@@ -1,0 +1,170 @@
+"""Fast end-to-end self-check: ``repro selftest``.
+
+CI runs this before anything else (and developers run it after a
+checkout) to answer "is this tree fundamentally sound?" in a few
+seconds.  It exercises one representative slice of each load-bearing
+subsystem:
+
+- **crypto** — FIPS-197 known answers on the vectorized AES, plus
+  vector-vs-scalar agreement for AES-256 and 3DES over random blocks
+  (the property the whole perf story rests on: fast path, same bytes);
+- **engine** — a tiny grid through the cached
+  :class:`~repro.testbed.engine.ExperimentEngine` twice: the cold pass
+  must simulate, the warm pass must replay every cell from cache with
+  zero simulations and identical summaries;
+- **events** — a 2-flow contention run through the discrete-event
+  kernel with basic sanity invariants (positive makespan, all packets
+  accounted for).
+
+Each check returns a row; any failure makes ``repro selftest`` exit 1.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["CheckResult", "run_selftest"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    ok: bool
+    detail: str
+
+
+def _check_crypto_kat() -> str:
+    from .crypto import AES, TripleDES, VectorAES, VectorTripleDES
+
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    key256 = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f")
+    expected = "8ea2b7ca516745bfeafc49904b496089"  # FIPS-197 C.3
+    got = VectorAES(key256).encrypt_block(plaintext).hex()
+    if got != expected:
+        raise AssertionError(f"AES-256 FIPS vector mismatch: {got}")
+
+    rng = np.random.default_rng(20130927)
+    blocks = rng.integers(0, 256, size=(32, 16), dtype=np.uint8)
+    scalar = AES(key256)
+    batch = VectorAES(key256).encrypt_blocks(blocks)
+    for i in range(blocks.shape[0]):
+        if batch[i].tobytes() != scalar.encrypt_block(blocks[i].tobytes()):
+            raise AssertionError(f"AES-256 vector/scalar split at block {i}")
+
+    des_key = bytes(range(24))
+    des_blocks = rng.integers(0, 256, size=(32, 8), dtype=np.uint8)
+    des_scalar = TripleDES(des_key)
+    des_batch = VectorTripleDES(des_key).encrypt_blocks(des_blocks)
+    for i in range(des_blocks.shape[0]):
+        if des_batch[i].tobytes() != des_scalar.encrypt_block(
+                des_blocks[i].tobytes()):
+            raise AssertionError(f"3DES vector/scalar split at block {i}")
+    return "FIPS-197 KAT + 64 vector/scalar blocks agree"
+
+
+def _tiny_scenario():
+    from .video import CodecConfig, encode_sequence, generate_clip
+
+    clip = generate_clip("slow", 12, seed=1)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=8))
+    return clip, bitstream
+
+
+def _check_cached_engine() -> str:
+    from .core import standard_policies
+    from .testbed import (DEVICES, ExperimentConfig, ExperimentEngine,
+                          GridCell, ResultCache)
+
+    clip, bitstream = _tiny_scenario()
+    policies = standard_policies("AES256")
+    cells = [
+        GridCell("selftest", ExperimentConfig(
+            policy=policies[name], device=DEVICES["samsung-s2"],
+            sensitivity_fraction=0.55, decode_video=False), 2)
+        for name in ("none", "I")
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        try:
+            cold = ExperimentEngine(cache=cache, workers=1, master_seed=7)
+            cold.add_scenario("selftest", clip, bitstream)
+            first = cold.run_grid(cells)
+            cold_sims = cold.simulations_run
+            warm = ExperimentEngine(cache=cache, workers=1, master_seed=7)
+            warm.add_scenario("selftest", clip, bitstream)
+            second = warm.run_grid(cells)
+            if cold_sims != 4:
+                raise AssertionError(
+                    f"cold pass ran {cold_sims} simulations, expected 4")
+            if warm.simulations_run != 0:
+                raise AssertionError(
+                    f"warm pass ran {warm.simulations_run} simulations,"
+                    " expected a full cache replay")
+            if first != second:
+                raise AssertionError("warm replay diverged from cold run")
+            if not all(summary.from_cache for summary in second):
+                raise AssertionError("warm summaries not marked from_cache")
+        finally:
+            cache.close()
+    return "cold=4 sims, warm=0 sims, identical summaries"
+
+
+def _check_event_kernel() -> str:
+    from .core import standard_policies
+    from .testbed import DEVICES, run_multiflow
+
+    _, bitstream = _tiny_scenario()
+    result = run_multiflow(
+        bitstream, flows=2, policy=standard_policies("AES256")["I"],
+        device=DEVICES["samsung-s2"], seed=2013,
+    )
+    if len(result.flows) != 2:
+        raise AssertionError(f"expected 2 flows, got {len(result.flows)}")
+    if not result.makespan_s > 0:
+        raise AssertionError(f"non-positive makespan {result.makespan_s}")
+    for flow_id, run in enumerate(result.flows):
+        if len(run.packets) == 0:
+            raise AssertionError(f"flow {flow_id} produced no packets")
+        if not any(run.usable_by_receiver):
+            raise AssertionError(f"flow {flow_id} delivered nothing")
+    return (f"2 flows, {sum(len(r.packets) for r in result.flows)} packets,"
+            f" makespan {result.makespan_s:.2f}s")
+
+
+_CHECKS: List[tuple] = [
+    ("crypto-kat", _check_crypto_kat),
+    ("cached-engine", _check_cached_engine),
+    ("event-kernel", _check_event_kernel),
+]
+
+
+def run_selftest(
+    checks: Optional[List[str]] = None,
+) -> List[CheckResult]:
+    """Run the named checks (default: all); never raises — failures are
+    rows with ``ok=False``."""
+    selected = [(name, fn) for name, fn in _CHECKS
+                if checks is None or name in checks]
+    if checks is not None:
+        unknown = set(checks) - {name for name, _ in _CHECKS}
+        if unknown:
+            raise ValueError(
+                f"unknown selftest check(s): {sorted(unknown)};"
+                f" available: {[name for name, _ in _CHECKS]}"
+            )
+    results: List[CheckResult] = []
+    for name, fn in selected:
+        fn: Callable[[], str]
+        try:
+            results.append(CheckResult(name, True, fn()))
+        except Exception as exc:  # the whole point is to catch anything
+            results.append(CheckResult(
+                name, False, f"{type(exc).__name__}: {exc}"))
+    return results

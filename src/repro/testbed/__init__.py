@@ -3,6 +3,12 @@ Fig. 3 sender pipeline as a discrete-event simulation, RTP/UDP and
 HTTP/TCP transports, per-packet tracing, the power model, and the
 end-to-end experiment runner."""
 
+from .backends import (
+    CacheBackend,
+    SqliteBackend,
+    backend_from_env,
+    parse_backend_spec,
+)
 from .cache import (
     DirectoryBackend,
     JsonlIndexBackend,
@@ -12,6 +18,7 @@ from .cache import (
     code_fingerprint,
     stable_key,
 )
+from .locks import FileLock, LockTimeout
 from .devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G, DeviceProfile
 from .energy import EnergyBreakdown, average_power_w, microamp_hours_to_watts
 from .events import (
@@ -25,6 +32,7 @@ from .engine import (
     CellSummary,
     ExperimentEngine,
     GridCell,
+    config_from_description,
     describe_config,
     scenario_fingerprint,
 )
@@ -36,6 +44,7 @@ from .experiment import (
     run_repeated,
 )
 from .multiflow import ContentionMAC, FlowProcess, MultiFlowRun, run_multiflow
+from .queue import QueueTask, WorkQueue
 from .simulator import (
     LinkConfig,
     PacketService,
@@ -43,6 +52,7 @@ from .simulator import (
     SimulationRun,
 )
 from .tracing import PacketTrace, TraceLog
+from .worker import WorkerReport, run_worker
 from .transport import (
     HTTP_TCP,
     UDP_RTP,
@@ -66,4 +76,8 @@ __all__ = [
     "PacketTrace", "TraceLog",
     "HTTP_TCP", "UDP_RTP", "TransportConfig", "delivery_outcome",
     "delivery_outcome_with",
+    "CacheBackend", "SqliteBackend", "backend_from_env",
+    "parse_backend_spec", "FileLock", "LockTimeout",
+    "config_from_description",
+    "QueueTask", "WorkQueue", "WorkerReport", "run_worker",
 ]

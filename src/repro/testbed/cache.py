@@ -38,6 +38,15 @@ transport, energy, video-quality or policy code automatically invalidates
 stale entries.  A legacy flat-layout directory (one ``<key>.json`` per
 entry at the top level, the pre-sharding format) is adopted into shards
 the first time it is opened.
+
+Storage is pluggable (:mod:`repro.testbed.backends`): the sharded
+directory tree above is the default :class:`DirectoryBackend`; pass a
+``sqlite:PATH`` spec (or set ``REPRO_CACHE_BACKEND``) for the
+single-file WAL-mode :class:`SqliteBackend` that N worker processes can
+share over one filesystem mount.  Maintenance operations (index
+rebuild, legacy migration, ``gc``, ``verify``) are serialised across
+processes by a coarse :class:`~repro.testbed.locks.FileLock` with
+stale-lock breaking, so concurrent maintainers no longer race.
 """
 
 from __future__ import annotations
@@ -50,23 +59,33 @@ import time
 from dataclasses import MISSING, asdict, dataclass, fields
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 try:
     import sqlite3
 except ImportError:  # pragma: no cover - stdlib sqlite3 is near-universal
     sqlite3 = None  # type: ignore[assignment]
 
-SQLITE_AVAILABLE = sqlite3 is not None
+from .backends import (
+    QUARANTINE_DIR,
+    SQLITE_AVAILABLE,
+    TMP_PREFIX,
+    CacheBackend,
+    DirectoryBackend,
+    IndexEntry,
+    SqliteBackend,
+    backend_from_env,
+    parse_backend_spec,
+)
+from .locks import FileLock
 
 __all__ = [
     "ResultCache", "RunMetrics", "stable_key", "code_fingerprint",
-    "DirectoryBackend", "SqliteIndexBackend", "JsonlIndexBackend",
+    "CacheBackend", "DirectoryBackend", "SqliteBackend",
+    "SqliteIndexBackend", "JsonlIndexBackend",
     "IndexEntry", "SQLITE_AVAILABLE",
+    "backend_from_env", "parse_backend_spec",
 ]
-
-TMP_PREFIX = ".tmp-"
-QUARANTINE_DIR = "quarantine"
 
 
 @dataclass(frozen=True)
@@ -155,129 +174,7 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
-# -- the sharded file store ----------------------------------------------------
-
-
-class DirectoryBackend:
-    """Sharded entry files: key ``abcd…`` lives at ``ab/abcd….json``.
-
-    Owns everything that touches the filesystem — atomic writes, deletes,
-    quarantine moves, the maintenance walk, and the stale-temp sweep —
-    so :class:`ResultCache` itself never composes paths.
-    """
-
-    def __init__(self, directory) -> None:
-        self.directory = Path(directory)
-
-    def path_for(self, key: str) -> Path:
-        return self.directory / key[:2] / f"{key}.json"
-
-    def read(self, key: str) -> Optional[bytes]:
-        try:
-            return self.path_for(key).read_bytes()
-        except OSError:
-            return None
-
-    def write(self, key: str, data: bytes) -> int:
-        """Atomically persist one entry; returns its size in bytes."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=TMP_PREFIX, suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return len(data)
-
-    def delete(self, key: str) -> bool:
-        try:
-            os.unlink(self.path_for(key))
-            return True
-        except OSError:
-            return False
-
-    def quarantine(self, key: str) -> bool:
-        """Move a corrupt entry to ``quarantine/`` for post-mortem."""
-        source = self.path_for(key)
-        target_dir = self.directory / QUARANTINE_DIR
-        try:
-            target_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(source, target_dir / source.name)
-            return True
-        except OSError:
-            return False
-
-    def _shard_dirs(self) -> Iterator[Path]:
-        if not self.directory.is_dir():
-            return
-        for child in sorted(self.directory.iterdir()):
-            if (child.is_dir() and child.name != QUARANTINE_DIR
-                    and not child.name.startswith(".")):
-                yield child
-
-    def scan(self) -> Iterator[Tuple[str, Path, int, float]]:
-        """Yield ``(key, path, size, mtime)`` for every entry on disk.
-
-        This is the maintenance walk (migration/verify/clear); the hot
-        paths — ``get``/``__len__``/``stats`` — go through the index and
-        never call it.
-        """
-        for shard in self._shard_dirs():
-            for path in sorted(shard.glob("*.json")):
-                if path.name.startswith("."):
-                    continue  # in-flight or orphaned temp file
-                try:
-                    stat = path.stat()
-                except OSError:
-                    continue
-                yield path.stem, path, stat.st_size, stat.st_mtime
-
-    def sweep_temp(self, max_age_s: float = 0.0) -> int:
-        """Remove ``.tmp-*`` files older than ``max_age_s`` seconds —
-        the droppings of writers that crashed between create and rename."""
-        removed = 0
-        now = time.time()
-        for parent in (self.directory, *self._shard_dirs()):
-            if not parent.is_dir():
-                continue
-            for path in parent.glob(f"{TMP_PREFIX}*"):
-                try:
-                    if now - path.stat().st_mtime >= max_age_s:
-                        path.unlink()
-                        removed += 1
-                except OSError:
-                    continue
-        return removed
-
-    def legacy_files(self) -> Iterator[Path]:
-        """Flat-layout entries (``<key>.json`` at the top level) left by
-        the pre-sharding cache format."""
-        if not self.directory.is_dir():
-            return
-        for path in sorted(self.directory.glob("*.json")):
-            if path.is_file() and not path.name.startswith("."):
-                yield path
-
-
 # -- index backends ------------------------------------------------------------
-
-
-@dataclass
-class IndexEntry:
-    """One indexed cache entry: identity, size, and LRU bookkeeping."""
-
-    key: str
-    size: int
-    created: float
-    accessed: float
 
 
 class SqliteIndexBackend:
@@ -489,22 +386,33 @@ class ResultCache:
     Parameters
     ----------
     directory:
-        Cache root.  A legacy flat-layout directory is migrated into
-        shards on first open.
+        Cache root (a path), or a URL-style backend spec such as
+        ``sqlite:/mnt/shared/grid.sqlite`` — see
+        :func:`repro.testbed.backends.parse_backend_spec`.  A legacy
+        flat-layout directory is migrated into shards on first open.
     max_bytes, max_entries:
         Optional caps; least-recently-accessed entries are evicted on
         :meth:`put_runs` and :meth:`gc` until both hold.
     index:
         ``"auto"`` (sqlite when available, else JSON-lines), or force
-        ``"sqlite"`` / ``"jsonl"``.
+        ``"sqlite"`` / ``"jsonl"``.  Ignored for ``index_capable``
+        backends (the sqlite store indexes itself); forcing a kind there
+        is an error.
     stale_tmp_seconds:
         Age after which :meth:`gc` deletes orphaned ``.tmp-*`` files left
         by crashed writers (``clear`` removes them regardless of age).
+    backend:
+        An explicit :class:`~repro.testbed.backends.CacheBackend`
+        instance; overrides ``directory``.
     """
 
-    def __init__(self, directory, *, max_bytes: Optional[int] = None,
+    #: How long a maintenance lock may sit before contenders break it.
+    MAINTENANCE_LOCK_STALE_S = 120.0
+
+    def __init__(self, directory=None, *, max_bytes: Optional[int] = None,
                  max_entries: Optional[int] = None, index: str = "auto",
-                 stale_tmp_seconds: float = 3600.0) -> None:
+                 stale_tmp_seconds: float = 3600.0,
+                 backend: Optional[CacheBackend] = None) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         if max_entries is not None and max_entries < 1:
@@ -516,8 +424,21 @@ class ResultCache:
         if index == "sqlite" and not SQLITE_AVAILABLE:
             raise ValueError("index='sqlite' requested but the sqlite3"
                              " module is unavailable; use 'jsonl'")
-        self.directory = Path(directory)
-        self.backend = DirectoryBackend(self.directory)
+        if backend is None:
+            if directory is None:
+                raise ValueError("ResultCache needs a directory, a backend"
+                                 " spec, or an explicit backend")
+            if isinstance(directory, str) and ":" in directory.split(os.sep)[0]:
+                backend = parse_backend_spec(directory)
+            else:
+                backend = DirectoryBackend(directory)
+        if backend.index_capable and index != "auto":
+            raise ValueError(
+                f"backend {backend.name!r} carries its own index; the"
+                f" index={index!r} override does not apply"
+            )
+        self.backend = backend
+        self.directory = backend.root
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.stale_tmp_seconds = stale_tmp_seconds
@@ -529,9 +450,22 @@ class ResultCache:
         self._index_kind = index
         self._index = None
 
+    @classmethod
+    def from_spec(cls, spec: Union[str, Path], **kwargs) -> "ResultCache":
+        """Cache over the backend named by a URL-style ``spec``."""
+        return cls(backend=parse_backend_spec(spec), **kwargs)
+
+    def _maintenance_lock(self) -> FileLock:
+        """The coarse cross-process lock serialising maintenance walks
+        (rebuild, migration, gc, verify) — see the module docstring."""
+        return FileLock(self.backend.lock_path,
+                        stale_seconds=self.MAINTENANCE_LOCK_STALE_S)
+
     # -- index lifecycle ---------------------------------------------------
 
     def _open_index(self):
+        if self.backend.index_capable:
+            return self.backend  # single-file stores index themselves
         kind = self._index_kind
         if kind == "auto":
             kind = "sqlite" if SQLITE_AVAILABLE else "jsonl"
@@ -559,14 +493,21 @@ class ResultCache:
                 return None
             self.directory.mkdir(parents=True, exist_ok=True)
         self._index = self._open_index()
-        self._migrate_legacy()
-        if self._index.count() == 0:
-            # Lost/blank index over existing shards: rebuild from disk
-            # (the files are the truth, the index never is).
-            rebuilt = [IndexEntry(key, size, mtime, mtime)
-                       for key, _path, size, mtime in self.backend.scan()]
-            if rebuilt:
-                self._index.replace_all(rebuilt)
+        needs_migration = next(iter(self.backend.legacy_files()), None)
+        needs_rebuild = (self._index.count() == 0
+                         and next(self.backend.scan(), None) is not None)
+        if needs_migration or needs_rebuild:
+            # Another process may be doing the same adoption/rebuild over
+            # the same files: serialise, then re-check under the lock.
+            with self._maintenance_lock():
+                self._migrate_legacy()
+                if self._index.count() == 0:
+                    # Lost/blank index over existing shards: rebuild from
+                    # disk (the files are the truth, the index never is).
+                    rebuilt = [IndexEntry(key, size, mtime, mtime)
+                               for key, size, mtime in self.backend.scan()]
+                    if rebuilt:
+                        self._index.replace_all(rebuilt)
         return self._index
 
     def _migrate_legacy(self) -> None:
@@ -703,55 +644,63 @@ class ResultCache:
 
     def gc(self) -> Dict[str, int]:
         """Sweep stale writer temp files and enforce the size caps;
-        returns what was done."""
+        returns what was done.  Safe to run from several processes at
+        once: the walk is serialised by the maintenance lock."""
         report = {"evicted": 0, "tmp_removed": 0,
                   "entries": 0, "total_bytes": 0}
         index = self._ensure_index()
         if index is None:
             return report
-        report["tmp_removed"] = self.backend.sweep_temp(self.stale_tmp_seconds)
-        report["evicted"] = self._enforce_caps()
-        report["entries"] = index.count()
-        report["total_bytes"] = index.total_bytes()
+        with self._maintenance_lock():
+            report["tmp_removed"] = self.backend.sweep_temp(
+                self.stale_tmp_seconds)
+            report["evicted"] = self._enforce_caps()
+            report["entries"] = index.count()
+            report["total_bytes"] = index.total_bytes()
         return report
 
     def verify(self) -> Dict[str, int]:
-        """Full reconcile: walk the shards, quarantine undecodable or
+        """Full reconcile: walk the store, quarantine undecodable or
         schema-invalid entries, and rebuild the index from the surviving
         files (keeping known access times).  The files win every
-        disagreement."""
+        disagreement.  Serialised across processes by the maintenance
+        lock (two concurrent verifies would race each other's
+        quarantine/rebuild)."""
         report = {"entries": 0, "total_bytes": 0, "corrupt": 0,
                   "adopted": 0, "stale_index": 0, "tmp_removed": 0}
         index = self._ensure_index()
         if index is None:
             return report
-        known = {entry.key: entry for entry in index.entries()}
-        survivors: List[IndexEntry] = []
-        seen = set()
-        for key, path, size, mtime in list(self.backend.scan()):
-            try:
-                payload = json.loads(path.read_bytes())
-            except OSError:
-                continue
-            except ValueError:
-                payload = None
-            if payload is None or _parse_runs(payload) is None:
-                self.corrupt += 1
-                report["corrupt"] += 1
-                if not self.backend.quarantine(key):
-                    self.backend.delete(key)
-                continue
-            previous = known.get(key)
-            if previous is None:
-                report["adopted"] += 1
-                survivors.append(IndexEntry(key, size, mtime, mtime))
-            else:
-                survivors.append(
-                    IndexEntry(key, size, previous.created, previous.accessed))
-            seen.add(key)
-        report["stale_index"] = sum(1 for key in known if key not in seen)
-        index.replace_all(survivors)
-        report["tmp_removed"] = self.backend.sweep_temp(0.0)
+        with self._maintenance_lock():
+            known = {entry.key: entry for entry in index.entries()}
+            survivors: List[IndexEntry] = []
+            seen = set()
+            for key, size, mtime in list(self.backend.scan()):
+                data = self.backend.read(key)
+                if data is None:
+                    continue  # vanished mid-walk
+                try:
+                    payload = json.loads(data)
+                except ValueError:
+                    payload = None
+                if payload is None or _parse_runs(payload) is None:
+                    self.corrupt += 1
+                    report["corrupt"] += 1
+                    if not self.backend.quarantine(key):
+                        self.backend.delete(key)
+                    continue
+                previous = known.get(key)
+                if previous is None:
+                    report["adopted"] += 1
+                    survivors.append(IndexEntry(key, size, mtime, mtime))
+                else:
+                    survivors.append(
+                        IndexEntry(key, size,
+                                   previous.created, previous.accessed))
+                seen.add(key)
+            report["stale_index"] = sum(1 for key in known if key not in seen)
+            index.replace_all(survivors)
+            report["tmp_removed"] = self.backend.sweep_temp(0.0)
         report["entries"] = len(survivors)
         report["total_bytes"] = sum(entry.size for entry in survivors)
         return report
@@ -763,22 +712,14 @@ class ResultCache:
         if not self.directory.is_dir():
             return removed
         index = self._ensure_index()
-        for _key, path, _size, _mtime in list(self.backend.scan()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                continue
-        self.backend.sweep_temp(0.0)
-        quarantine = self.directory / QUARANTINE_DIR
-        if quarantine.is_dir():
-            for path in quarantine.iterdir():
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-        if index is not None:
-            index.replace_all([])
+        with self._maintenance_lock():
+            for key, _size, _mtime in list(self.backend.scan()):
+                if self.backend.delete(key):
+                    removed += 1
+            self.backend.sweep_temp(0.0)
+            self.backend.clear_quarantine()
+            if index is not None:
+                index.replace_all([])
         return removed
 
     # -- introspection -----------------------------------------------------
@@ -798,6 +739,7 @@ class ResultCache:
         lookups = self.hits + self.misses
         return {
             "directory": str(self.directory),
+            "backend": self.backend.name,
             "index_backend": None if index is None else index.name,
             "entries": 0 if index is None else index.count(),
             "total_bytes": 0 if index is None else index.total_bytes(),

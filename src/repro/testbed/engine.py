@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import asdict, dataclass, field
+import time
+from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,9 +40,12 @@ from ..video.gop import Bitstream
 from ..video.yuv import Sequence420
 from .cache import ResultCache, RunMetrics, code_fingerprint, stable_key
 from .experiment import ExperimentConfig, run_experiment
+from .queue import QueueTask, WorkQueue
 
 __all__ = ["CellSummary", "GridCell", "ExperimentEngine",
-           "describe_config", "scenario_fingerprint"]
+           "cell_seed_payload", "cell_seed_sequences",
+           "config_from_description", "describe_config",
+           "scenario_fingerprint"]
 
 # v2: cell descriptions gained the "flows" and "engine" fields (the
 # multi-flow event-kernel transport).  They are emitted only when they
@@ -54,45 +59,48 @@ ENGINE_SCHEMA_VERSION = 2
 
 
 def describe_config(config: ExperimentConfig) -> Dict[str, Any]:
-    """Canonical JSON-able description of an experiment cell's config."""
-    device = config.device
-    link = None
-    if config.link is not None:
-        link = {
-            "retry_limit": config.link.retry_limit,
-            "phy": asdict(config.link.phy),
-            "dcf": asdict(config.link.dcf),
-        }
-    description = {
-        "policy": {
-            "mode": config.policy.mode,
-            "algorithm": config.policy.algorithm,
-            "fraction": config.policy.fraction,
-        },
-        "device": {
-            "name": device.name,
-            "base_power_w": device.base_power_w,
-            "cpu_power_w": device.cpu_power_w,
-            "radio_tx_power_w": device.radio_tx_power_w,
-            "cipher_costs": {
-                name: asdict(cost)
-                for name, cost in sorted(device.cipher_costs.items())
-            },
-        },
-        "transport": asdict(config.transport),
-        "link": link,
-        "sensitivity_fraction": config.sensitivity_fraction,
-        "decode_video": config.decode_video,
-        "eavesdropper_mode": config.eavesdropper_mode,
-        "receiver_mode": config.receiver_mode,
+    """Canonical JSON-able description of an experiment cell's config.
+
+    The format now lives on the dataclass itself
+    (:meth:`ExperimentConfig.to_description`, with
+    :meth:`ExperimentConfig.from_description` as the exact inverse the
+    queue workers use); this wrapper remains the engine-side spelling.
+    """
+    return config.to_description()
+
+
+def config_from_description(description: Dict[str, Any]) -> ExperimentConfig:
+    """Rebuild a cell config from its canonical description."""
+    return ExperimentConfig.from_description(description)
+
+
+def cell_seed_payload(scenario_fingerprint: str,
+                      config_description: Dict[str, Any],
+                      repeats: int, master_seed: int) -> Dict[str, Any]:
+    """The canonical payload both cell keys and seed streams hash.
+
+    Deliberately excludes the code fingerprint: results depend on code
+    through the *cache* key; the random streams should not.
+    """
+    return {
+        "scenario": scenario_fingerprint,
+        "config": config_description,
+        "repeats": repeats,
+        "master_seed": master_seed,
     }
-    # Additive fields must not perturb pre-existing keys/seed streams:
-    # emit them only when they leave the single-flow legacy defaults.
-    if config.flows != 1:
-        description["flows"] = config.flows
-    if config.engine != "legacy":
-        description["engine"] = config.engine
-    return description
+
+
+def cell_seed_sequences(seed_payload: Dict[str, Any], repeats: int,
+                        master_seed: int) -> List[np.random.SeedSequence]:
+    """Per-repeat seed sequences for one cell, derived from its content.
+
+    Shared by the in-process engine and the queue workers so a cell's
+    random streams are identical no matter which host runs it.
+    """
+    digest = stable_key(seed_payload)
+    words = [int(digest[i:i + 8], 16) for i in range(0, 32, 8)]
+    root = np.random.SeedSequence([master_seed, *words])
+    return root.spawn(repeats)
 
 
 def scenario_fingerprint(original: Sequence420, bitstream: Bitstream) -> str:
@@ -202,11 +210,36 @@ class ExperimentEngine:
         Root of every cell's :class:`np.random.SeedSequence`.
     repeats:
         Default repetition count per cell (the paper uses 20).
+    dispatch:
+        ``"local"`` fans pending cells over the in-process fork pool;
+        ``"queue"`` submits them to a :class:`~repro.testbed.queue.
+        WorkQueue` and waits for external ``repro worker`` processes to
+        land results in the shared cache.  Both paths assemble
+        byte-identical summaries.
+    queue:
+        The work queue (instance or directory) for ``dispatch="queue"``.
+        When ``cache`` is ``None`` the queue's ``cache_spec`` supplies
+        it, so engine and workers automatically agree on one store.
+    queue_poll_s / queue_timeout_s:
+        Poll interval and overall deadline of the queue wait loop.
     """
 
     def __init__(self, *, cache: Optional[ResultCache] = None,
                  workers: Optional[int] = None, master_seed: int = 0,
-                 repeats: int = 3) -> None:
+                 repeats: int = 3, dispatch: str = "local",
+                 queue: Optional[Union[str, Path, WorkQueue]] = None,
+                 queue_poll_s: float = 0.1,
+                 queue_timeout_s: float = 600.0) -> None:
+        if dispatch not in ("local", "queue"):
+            raise ValueError(
+                f"dispatch must be 'local' or 'queue', got {dispatch!r}")
+        if queue is not None and not isinstance(queue, WorkQueue):
+            queue = WorkQueue(queue)
+        if dispatch == "queue":
+            if queue is None:
+                raise ValueError("dispatch='queue' requires a work queue")
+            if cache is None:
+                cache = ResultCache.from_spec(queue.cache_spec)
         if workers is None:
             raw = os.environ.get("REPRO_ENGINE_WORKERS", "0")
             try:
@@ -224,6 +257,10 @@ class ExperimentEngine:
         self.workers = max(1, int(workers))
         self.master_seed = master_seed
         self.repeats = repeats
+        self.dispatch = dispatch
+        self.queue = queue
+        self.queue_poll_s = queue_poll_s
+        self.queue_timeout_s = queue_timeout_s
         self.simulations_run = 0
         self._scenarios: Dict[str, Dict[str, Any]] = {}
         self._memo: Dict[str, CellSummary] = {}
@@ -253,14 +290,12 @@ class ExperimentEngine:
     # -- keys and seeding --------------------------------------------------
 
     def _seed_payload(self, cell: GridCell, repeats: int) -> Dict[str, Any]:
-        # Deliberately excludes the code fingerprint: results depend on
-        # code through the *cache* key; the random streams should not.
-        return {
-            "scenario": self._scenarios[cell.scenario]["fingerprint"],
-            "config": describe_config(cell.config),
-            "repeats": repeats,
-            "master_seed": self.master_seed,
-        }
+        return cell_seed_payload(
+            self._scenarios[cell.scenario]["fingerprint"],
+            describe_config(cell.config),
+            repeats,
+            self.master_seed,
+        )
 
     def _resolve_repeats(self, cell: GridCell) -> int:
         """The cell's effective repeat count, validated.
@@ -288,10 +323,8 @@ class ExperimentEngine:
 
     def _cell_seeds(self, cell: GridCell,
                     repeats: int) -> List[np.random.SeedSequence]:
-        digest = stable_key(self._seed_payload(cell, repeats))
-        words = [int(digest[i:i + 8], 16) for i in range(0, 32, 8)]
-        root = np.random.SeedSequence([self.master_seed, *words])
-        return root.spawn(repeats)
+        return cell_seed_sequences(self._seed_payload(cell, repeats),
+                                   repeats, self.master_seed)
 
     # -- execution ---------------------------------------------------------
 
@@ -372,6 +405,18 @@ class ExperimentEngine:
             pending_indices[key] = [index]
             pending_cells[key] = cell
 
+        if pending_cells and self.dispatch == "queue":
+            runs_by_key = self._run_via_queue(pending_cells)
+            for key, cell in pending_cells.items():
+                summary = _summarize_runs(
+                    runs_by_key[key], cell.config.decode_video,
+                    from_cache=True,
+                )
+                self._memo[key] = summary
+                for index in pending_indices[key]:
+                    summaries[index] = summary
+            return summaries  # type: ignore[return-value]
+
         tasks: List[tuple] = []
         slices: List[Tuple[str, GridCell, int, int]] = []
         for key, cell in pending_cells.items():
@@ -403,6 +448,92 @@ class ExperimentEngine:
                 summaries[index] = summary
         return summaries  # type: ignore[return-value]
 
+    # -- queue dispatch ----------------------------------------------------
+
+    def _queue_task(self, cell: GridCell) -> QueueTask:
+        return QueueTask(
+            key=self.cell_key(cell),
+            scenario=cell.scenario,
+            scenario_fingerprint=self._scenarios[cell.scenario]["fingerprint"],
+            scenario_meta=self._scenarios[cell.scenario]["meta"],
+            config=describe_config(cell.config),
+            repeats=self._resolve_repeats(cell),
+            master_seed=self.master_seed,
+            schema=ENGINE_SCHEMA_VERSION,
+            code=code_fingerprint(),
+        )
+
+    def submit_grid(self, cells: Sequence[GridCell], *,
+                    queue: Optional[WorkQueue] = None) -> List[str]:
+        """Submit a grid's uncached cells to a work queue without waiting.
+
+        Scenario blobs are stored first so a worker can never claim a
+        cell whose inputs are missing.  Returns the keys newly enqueued
+        (cached, duplicate, and already-queued cells are skipped).
+        """
+        queue = queue or self.queue
+        if queue is None:
+            raise ValueError("submit_grid needs a queue (argument or"
+                             " engine-level)")
+        submitted: List[str] = []
+        seen: set = set()
+        for cell in cells:
+            if cell.scenario not in self._scenarios:
+                raise KeyError(
+                    f"unknown scenario {cell.scenario!r}; call"
+                    " add_scenario() first"
+                )
+            key = self.cell_key(cell)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.cache is not None and self.cache.get_runs(key) is not None:
+                continue
+            fingerprint = self._scenarios[cell.scenario]["fingerprint"]
+            if not queue.has_scenario(fingerprint):
+                original, bitstream = _WORKER_SCENARIOS[cell.scenario]
+                queue.store_scenario(fingerprint, original, bitstream)
+            if queue.submit(self._queue_task(cell)):
+                submitted.append(key)
+        return submitted
+
+    def _run_via_queue(
+            self, pending_cells: Dict[str, GridCell]
+    ) -> Dict[str, List[RunMetrics]]:
+        """Submit pending cells, then wait for workers to land their runs
+        in the shared cache (requeueing expired leases while waiting)."""
+        assert self.queue is not None and self.cache is not None
+        self.submit_grid(list(pending_cells.values()), queue=self.queue)
+        deadline = time.monotonic() + self.queue_timeout_s
+        waiting = set(pending_cells)
+        runs_by_key: Dict[str, List[RunMetrics]] = {}
+        while waiting:
+            self.queue.requeue_expired()
+            for key in sorted(waiting):
+                runs = self.cache.get_runs(key)
+                if runs is not None:
+                    runs_by_key[key] = runs
+                    waiting.discard(key)
+            if not waiting:
+                break
+            failed = waiting.intersection(self.queue.failed_keys())
+            if failed:
+                reasons = "; ".join(
+                    f"{key[:12]}…: {self.queue.failure_reason(key)}"
+                    for key in sorted(failed)
+                )
+                raise RuntimeError(
+                    f"{len(failed)} queued cell(s) failed — {reasons}")
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"queue dispatch timed out after"
+                    f" {self.queue_timeout_s:.0f}s with {len(waiting)}"
+                    f" cell(s) incomplete (queue counts:"
+                    f" {self.queue.counts()})"
+                )
+            time.sleep(self.queue_poll_s)
+        return runs_by_key
+
     def stats(self) -> Dict[str, Any]:
         """Engine counters plus the cache's counters/aggregates (or
         ``cache=None`` when caching is disabled)."""
@@ -410,5 +541,6 @@ class ExperimentEngine:
             "simulations_run": self.simulations_run,
             "memo_entries": len(self._memo),
             "workers": self.workers,
+            "dispatch": self.dispatch,
             "cache": None if self.cache is None else self.cache.stats(),
         }

@@ -14,18 +14,21 @@ at the eavesdropper (encrypted packets are erasures), and report
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..analysis.stats import Summary, summarize
 from ..core.policies import EncryptionPolicy
+from ..crypto.timing import CipherCost
 from ..video.concealment import conceal_decode
 from ..video.gop import Bitstream
 from ..video.packetizer import frames_decodable
 from ..video.quality import sequence_mos, sequence_psnr
 from ..video.yuv import Sequence420
+from ..wifi.dcf import DcfSolution
+from ..wifi.phy import Phy80211g
 from .devices import DeviceProfile
 from .energy import EnergyBreakdown, average_power_w
 from .simulator import LinkConfig, SenderSimulator, SimulationRun
@@ -84,6 +87,114 @@ class ExperimentConfig:
                     "multi-flow experiments report per-flow delay/power;"
                     " set decode_video=False"
                 )
+
+    # -- wire format ---------------------------------------------------------
+    #
+    # The canonical JSON-able description below is load-bearing twice
+    # over: it feeds the engine's content-addressed cell keys *and* the
+    # per-cell seed derivation, so its shape is part of the cache-key
+    # schema (see ENGINE_SCHEMA_VERSION in engine.py).  Additive fields
+    # must be emitted only when they leave their defaults, or every
+    # pre-existing key and seed stream changes.
+
+    def to_description(self) -> Dict[str, Any]:
+        """Canonical JSON-able description of this cell config."""
+        device = self.device
+        link = None
+        if self.link is not None:
+            link = {
+                "retry_limit": self.link.retry_limit,
+                "phy": asdict(self.link.phy),
+                "dcf": asdict(self.link.dcf),
+            }
+        description: Dict[str, Any] = {
+            "policy": {
+                "mode": self.policy.mode,
+                "algorithm": self.policy.algorithm,
+                "fraction": self.policy.fraction,
+            },
+            "device": {
+                "name": device.name,
+                "base_power_w": device.base_power_w,
+                "cpu_power_w": device.cpu_power_w,
+                "radio_tx_power_w": device.radio_tx_power_w,
+                "cipher_costs": {
+                    name: asdict(cost)
+                    for name, cost in sorted(device.cipher_costs.items())
+                },
+            },
+            "transport": asdict(self.transport),
+            "link": link,
+            "sensitivity_fraction": self.sensitivity_fraction,
+            "decode_video": self.decode_video,
+            "eavesdropper_mode": self.eavesdropper_mode,
+            "receiver_mode": self.receiver_mode,
+        }
+        # Additive fields must not perturb pre-existing keys/seed streams:
+        # emit them only when they leave the single-flow legacy defaults.
+        if self.flows != 1:
+            description["flows"] = self.flows
+        if self.engine != "legacy":
+            description["engine"] = self.engine
+        return description
+
+    @classmethod
+    def from_description(cls, description: Dict[str, Any]
+                         ) -> "ExperimentConfig":
+        """Inverse of :meth:`to_description` — exact reconstruction.
+
+        Queue workers receive cells as serialized descriptions and must
+        rebuild a config whose :meth:`to_description` matches the
+        submitter's byte for byte (the cell key and seed streams hash
+        it), so unknown fields are an error, never silently dropped.
+        """
+        try:
+            known = {"policy", "device", "transport", "link",
+                     "sensitivity_fraction", "decode_video",
+                     "eavesdropper_mode", "receiver_mode", "flows",
+                     "engine"}
+            unknown = set(description) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown config fields {sorted(unknown)}; this worker"
+                    " is older than the submitter"
+                )
+            policy = EncryptionPolicy(**description["policy"])
+            device_desc = dict(description["device"])
+            device = DeviceProfile(
+                name=device_desc["name"],
+                base_power_w=device_desc["base_power_w"],
+                cpu_power_w=device_desc["cpu_power_w"],
+                radio_tx_power_w=device_desc["radio_tx_power_w"],
+                cipher_costs={
+                    name: CipherCost(**cost)
+                    for name, cost in device_desc["cipher_costs"].items()
+                },
+            )
+            link = None
+            if description.get("link") is not None:
+                link_desc = description["link"]
+                link = LinkConfig(
+                    phy=Phy80211g(**link_desc["phy"]),
+                    dcf=DcfSolution(**link_desc["dcf"]),
+                    retry_limit=link_desc["retry_limit"],
+                )
+            return cls(
+                policy=policy,
+                device=device,
+                sensitivity_fraction=description["sensitivity_fraction"],
+                transport=TransportConfig(**description["transport"]),
+                link=link,
+                decode_video=description["decode_video"],
+                eavesdropper_mode=description["eavesdropper_mode"],
+                receiver_mode=description["receiver_mode"],
+                flows=description.get("flows", 1),
+                engine=description.get("engine", "legacy"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"malformed experiment-config description: {exc!r}"
+            ) from exc
 
 
 @dataclass

@@ -1,0 +1,183 @@
+"""Queue-draining worker: the process side of distributed grids.
+
+``repro worker --queue DIR`` runs :func:`run_worker`, which claims cells
+from a :class:`~repro.testbed.queue.WorkQueue`, reruns the exact
+simulation the submitter described (same seeds, same config, same
+scenario bytes), and writes results into the shared
+:class:`~repro.testbed.cache.ResultCache` under the submitter's content
+key.  N workers on one queue therefore assemble the same grid the
+in-process engine would have, byte for byte, with zero duplicate
+simulations.
+
+Safety properties:
+
+- a worker whose simulation code differs from the submitter's (fingerprint
+  mismatch) or that speaks a different cache-key schema *refuses* the
+  cell instead of writing wrong bytes under the submitter's key;
+- scenario blobs are fingerprint-verified before a single run, so a
+  corrupted or truncated blob fails loudly;
+- cells already present in the cache are completed without simulating
+  (the warm re-run costs zero simulations);
+- the lease heartbeat is renewed between repeats, so only a genuinely
+  dead worker's lease expires.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..video.gop import Bitstream
+from ..video.yuv import Sequence420
+from .cache import ResultCache, RunMetrics, code_fingerprint
+from .engine import (ENGINE_SCHEMA_VERSION, cell_seed_payload,
+                     cell_seed_sequences, config_from_description,
+                     scenario_fingerprint)
+from .experiment import run_experiment
+from .queue import QueueTask, WorkQueue
+
+__all__ = ["WorkerReport", "run_worker"]
+
+
+@dataclass
+class WorkerReport:
+    """What one worker did to the queue, JSON-serializable for tests and
+    the ``repro worker --report`` flag."""
+
+    worker_id: str
+    queue: str
+    claimed: int = 0
+    simulations: int = 0
+    completed: int = 0
+    replayed_from_cache: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    cells: List[str] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _execute_task(task: QueueTask, original: Sequence420,
+                  bitstream: Bitstream, queue: WorkQueue) -> List[RunMetrics]:
+    config = config_from_description(task.config)
+    payload = cell_seed_payload(task.scenario_fingerprint, task.config,
+                                task.repeats, task.master_seed)
+    seeds = cell_seed_sequences(payload, task.repeats, task.master_seed)
+    runs: List[RunMetrics] = []
+    for seed in seeds:
+        result = run_experiment(original, bitstream, config, seed=seed)
+        runs.append(RunMetrics.from_experiment_result(result))
+        queue.renew(task.key)
+    return runs
+
+
+def run_worker(queue: Union[str, Path, WorkQueue], *,
+               cache: Optional[ResultCache] = None,
+               worker_id: Optional[str] = None,
+               max_cells: Optional[int] = None,
+               drain: bool = True,
+               poll_s: float = 0.2,
+               report_path: Optional[Union[str, Path]] = None) -> WorkerReport:
+    """Drain a work queue until it is empty (or ``max_cells`` is hit).
+
+    Parameters
+    ----------
+    queue:
+        A :class:`WorkQueue` or its directory.
+    cache:
+        Shared result cache; defaults to the one named by the queue's
+        ``cache_spec`` so every worker lands results in the same place.
+    max_cells:
+        Stop after claiming this many cells (``None`` = unlimited).
+    drain:
+        When ``True`` the worker waits (requeueing expired leases) while
+        other workers still hold cells, exiting only once the queue is
+        fully drained; ``False`` exits as soon as nothing is claimable.
+    report_path:
+        Optional JSON dump of the returned :class:`WorkerReport`.
+    """
+    if not isinstance(queue, WorkQueue):
+        queue = WorkQueue(queue)
+    own_cache = cache is None
+    if cache is None:
+        cache = ResultCache.from_spec(queue.cache_spec)
+    report = WorkerReport(worker_id=worker_id or _default_worker_id(),
+                          queue=str(queue.path))
+    started = time.monotonic()
+    my_code = code_fingerprint()
+    scenarios: Dict[str, Tuple[Sequence420, Bitstream]] = {}
+    try:
+        while True:
+            if max_cells is not None and report.claimed >= max_cells:
+                break
+            queue.requeue_expired()
+            task = queue.claim()
+            if task is None:
+                if not drain or queue.is_drained():
+                    break
+                time.sleep(poll_s)
+                continue
+            report.claimed += 1
+            report.cells.append(task.key)
+            if task.schema != ENGINE_SCHEMA_VERSION:
+                queue.fail(task.key, (
+                    f"schema mismatch: task has v{task.schema}, this"
+                    f" worker speaks v{ENGINE_SCHEMA_VERSION}"))
+                report.failed += 1
+                continue
+            if task.code != my_code:
+                queue.fail(task.key, (
+                    "code fingerprint mismatch: this worker runs"
+                    f" {my_code[:12]}…, task was submitted against"
+                    f" {task.code[:12]}…; refusing to poison the cache"))
+                report.failed += 1
+                continue
+            if cache.get_runs(task.key) is not None:
+                queue.complete(task.key)
+                report.replayed_from_cache += 1
+                report.completed += 1
+                continue
+            try:
+                if task.scenario_fingerprint not in scenarios:
+                    scenarios[task.scenario_fingerprint] = (
+                        queue.load_scenario(task.scenario_fingerprint,
+                                            verify=scenario_fingerprint))
+                original, bitstream = scenarios[task.scenario_fingerprint]
+                runs = _execute_task(task, original, bitstream, queue)
+            except (OSError, ValueError) as exc:
+                queue.fail(task.key, f"{type(exc).__name__}: {exc}")
+                report.failed += 1
+                continue
+            report.simulations += len(runs)
+            # meta mirrors ExperimentEngine.run_grid exactly — same keys,
+            # same order, config re-canonicalized (the task JSON sorts
+            # keys) — so a worker entry is byte-identical to a local one.
+            cache.put_runs(task.key, runs, meta={
+                "scenario": task.scenario,
+                "scenario_meta": task.scenario_meta,
+                "config": config_from_description(task.config)
+                .to_description(),
+                "repeats": task.repeats,
+                "master_seed": task.master_seed,
+            })
+            queue.complete(task.key)
+            report.completed += 1
+    finally:
+        report.wall_s = time.monotonic() - started
+        if own_cache:
+            cache.close()
+        if report_path is not None:
+            report_path = Path(report_path)
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+            report_path.write_text(report.to_json() + "\n")
+    return report

@@ -1,0 +1,96 @@
+"""The CI pipeline definition: valid YAML, correct tiering, and every
+command it runs must exist in this tree."""
+
+import shlex
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def _steps(workflow, job):
+    return workflow["jobs"][job]["steps"]
+
+
+def _run_lines(workflow, job):
+    return [step["run"] for step in _steps(workflow, job)
+            if "run" in step]
+
+
+class TestStructure:
+    def test_parses_and_has_all_jobs(self, workflow):
+        assert set(workflow["jobs"]) == {
+            "static-checks", "tier-1", "tier-2", "bench-gate"}
+
+    def test_pythonpath_src_everywhere(self, workflow):
+        # `on` parses as boolean True in YAML 1.1
+        assert workflow["env"]["PYTHONPATH"] == "src"
+
+    def test_triggers(self, workflow):
+        triggers = workflow.get("on") or workflow.get(True)
+        assert "pull_request" in triggers
+        assert triggers["push"]["branches"] == ["main"]
+
+    def test_tier2_and_bench_gate_main_push_only(self, workflow):
+        for job in ("tier-2", "bench-gate"):
+            condition = workflow["jobs"][job]["if"]
+            assert "push" in condition
+            assert "refs/heads/main" in condition
+        for job in ("static-checks", "tier-1"):
+            assert "if" not in workflow["jobs"][job]
+
+    def test_selftest_is_first_command_in_every_job(self, workflow):
+        for job in workflow["jobs"]:
+            runs = _run_lines(workflow, job)
+            commands = [line for line in runs
+                        if not line.startswith("python -m pip")]
+            assert commands[0] == "python -m repro.cli selftest", job
+
+
+class TestCommands:
+    def test_tier1_deselects_slow(self, workflow):
+        runs = _run_lines(workflow, "tier-1")
+        assert any("-m \"not slow\"" in line or "-m 'not slow'" in line
+                   for line in runs)
+
+    def test_tier2_runs_full_suite(self, workflow):
+        assert "python -m pytest -x -q" in _run_lines(workflow, "tier-2")
+
+    def test_bench_gate_checks_trend(self, workflow):
+        runs = _run_lines(workflow, "bench-gate")
+        assert any("crypto_microbench.py --check-trend" in line
+                   for line in runs)
+        assert any("bench history" in line for line in runs)
+
+    def test_static_checks_compile_and_lint(self, workflow):
+        runs = _run_lines(workflow, "static-checks")
+        assert any("compileall" in line and "src tests benchmarks" in line
+                   for line in runs)
+        assert any("lint_checks.py" in line for line in runs)
+
+    def test_referenced_scripts_exist(self, workflow):
+        for job in workflow["jobs"]:
+            for line in _run_lines(workflow, job):
+                for token in shlex.split(line):
+                    if token.endswith(".py"):
+                        assert (REPO_ROOT / token).is_file(), \
+                            f"{job} runs missing script {token}"
+
+    def test_no_new_dependencies(self, workflow):
+        """The pipeline may only install what the project already
+        depends on (plus the test/yaml toolchain)."""
+        allowed = {"numpy", "scipy", "pytest", "hypothesis", "pyyaml"}
+        for job in workflow["jobs"]:
+            for line in _run_lines(workflow, job):
+                if "pip install" in line:
+                    packages = set(shlex.split(line.split("install", 1)[1]))
+                    assert packages <= allowed, f"{job}: {packages}"

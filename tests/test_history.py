@@ -1,0 +1,136 @@
+"""Bench history: per-revision snapshots, rendering, and the CLI paths
+that record and display them."""
+
+import json
+
+import pytest
+
+from repro.analysis.history import (
+    current_git_sha,
+    load_history,
+    record_run,
+    render_history,
+)
+from repro.cli import main
+
+REPORT = {
+    "aes256_ofb": {"vector_bytes_per_s": 2.0e8,
+                   "scalar_bytes_per_s": 5.0e7,
+                   "speedup": 4.0,
+                   "payload_bytes": 1 << 20},
+    "cache": {"cold_put_per_s": 900.0, "backend": "dir"},
+}
+
+
+class TestRecordAndLoad:
+    def test_record_creates_snapshot_named_after_sha(self, tmp_path):
+        path = record_run(REPORT, tmp_path, sha="abc1234", source="unit")
+        assert path == tmp_path / "abc1234.json"
+        snapshot = json.loads(path.read_text())
+        assert snapshot["sha"] == "abc1234"
+        assert snapshot["source"] == "unit"
+        # nested numeric leaves flattened; strings dropped
+        assert snapshot["metrics"]["aes256_ofb.vector_bytes_per_s"] == 2.0e8
+        assert "cache.backend" not in snapshot["metrics"]
+
+    def test_record_idempotent_per_revision(self, tmp_path):
+        record_run(REPORT, tmp_path, sha="abc1234")
+        bumped = {"aes256_ofb": {"vector_bytes_per_s": 3.0e8}}
+        record_run(bumped, tmp_path, sha="abc1234")
+        snapshots = load_history(tmp_path)
+        assert len(snapshots) == 1
+        assert snapshots[0]["metrics"]["aes256_ofb.vector_bytes_per_s"] \
+            == 3.0e8
+
+    def test_load_sorted_and_tolerant_of_torn_files(self, tmp_path):
+        record_run(REPORT, tmp_path, sha="bbb")
+        record_run(REPORT, tmp_path, sha="aaa")
+        (tmp_path / "torn.json").write_text("{not json")
+        (tmp_path / "alien.json").write_text('["no metrics"]')
+        shas = [s["sha"] for s in load_history(tmp_path)]
+        assert sorted(shas) == ["aaa", "bbb"]
+
+    def test_load_missing_dir_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "never-made") == []
+
+    def test_current_git_sha_in_this_repo(self):
+        sha = current_git_sha()
+        assert sha == "nogit" or len(sha) >= 7
+
+    def test_current_git_sha_outside_any_repo(self, tmp_path):
+        assert current_git_sha(cwd=tmp_path) == "nogit"
+
+
+class TestRender:
+    def test_table_has_throughput_columns_and_gaps(self, tmp_path):
+        record_run(REPORT, tmp_path, sha="aaa")
+        later = dict(REPORT)
+        later["cache"] = {"cold_put_per_s": 950.0, "warm_get_per_s": 4e4}
+        record_run(later, tmp_path, sha="bbb")
+        table = render_history(load_history(tmp_path))
+        assert "aaa" in table and "bbb" in table
+        assert "vector_bytes_per_s" in table
+        assert "speedup" not in table  # only *_per_s columns
+        assert "-" in table  # aaa has no warm_get_per_s
+
+    def test_empty_history_message(self):
+        assert "no snapshots" in render_history([])
+
+    def test_colliding_short_names_fall_back_to_full(self):
+        snapshots = [{"sha": "aaa", "recorded_unix": 1.0, "metrics": {
+            "a.x_per_s": 1.0, "b.x_per_s": 2.0}}]
+        table = render_history(snapshots)
+        assert "a.x_per_s" in table and "b.x_per_s" in table
+
+
+class TestCli:
+    def _reports(self, tmp_path):
+        current = tmp_path / "BENCH.json"
+        current.write_text(json.dumps(REPORT))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(REPORT))
+        return current, baseline
+
+    def test_trend_records_history_by_default(self, tmp_path, capsys):
+        current, baseline = self._reports(tmp_path)
+        history = tmp_path / "history"
+        rc = main(["bench", "trend", "--current", str(current),
+                   "--baseline", str(baseline),
+                   "--history-dir", str(history)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recorded history snapshot" in out
+        assert len(load_history(history)) == 1
+
+    def test_trend_no_history_skips_recording(self, tmp_path, capsys):
+        current, baseline = self._reports(tmp_path)
+        history = tmp_path / "history"
+        rc = main(["bench", "trend", "--current", str(current),
+                   "--baseline", str(baseline),
+                   "--history-dir", str(history), "--no-history"])
+        assert rc == 0
+        assert "recorded history snapshot" not in capsys.readouterr().out
+        assert load_history(history) == []
+
+    def test_history_action_renders_table(self, tmp_path, capsys):
+        record_run(REPORT, tmp_path, sha="abc1234")
+        rc = main(["bench", "history", "--history-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "abc1234" in out
+        assert "cold_put_per_s" in out
+
+    def test_failing_trend_still_records(self, tmp_path, capsys):
+        current, baseline = self._reports(tmp_path)
+        slow = dict(REPORT)
+        slow["aes256_ofb"] = dict(REPORT["aes256_ofb"],
+                                  vector_bytes_per_s=1.0e7)
+        current.write_text(json.dumps(slow))
+        history = tmp_path / "history"
+        rc = main(["bench", "trend", "--current", str(current),
+                   "--baseline", str(baseline),
+                   "--history-dir", str(history)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # the regressed run is still in the history — that's the point
+        assert len(load_history(history)) == 1

@@ -1,0 +1,105 @@
+"""`repro lint` — the reproducibility static checks.
+
+The banned patterns below are assembled from fragments (or marked
+`# lint: allow`) so this test file itself stays clean under the linter.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import DEFAULT_ROOTS, lint_file, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NP_SEED = "np.random." + "seed(42)"
+GLOBAL_RANDOM = "x = " + "random" + ".randint(0, 9)"
+WALL_CLOCK = "now = time." + "time()"
+
+
+def _write(tmp_path, name, *lines):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestRules:
+    def test_global_np_seed_flagged(self, tmp_path):
+        path = _write(tmp_path, "mod.py", "import numpy as np", NP_SEED)
+        errors = lint_file(path)
+        assert [e.rule for e in errors] == ["global-np-seed"]
+        assert errors[0].line == 2
+        assert "default_rng" in errors[0].message
+
+    def test_module_level_random_flagged(self, tmp_path):
+        path = _write(tmp_path, "mod.py", "import random", GLOBAL_RANDOM)
+        assert [e.rule for e in lint_file(path)] == ["global-random"]
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        path = _write(tmp_path, "mod.py",
+                      "import random",
+                      "rng = random.Random(7)",
+                      "value = rng.randint(0, 9)")
+        assert lint_file(path) == []
+
+    def test_np_random_default_rng_allowed(self, tmp_path):
+        path = _write(tmp_path, "mod.py",
+                      "import numpy as np",
+                      "rng = np.random.default_rng(7)")
+        assert lint_file(path) == []
+
+    def test_wall_clock_only_banned_in_events(self, tmp_path):
+        everywhere_else = _write(tmp_path, "mod.py",
+                                 "import time", WALL_CLOCK)
+        assert lint_file(everywhere_else) == []
+        kernel = _write(tmp_path, "events.py", "import time", WALL_CLOCK)
+        assert [e.rule for e in lint_file(kernel)] == \
+            ["wall-clock-in-kernel"]
+
+    def test_allow_marker_and_comments_skipped(self, tmp_path):
+        path = _write(tmp_path, "mod.py",
+                      NP_SEED + "  # lint: allow",
+                      "# commented out: " + NP_SEED)
+        assert lint_file(path) == []
+
+    def test_pattern_in_string_is_still_flagged_without_marker(
+            self, tmp_path):
+        # docstring mentions count: the rules are textual by design, and
+        # the allow marker is the documented escape hatch
+        path = _write(tmp_path, "mod.py", f'text = "{NP_SEED}"')
+        assert [e.rule for e in lint_file(path)] == ["global-np-seed"]
+
+    def test_error_rendering(self, tmp_path):
+        path = _write(tmp_path, "mod.py", NP_SEED)
+        rendered = str(lint_file(path)[0])
+        assert rendered.startswith(f"{path}:1: [global-np-seed]")
+
+
+class TestPaths:
+    def test_roots_walk_and_self_exclusion(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        _write(tmp_path / "src", "bad.py", NP_SEED)
+        _write(tmp_path / "src", "lint.py", NP_SEED)  # the linter itself
+        errors = lint_paths(["src"], base=tmp_path)
+        assert [Path(e.path).name for e in errors] == ["bad.py"]
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert lint_paths(["nowhere"], base=tmp_path) == []
+
+    def test_repository_is_clean(self):
+        errors = lint_paths(DEFAULT_ROOTS, base=REPO_ROOT)
+        assert errors == [], "\n".join(str(e) for e in errors)
+
+
+class TestCli:
+    def test_exit_one_and_report(self, tmp_path, capsys):
+        bad = _write(tmp_path, "bad.py", NP_SEED)
+        rc = main(["lint", str(bad)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "global-np-seed" in out
+        assert "1 violation(s)" in out
+
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = _write(tmp_path, "ok.py", "x = 1")
+        rc = main(["lint", str(clean)])
+        assert rc == 0

@@ -1,0 +1,53 @@
+"""`repro selftest` — the first command of every CI job."""
+
+import pytest
+
+import repro.selftest as selftest_mod
+from repro.cli import main
+from repro.selftest import CheckResult, run_selftest
+
+
+class TestRunSelftest:
+    def test_all_checks_pass_in_this_tree(self):
+        results = run_selftest()
+        assert [r.name for r in results] == [
+            "crypto-kat", "cached-engine", "event-kernel"]
+        failures = [r for r in results if not r.ok]
+        assert not failures, [f"{r.name}: {r.detail}" for r in failures]
+
+    def test_subset_selection(self):
+        results = run_selftest(["crypto-kat"])
+        assert [r.name for r in results] == ["crypto-kat"]
+        assert results[0].ok
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError, match="unknown selftest check"):
+            run_selftest(["crypto-kat", "warp-core"])
+
+    def test_failures_become_rows_not_exceptions(self, monkeypatch):
+        def boom():
+            raise AssertionError("synthetic breakage")
+        monkeypatch.setattr(
+            selftest_mod, "_CHECKS",
+            [("crypto-kat", boom)] + selftest_mod._CHECKS[1:])
+        results = run_selftest(["crypto-kat"])
+        assert results == [CheckResult(
+            "crypto-kat", False, "AssertionError: synthetic breakage")]
+
+
+class TestCli:
+    def test_exit_zero_and_table(self, capsys):
+        rc = main(["selftest", "--only", "crypto-kat"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crypto-kat" in out
+        assert "all 1 checks passed" in out
+
+    def test_exit_one_on_failure(self, monkeypatch, capsys):
+        def boom():
+            raise RuntimeError("synthetic breakage")
+        monkeypatch.setattr(
+            selftest_mod, "_CHECKS", [("crypto-kat", boom)])
+        rc = main(["selftest"])
+        assert rc == 1
+        assert "SELFTEST FAILED" in capsys.readouterr().out
