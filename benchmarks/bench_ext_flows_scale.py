@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Scale benchmark: the vector multi-flow engine vs the coroutine kernel.
+
+Sweeps the flow count over 10 / 100 / 1000 / 10000 contending senders
+transmitting the same clip, and reports packets scheduled per second
+plus the per-flow p99 delay at each point.  The coroutine kernel is
+timed alongside up to ``--kernel-max`` flows (default 1000; beyond that
+its generator switching makes the comparison pointless), giving the
+speedup the ISSUE's acceptance gate reads (>= 20x at 1000 flows).
+
+Results merge into the crypto micro-bench report (``BENCH_crypto.json``
+under a ``flows_scale`` section) so ``repro bench trend`` gates the
+``*_per_s`` throughput keys against the committed baseline alongside
+the cipher numbers; the p99 latency keys ride along un-gated.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/crypto_microbench.py
+    PYTHONPATH=src python benchmarks/bench_ext_flows_scale.py --check-trend
+
+``--smoke`` is the PR-tier mode: the 10- and 100-flow points only,
+plus a differential assertion that the vector engine with oracle
+sampling reproduces the kernel's traces bit for bit (writes nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import main as repro_main
+from repro.core import standard_policies
+from repro.testbed.devices import DEVICES
+from repro.testbed.multiflow import (
+    _packetize_flows,
+    _service_for,
+    contention_link,
+    run_multiflow,
+)
+from repro.testbed.transport import UDP_RTP
+from repro.testbed.vector_flows import run_vector_flows
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+DEFAULT_FLOWS = (10, 100, 1000, 10000)
+SMOKE_FLOWS = (10, 100)
+DEFAULT_KERNEL_MAX = 1000
+DEFAULT_FRAMES = 30
+DEFAULT_BASELINE = Path("benchmarks/results/bench_baseline.json")
+SEED = 2013
+
+
+def _scenario(frames: int):
+    clip = generate_clip("slow", frames, seed=1)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=8))
+    policy = standard_policies("AES256")["I"]
+    device = DEVICES["samsung-s2"]
+    return bitstream, policy, device
+
+
+def _vector_inputs(bitstream, policy, device, n_flows):
+    link = contention_link(n_flows)
+    service = _service_for(policy, device, link, UDP_RTP)
+    flow_streams, flow_arrivals = _packetize_flows(
+        [bitstream] * n_flows, mtu=1460,
+        disk_read_rate_pkts_per_s=600.0, stagger_s=0.0)
+    return service, flow_streams, flow_arrivals
+
+
+def _time_vector(bitstream, policy, device, n_flows):
+    service, flow_streams, flow_arrivals = _vector_inputs(
+        bitstream, policy, device, n_flows)
+    start = time.perf_counter()
+    vrun = run_vector_flows(flow_streams, flow_arrivals, service=service,
+                            seed=SEED)
+    elapsed = time.perf_counter() - start
+    rows = vrun.delay_percentiles_ms()
+    p99 = float(np.mean([row["p99"] for row in rows if row is not None]))
+    return vrun.total_packets, elapsed, p99
+
+
+def _time_kernel(bitstream, policy, device, n_flows):
+    start = time.perf_counter()
+    result = run_multiflow(bitstream, flows=n_flows, policy=policy,
+                           device=device, seed=SEED)
+    elapsed = time.perf_counter() - start
+    total = sum(len(run.packets) for run in result.flows)
+    return total, elapsed
+
+
+def _bench_point(bitstream, policy, device, n_flows, kernel_max):
+    total, vector_s, p99 = _time_vector(bitstream, policy, device, n_flows)
+    point = {
+        "total_packets": total,
+        "vector_packets_per_s": total / vector_s,
+        "vector_wall_s": vector_s,
+        "p99_delay_ms": p99,
+    }
+    if n_flows <= kernel_max:
+        k_total, kernel_s = _time_kernel(bitstream, policy, device, n_flows)
+        assert k_total == total, "engines disagree on the packet count"
+        point["kernel_packets_per_s"] = total / kernel_s
+        point["kernel_wall_s"] = kernel_s
+        point["speedup"] = kernel_s / vector_s
+    return point
+
+
+def _smoke(frames: int) -> None:
+    """PR-tier check: small curve plus trace-level differential."""
+    bitstream, policy, device = _scenario(frames)
+    for n_flows in SMOKE_FLOWS:
+        kernel = run_multiflow(bitstream, flows=n_flows, policy=policy,
+                               device=device, seed=SEED)
+        vector = run_multiflow(bitstream, flows=n_flows, policy=policy,
+                               device=device, seed=SEED, engine="vector",
+                               sampling="oracle")
+        kernel_rows = [
+            (t.sequence_number, t.enqueue_time_s, t.service_start_s,
+             t.transmit_time_s, t.departure_time_s, t.delivered, t.attempts)
+            for run in kernel.flows for t in run.trace]
+        vector_rows = [
+            (t.sequence_number, t.enqueue_time_s, t.service_start_s,
+             t.transmit_time_s, t.departure_time_s, t.delivered, t.attempts)
+            for run in vector.flows for t in run.trace]
+        assert kernel_rows == vector_rows, (
+            f"vector engine diverged from the kernel at {n_flows} flows")
+        point = _bench_point(bitstream, policy, device, n_flows,
+                             kernel_max=max(SMOKE_FLOWS))
+        print(f"{n_flows:5d} flows: oracle==kernel over"
+              f" {len(kernel_rows)} traces, vector"
+              f" {point['vector_packets_per_s'] / 1e3:8.1f} kpkt/s,"
+              f" speedup {point['speedup']:.1f}x")
+    print("smoke: vector engine matches the coroutine kernel")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flows", type=int, nargs="+",
+                        default=list(DEFAULT_FLOWS),
+                        help="flow counts to sweep (default 10 100 1000"
+                             " 10000)")
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES,
+                        help=f"clip length in frames (default"
+                             f" {DEFAULT_FRAMES})")
+    parser.add_argument("--kernel-max", type=int,
+                        default=DEFAULT_KERNEL_MAX,
+                        help="largest flow count also timed on the"
+                             " coroutine kernel (default 1000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="PR-tier mode: 10/100 flows plus an exact"
+                             " vector-vs-kernel differential; writes no"
+                             " report")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_crypto.json"),
+                        help="report to merge the flows_scale section"
+                             " into (default ./BENCH_crypto.json)")
+    parser.add_argument("--check-trend", action="store_true",
+                        help="after writing, run the regression gate"
+                             " against the committed baseline")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline for --check-trend (default"
+                             f" {DEFAULT_BASELINE})")
+    args = parser.parse_args()
+    if args.frames < 6:
+        parser.error("--frames must be at least 6")
+    if any(n < 1 for n in args.flows):
+        parser.error("--flows entries must be positive")
+
+    if args.smoke:
+        _smoke(args.frames)
+        return
+
+    bitstream, policy, device = _scenario(args.frames)
+    curve = {}
+    for n_flows in args.flows:
+        point = _bench_point(bitstream, policy, device, n_flows,
+                             args.kernel_max)
+        curve[str(n_flows)] = point
+        line = (f"{n_flows:6d} flows: vector"
+                f" {point['vector_packets_per_s'] / 1e3:9.1f} kpkt/s,"
+                f" p99 {point['p99_delay_ms']:10.2f} ms")
+        if "speedup" in point:
+            line += (f", kernel"
+                     f" {point['kernel_packets_per_s'] / 1e3:7.1f} kpkt/s,"
+                     f" speedup {point['speedup']:7.1f}x")
+        print(line)
+    print("target : >= 20x over the kernel at 1000 flows")
+
+    report = {}
+    if args.out.exists():
+        report = json.loads(args.out.read_text())
+    report["flows_scale"] = {
+        "frames": args.frames,
+        "packets_per_flow": curve[str(args.flows[0])]["total_packets"]
+        // args.flows[0],
+        "curve": curve,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[saved to {args.out}]")
+    if args.check_trend:
+        raise SystemExit(repro_main([
+            "bench", "trend", "--current", str(args.out),
+            "--baseline", str(args.baseline),
+        ]))
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,7 @@ from .testbed import (
     ExperimentConfig,
     ExperimentEngine,
     GridCell,
+    MULTIFLOW_ENGINES,
     ResultCache,
     WorkQueue,
     run_experiment,
@@ -213,10 +214,14 @@ def cmd_multiflow(args) -> int:
         device=device,
         seed=args.seed,
         stagger_s=args.stagger_ms * 1e-3,
+        engine=args.engine,
     )
     rows = []
     for flow_id, (run, row) in enumerate(
             zip(result.flows, result.delay_percentiles_ms())):
+        if row is None:  # zero-packet flow: no delay statistics exist
+            rows.append([flow_id, 0, "-", "-", "-", "-", "-"])
+            continue
         delivered = sum(run.usable_by_receiver) / len(run.packets)
         rows.append([
             flow_id, len(run.packets), f"{delivered * 100:.1f}",
@@ -474,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_multiflow.add_argument("--algorithm",
                              choices=("AES128", "AES256", "3DES"),
                              default="AES256")
+    p_multiflow.add_argument("--engine", choices=MULTIFLOW_ENGINES,
+                             default="events",
+                             help="contention engine: the coroutine event"
+                                  " kernel or the vectorized fast path")
     p_multiflow.add_argument("--stagger-ms", type=float, default=0.0,
                              help="offset flow i's producer by i*stagger")
     p_multiflow.set_defaults(func=cmd_multiflow)

@@ -11,6 +11,11 @@ so this module enforces the three rules that protect it:
   seeded ``random.Random(...)`` instance is fine.
 - ``time.time()`` is banned inside the event kernel (``events.py``):
   simulated time must come from the kernel's clock, never the wall.
+- per-packet Python ``for`` loops are banned inside the vectorized
+  scheduler (``vector_flows.py``): its whole reason to exist is that
+  per-flow state stays in arrays; looping over packets there silently
+  reintroduces the coroutine kernel's costs.  Per-packet work belongs
+  in ``flow_sampling.py``.
 
 A line may opt out with a trailing ``# lint: allow`` comment (used by
 code that mentions the patterns in strings, e.g. this linter's tests).
@@ -37,6 +42,11 @@ _GLOBAL_NP_SEED = re.compile(r"np\.random\.seed\s*\(")
 # np.random.* / rng.random(...) never match thanks to the lookbehind.
 _GLOBAL_RANDOM = re.compile(r"(?<![\w.])random\.(?!Random\b)\w+")
 _WALL_CLOCK = re.compile(r"time\.time\s*\(\s*\)")
+# A ``for`` loop whose target or iterable is packet-named (packet,
+# packets, pkt, pkts...) — the loop shape the vector module must never
+# contain.
+_PACKET_LOOP = re.compile(
+    r"\bfor\b(?=[^#]*\bin\b)[^#]*(\bpacket\w*|\bpkts?\b)")
 
 
 @dataclass(frozen=True)
@@ -74,6 +84,7 @@ def lint_file(path: Path) -> List[LintError]:
     except (OSError, UnicodeDecodeError) as exc:
         return [LintError(str(path), 0, "unreadable", str(exc), "")]
     is_events = path.name == "events.py"
+    is_vector = path.name == "vector_flows.py"
     for number, raw in enumerate(text.splitlines(), start=1):
         if ALLOW_MARKER in raw:
             continue
@@ -95,6 +106,12 @@ def lint_file(path: Path) -> List[LintError]:
                 str(path), number, "wall-clock-in-kernel",
                 "time.time() in the event kernel: simulated time must"
                 " come from the kernel clock", raw.strip()))
+        if is_vector and _PACKET_LOOP.search(line):
+            errors.append(LintError(
+                str(path), number, "packet-loop-in-vector",
+                "per-packet Python loop in the vectorized scheduler:"
+                " keep per-flow state in arrays (per-packet work lives"
+                " in flow_sampling.py)", raw.strip()))
     return errors
 
 

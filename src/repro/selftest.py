@@ -14,7 +14,11 @@ subsystem:
   zero simulations and identical summaries;
 - **events** — a 2-flow contention run through the discrete-event
   kernel with basic sanity invariants (positive makespan, all packets
-  accounted for).
+  accounted for);
+- **vector** — the struct-of-arrays fast path replayed against the
+  coroutine kernel on the same tiny grid: oracle sampling must match
+  the kernel trace-for-trace, and batch sampling must produce a sane
+  delay profile (the property the 10^4-flow story rests on).
 
 Each check returns a row; any failure makes ``repro selftest`` exit 1.
 """
@@ -138,10 +142,42 @@ def _check_event_kernel() -> str:
             f" makespan {result.makespan_s:.2f}s")
 
 
+def _check_vector_flows() -> str:
+    from .core import standard_policies
+    from .testbed import DEVICES, run_multiflow
+
+    _, bitstream = _tiny_scenario()
+    kwargs = dict(flows=2, policy=standard_policies("AES256")["I"],
+                  device=DEVICES["samsung-s2"], seed=2013)
+    kernel = run_multiflow(bitstream, **kwargs)
+    vector = run_multiflow(bitstream, engine="vector", sampling="oracle",
+                           **kwargs)
+
+    def rows(result):
+        return [
+            (t.sequence_number, t.enqueue_time_s, t.service_start_s,
+             t.encryption_time_s, t.transmit_time_s, t.departure_time_s,
+             t.encrypted, t.delivered, t.attempts)
+            for run in result.flows for t in run.trace
+        ]
+
+    if rows(kernel) != rows(vector):
+        raise AssertionError(
+            "vector engine (oracle sampling) diverged from the event"
+            " kernel on the selftest grid")
+    batch = run_multiflow(bitstream, engine="vector", **kwargs)
+    mean = batch.mean_delay_ms
+    if not 0.0 < mean < 1e4:
+        raise AssertionError(f"batch sampling mean delay insane: {mean}")
+    return (f"oracle==kernel over {len(rows(kernel))} packet traces,"
+            f" batch mean delay {mean:.2f}ms")
+
+
 _CHECKS: List[tuple] = [
     ("crypto-kat", _check_crypto_kat),
     ("cached-engine", _check_cached_engine),
     ("event-kernel", _check_event_kernel),
+    ("vector-flows", _check_vector_flows),
 ]
 
 

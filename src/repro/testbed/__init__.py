@@ -43,7 +43,8 @@ from .experiment import (
     run_experiment,
     run_repeated,
 )
-from .multiflow import ContentionMAC, FlowProcess, MultiFlowRun, run_multiflow
+from .multiflow import (ContentionMAC, FlowProcess, MULTIFLOW_ENGINES,
+                        MultiFlowRun, contention_link, run_multiflow)
 from .queue import QueueTask, WorkQueue
 from .simulator import (
     LinkConfig,
@@ -72,7 +73,8 @@ __all__ = [
     "DirectoryBackend", "SqliteIndexBackend", "JsonlIndexBackend",
     "LinkConfig", "PacketService", "SenderSimulator", "SimulationRun",
     "EventKernel", "Request", "Resource", "Timeout", "WaitUntil",
-    "ContentionMAC", "FlowProcess", "MultiFlowRun", "run_multiflow",
+    "ContentionMAC", "FlowProcess", "MULTIFLOW_ENGINES", "MultiFlowRun",
+    "contention_link", "run_multiflow",
     "PacketTrace", "TraceLog",
     "HTTP_TCP", "UDP_RTP", "TransportConfig", "delivery_outcome",
     "delivery_outcome_with",

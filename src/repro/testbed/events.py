@@ -104,6 +104,19 @@ class Process:
         state = "alive" if self.alive else "done"
         return f"Process({self.name!r}, {state})"
 
+    def kill(self) -> None:
+        """Terminate the process: close its generator and mark it dead.
+
+        Any event already in the heap for it becomes a no-op, and a
+        :class:`Resource` will never grant it a slot — hand-overs skip
+        dead waiters, and a grant that was already in flight releases
+        the slot back to the queue when it fires.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.generator.close()
+
 
 class Resource:
     """A FIFO resource with fixed capacity (default 1): the shared
@@ -135,20 +148,28 @@ class Resource:
     def _request(self, process: Process) -> None:
         if self._in_use < self.capacity:
             self._in_use += 1
-            self.kernel._schedule(self.kernel.now, process, "grant")
+            self.kernel._schedule(self.kernel.now, process, "grant",
+                                  resource=self)
         else:
             self._waiters.append(process)
 
     def release(self) -> None:
-        """Free one slot; the oldest waiter (if any) inherits it."""
+        """Free one slot; the oldest *alive* waiter (if any) inherits it.
+
+        Dead waiters are skipped: handing the slot to a killed process
+        would leak it (the grant event would fire into a no-op) and
+        deadlock every remaining waiter behind a medium nobody holds.
+        """
         if self._in_use == 0:
             raise RuntimeError("release() without a matching acquired slot")
-        if self._waiters:
-            # Slot handed over: _in_use is unchanged.
+        while self._waiters:
             waiter = self._waiters.popleft()
-            self.kernel._schedule(self.kernel.now, waiter, "grant")
-        else:
-            self._in_use -= 1
+            if waiter.alive:
+                # Slot handed over: _in_use is unchanged.
+                self.kernel._schedule(self.kernel.now, waiter, "grant",
+                                      resource=self)
+                return
+        self._in_use -= 1
 
 
 # -- the kernel ----------------------------------------------------------------
@@ -173,7 +194,8 @@ class EventKernel:
 
     def __init__(self, *, seed: "Optional[int | np.random.SeedSequence]" = None,
                  trace: bool = False) -> None:
-        self._heap: List[Tuple[float, int, Process, str]] = []
+        self._heap: List[Tuple[float, int, Process, str,
+                               Optional[Resource]]] = []
         self._counter = itertools.count()
         self._now = 0.0
         if isinstance(seed, np.random.SeedSequence):
@@ -208,23 +230,30 @@ class EventKernel:
 
     # -- scheduling ---------------------------------------------------------
 
-    def _schedule(self, time: float, process: Process, kind: str) -> None:
+    def _schedule(self, time: float, process: Process, kind: str, *,
+                  resource: "Optional[Resource]" = None) -> None:
         if not time >= self._now:  # also rejects NaN
             raise ValueError(
                 f"cannot schedule {kind!r} for {process.name!r} at t={time}"
                 f" before current time t={self._now}"
             )
-        heapq.heappush(self._heap, (time, next(self._counter), process, kind))
+        heapq.heappush(self._heap,
+                       (time, next(self._counter), process, kind, resource))
 
     def run(self, until: Optional[float] = None) -> float:
         """Drive the event loop; returns the final simulation time.
 
         With ``until`` the loop stops *before* executing any event
         scheduled past that horizon and the clock advances to exactly
-        ``until``; without it, the loop drains the heap.
+        ``until``; without it, the loop drains the heap — and raises
+        ``RuntimeError`` if it drains while registered processes are
+        still alive (a stalled simulation: some process waits on a
+        resource or event that can never come, e.g. a slot that was
+        never released).  Returning silently there would hand callers
+        half-finished flows that look complete.
         """
         while self._heap:
-            time, sequence, process, kind = self._heap[0]
+            time, sequence, process, kind, resource = self._heap[0]
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
@@ -232,13 +261,31 @@ class EventKernel:
             if self._trace:
                 self.fired.append(
                     FiredEvent(time, sequence, process.name, kind))
-            self._advance(process)
-        if until is not None and until > self._now:
-            self._now = until
+            self._advance(process, resource)
+        if until is not None:
+            if until > self._now:
+                self._now = until
+        else:
+            stalled = [p.name for p in self._processes if p.alive]
+            if stalled:
+                shown = ", ".join(stalled[:5])
+                if len(stalled) > 5:
+                    shown += f", ... ({len(stalled) - 5} more)"
+                raise RuntimeError(
+                    f"event kernel stalled at t={self._now}: the heap"
+                    f" drained with {len(stalled)} process(es) still"
+                    f" waiting ({shown}) — typically a Resource slot that"
+                    " was never released"
+                )
         return self._now
 
-    def _advance(self, process: Process) -> None:
-        if not process.alive:  # pragma: no cover - defensive
+    def _advance(self, process: Process,
+                 resource: "Optional[Resource]" = None) -> None:
+        if not process.alive:
+            if resource is not None:
+                # A granted slot must not die with its grantee: give it
+                # back so the next waiter can take over.
+                resource.release()
             return
         try:
             command = next(process.generator)

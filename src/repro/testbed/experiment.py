@@ -64,23 +64,28 @@ class ExperimentConfig:
     eavesdropper_mode: str = "best_effort"  # what a real attacker's decoder does
     receiver_mode: str = "strict"           # EvalVid's reconstruction policy
     flows: int = 1
-    engine: str = "legacy"                  # "legacy" | "events"
+    engine: str = "legacy"                  # "legacy" | "events" | "vector"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("legacy", "events"):
+        if self.engine not in ("legacy", "events", "vector"):
             raise ValueError(
-                f"unknown engine {self.engine!r}; expected 'legacy' or"
-                " 'events'"
+                f"unknown engine {self.engine!r}; expected 'legacy',"
+                " 'events' or 'vector'"
             )
         if not isinstance(self.flows, int) or isinstance(self.flows, bool) \
                 or self.flows < 1:
             raise ValueError(
                 f"flows must be a positive integer, got {self.flows!r}")
+        if self.engine == "vector" and self.decode_video:
+            raise ValueError(
+                "engine='vector' reports per-flow delay/power;"
+                " set decode_video=False"
+            )
         if self.flows > 1:
-            if self.engine != "events":
+            if self.engine == "legacy":
                 raise ValueError(
-                    "multi-flow experiments need engine='events' (the"
-                    " legacy loop cannot express contention)"
+                    "multi-flow experiments need engine='events' or"
+                    " 'vector' (the legacy loop cannot express contention)"
                 )
             if self.decode_video:
                 raise ValueError(
@@ -236,7 +241,7 @@ def run_experiment(
     simulator: Optional[SenderSimulator] = None,
 ) -> ExperimentResult:
     """Run one transfer and measure everything the paper measures."""
-    if config.flows > 1:
+    if config.flows > 1 or config.engine == "vector":
         return _run_multiflow_experiment(bitstream, config, seed)
     simulator = simulator or SenderSimulator(
         bitstream,
@@ -299,6 +304,7 @@ def _run_multiflow_experiment(bitstream: Bitstream, config: ExperimentConfig,
         transport=config.transport,
         link=config.link,
         seed=seed,
+        engine="vector" if config.engine == "vector" else "events",
     )
     traces = [run.trace for run in mrun.flows]
     delays = [t.sojourn_time_s for trace in traces for t in trace]

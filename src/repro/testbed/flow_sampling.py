@@ -1,0 +1,243 @@
+"""Service-time sampling for the vectorized multi-flow engine.
+
+The :class:`~repro.testbed.simulator.PacketService` contract fixes the
+per-packet draw order — encryption, backoff, delivery, transmission —
+and every draw comes from the *flow's own* RNG stream.  That makes the
+sampled service components independent of how flows interleave on the
+medium, so they can be pre-sampled into ``(flows, packets)`` matrices
+before any scheduling happens.  This module owns that pre-sampling; the
+scheduler itself lives in :mod:`repro.testbed.vector_flows` and never
+touches a per-packet Python loop (``repro lint`` enforces it there).
+
+Two sampling modes:
+
+- **oracle** — replay the exact :class:`PacketService` call sequence,
+  per flow, against ``SeedSequence``-spawned ``default_rng`` streams in
+  kernel spawn order.  Draw-for-draw identical to the coroutine kernel:
+  with the exact scheduler this reproduces the kernel's traces
+  bit-for-bit (the differential tests' anchor).  Python-loop speed.
+- **batch** — one ``Philox`` stream filling whole matrices (normal,
+  capped-geometric, gamma draws).  Distributionally identical to the
+  oracle but not stream-compatible with it: numpy draws differently
+  when batched, and the matrix shapes tie the stream to the grid shape.
+  This is the 10^4-flow fast path.
+
+The per-packet *deterministic* fields (payload size, policy selection,
+the affine time/jitter models) are extracted once per distinct
+bitstream into :class:`PacketColumns`; flows transmitting copies of the
+same clip share one instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..video.packetizer import Packet
+from .simulator import PacketService, SimulationRun
+from .tracing import PacketTrace, TraceLog
+from .transport import delivery_outcome
+
+__all__ = [
+    "FlowSamples",
+    "PacketColumns",
+    "batch_sample",
+    "materialize_run",
+    "oracle_sample",
+    "packet_columns",
+]
+
+
+@dataclass(frozen=True)
+class PacketColumns:
+    """Deterministic per-packet fields of one packetized bitstream.
+
+    Everything here is a pure function of the packets, the policy and
+    the device/link models — no randomness — so one instance serves
+    every flow that transmits the same clip under the same service.
+    """
+
+    payload_bytes: np.ndarray     # (P,) int64
+    encrypted: np.ndarray         # (P,) bool — policy selection
+    enc_mean_s: np.ndarray        # (P,) float, 0 where not encrypted
+    enc_sigma_s: np.ndarray       # (P,) float, 0 where not encrypted
+    trans_mean_s: np.ndarray      # (P,) float — per-attempt airtime mean
+
+    @property
+    def n_packets(self) -> int:
+        return int(self.payload_bytes.shape[0])
+
+
+def packet_columns(packets: Sequence[Packet],
+                   service: PacketService) -> PacketColumns:
+    """Extract the deterministic per-packet columns for one bitstream."""
+    payload = np.array([p.payload_size for p in packets], dtype=np.int64)
+    encrypted = np.array([service.encrypts(p) for p in packets], dtype=bool)
+
+    enc_mean = np.zeros(len(packets))
+    enc_sigma = np.zeros(len(packets))
+    if service.cost is not None and encrypted.any():
+        # The cost model is affine in the payload size, so evaluate it
+        # once per distinct size instead of once per packet.
+        for size in np.unique(payload[encrypted]):
+            mask = encrypted & (payload == size)
+            enc_mean[mask] = service.cost.time_for(int(size))
+            enc_sigma[mask] = service.cost.sigma_for(int(size))
+
+    trans_mean = np.zeros(len(packets))
+    wire = payload + service.transport.header_bytes
+    for size in np.unique(wire):
+        trans_mean[wire == size] = \
+            service.link.phy.packet_transmission_time_s(int(size))
+
+    return PacketColumns(
+        payload_bytes=payload, encrypted=encrypted,
+        enc_mean_s=enc_mean, enc_sigma_s=enc_sigma,
+        trans_mean_s=trans_mean,
+    )
+
+
+@dataclass(frozen=True)
+class FlowSamples:
+    """The sampled service components of one flow, in packet order."""
+
+    encryption_s: np.ndarray      # (P,) float
+    backoff_s: np.ndarray         # (P,) float
+    extra_delay_s: np.ndarray     # (P,) float — retransmission RTOs
+    transmission_s: np.ndarray    # (P,) float — airtime x attempts
+    attempts: np.ndarray          # (P,) int64
+    delivered: np.ndarray         # (P,) bool
+
+
+def oracle_sample(packets: Sequence[Packet], service: PacketService,
+                  rng: np.random.Generator) -> FlowSamples:
+    """Replay the kernel's exact per-packet draw sequence for one flow.
+
+    Must stay call-for-call identical to
+    :meth:`repro.testbed.multiflow.FlowProcess.process`: encryption,
+    backoff, delivery (a *variable* number of uniforms under TCP), then
+    transmission — all through the same ``PacketService`` methods.
+    """
+    n = len(packets)
+    encryption = np.empty(n)
+    backoff = np.empty(n)
+    extra = np.empty(n)
+    transmission = np.empty(n)
+    attempts = np.empty(n, dtype=np.int64)
+    delivered = np.empty(n, dtype=bool)
+    for index, packet in enumerate(packets):
+        encryption[index] = service.encryption_time(packet, rng)
+        backoff[index] = service.backoff_time(rng)
+        outcome = delivery_outcome(service.transport,
+                                   service.link.delivery_rate, rng)
+        extra[index] = outcome.extra_delay_s
+        attempts[index] = outcome.attempts
+        delivered[index] = outcome.delivered
+        transmission[index] = (service.transmission_time(packet, rng)
+                               * outcome.attempts)
+    return FlowSamples(
+        encryption_s=encryption, backoff_s=backoff, extra_delay_s=extra,
+        transmission_s=transmission, attempts=attempts, delivered=delivered,
+    )
+
+
+def batch_sample(enc_mean: np.ndarray, enc_sigma: np.ndarray,
+                 encrypted: np.ndarray, trans_mean: np.ndarray,
+                 service: PacketService,
+                 rng: np.random.Generator) -> Dict[str, np.ndarray]:
+    """Sample every flow's service components as ``(F, P)`` matrices.
+
+    One counter-based ``Philox`` stream fills whole matrices, so the
+    draws depend on the grid shape (unlike the oracle's per-flow
+    streams) — distributionally faithful, not stream-compatible:
+
+    - encryption: truncated normal per selected packet (``sigma == 0``
+      collapses to the mean, matching the scalar path's special case);
+    - backoff: ``Geometric(p) - 1`` collisions, and a sum of that many
+      ``Exp(lambda)`` waits — i.e. ``Gamma(collisions, 1/lambda)``;
+    - delivery: capped geometric over the retry-folded delivery rate,
+      reproducing :func:`repro.testbed.transport.delivery_outcome_with`
+      (UDP: one attempt; TCP: up to ``max_retransmissions`` RTO rounds);
+    - transmission: truncated normal around the airtime mean, times the
+      attempt count.
+    """
+    shape = enc_mean.shape
+    encryption = np.where(
+        enc_sigma > 0.0,
+        np.maximum(0.0, rng.normal(enc_mean, enc_sigma)),
+        enc_mean,
+    )
+    encryption = np.where(encrypted, encryption, 0.0)
+
+    dcf = service.link.dcf
+    collisions = rng.geometric(dcf.packet_success_rate, size=shape) - 1
+    backoff = rng.standard_gamma(collisions) / dcf.backoff_rate_per_s
+
+    transport = service.transport
+    rate = service.link.delivery_rate
+    if transport.reliable:
+        cap = transport.max_retransmissions
+        if rate <= 0.0:
+            fails = np.full(shape, cap + 1, dtype=np.int64)
+        else:
+            fails = rng.geometric(rate, size=shape) - 1
+        delivered = fails <= cap
+        attempts = np.minimum(fails + 1, cap + 1)
+        extra = (attempts - 1) * transport.rto_s
+    else:
+        delivered = rng.random(shape) < rate
+        attempts = np.ones(shape, dtype=np.int64)
+        extra = np.zeros(shape)
+
+    unit = np.maximum(0.0, rng.normal(trans_mean, 0.03 * trans_mean))
+    transmission = unit * attempts
+
+    return {
+        "encryption_s": encryption, "backoff_s": backoff,
+        "extra_delay_s": extra, "transmission_s": transmission,
+        "attempts": attempts, "delivered": delivered,
+    }
+
+
+def materialize_run(packets: Sequence[Packet], columns: PacketColumns,
+                    arrival: np.ndarray, start: np.ndarray,
+                    encryption: np.ndarray, transmit: np.ndarray,
+                    depart: np.ndarray, delivered: np.ndarray,
+                    attempts: np.ndarray) -> SimulationRun:
+    """Expand one flow's scheduled rows into per-packet traces.
+
+    This is the compatibility bridge back to the coroutine kernel's
+    :class:`~repro.testbed.simulator.SimulationRun`; at 10^4 flows the
+    struct-of-arrays views on :class:`~repro.testbed.vector_flows.
+    VectorFlowRun` should be used directly instead.
+    """
+    traces: List[PacketTrace] = []
+    usable_receiver: List[bool] = []
+    usable_eavesdropper: List[bool] = []
+    for index, packet in enumerate(packets):
+        encrypted = bool(columns.encrypted[index])
+        ok = bool(delivered[index])
+        traces.append(PacketTrace(
+            sequence_number=packet.sequence_number,
+            frame_index=packet.frame_index,
+            frame_type=packet.frame_type,
+            payload_bytes=packet.payload_size,
+            encrypted=encrypted,
+            enqueue_time_s=float(arrival[index]),
+            service_start_s=float(start[index]),
+            encryption_time_s=float(encryption[index]),
+            transmit_time_s=float(transmit[index]),
+            departure_time_s=float(depart[index]),
+            delivered=ok,
+            attempts=int(attempts[index]),
+        ))
+        usable_receiver.append(ok)
+        usable_eavesdropper.append(ok and not encrypted)
+    return SimulationRun(
+        trace=TraceLog(traces),
+        packets=list(packets),
+        usable_by_receiver=usable_receiver,
+        usable_by_eavesdropper=usable_eavesdropper,
+    )

@@ -57,7 +57,8 @@ from .transport import (
     delivery_outcome_with,
 )
 
-__all__ = ["ContentionMAC", "FlowProcess", "MultiFlowRun", "run_multiflow"]
+__all__ = ["ContentionMAC", "FlowProcess", "MultiFlowRun",
+           "MULTIFLOW_ENGINES", "contention_link", "run_multiflow"]
 
 
 class ContentionMAC:
@@ -91,16 +92,10 @@ class ContentionMAC:
         """Solve the DCF for ``n_flows`` senders plus ``background_stations``
         ambient contenders (default 1, matching ``LinkConfig.default()``'s
         two stations in the one-flow case)."""
-        if n_flows < 1:
-            raise ValueError(f"need at least one flow, got {n_flows}")
-        if background_stations < 0:
-            raise ValueError("background station count must be >= 0")
-        params = DcfParameters(
-            n_stations=n_flows + background_stations,
+        link = contention_link(
+            n_flows, background_stations=background_stations,
             channel_error_rate=channel_error_rate,
-        )
-        link = LinkConfig(phy=params.phy, dcf=solve_dcf(params),
-                          retry_limit=retry_limit)
+            retry_limit=retry_limit)
         return cls(kernel, link=link, channel=channel)
 
     def backoff_time(self, rng: np.random.Generator) -> float:
@@ -226,12 +221,16 @@ class MultiFlowRun:
 
     def delay_percentiles_ms(
         self, qs: Sequence[float] = (50.0, 90.0, 99.0),
-    ) -> List[Dict[str, float]]:
+    ) -> List[Optional[Dict[str, float]]]:
         """Per-flow delay percentiles — the tail view the mean-service
         model cannot produce (one dict per flow, ``p50``-style keys plus
-        ``mean``)."""
-        out = []
+        ``mean``).  A zero-packet flow contributes ``None`` instead of a
+        NaN-filled row (``np.percentile`` on an empty array)."""
+        out: List[Optional[Dict[str, float]]] = []
         for delays in self.per_flow_delays_ms():
+            if delays.size == 0:
+                out.append(None)
+                continue
             row = {f"p{q:g}": float(np.percentile(delays, q)) for q in qs}
             row["mean"] = float(delays.mean())
             out.append(row)
@@ -239,12 +238,45 @@ class MultiFlowRun:
 
     @property
     def mean_delay_ms(self) -> float:
-        """Mean per-packet delay across every packet of every flow."""
-        return float(np.concatenate(self.per_flow_delays_ms()).mean())
+        """Mean per-packet delay across every packet of every flow
+        (zero-packet flows carry no weight; an all-empty grid raises)."""
+        populated = [d for d in self.per_flow_delays_ms() if d.size > 0]
+        if not populated:
+            raise ValueError(
+                "mean_delay_ms is undefined: no flow in this run carried"
+                " any packets")
+        return float(np.concatenate(populated).mean())
 
     @property
     def makespan_s(self) -> float:
-        return max(run.trace.makespan_s() for run in self.flows)
+        spans = [run.trace.makespan_s() for run in self.flows
+                 if len(run.trace) > 0]
+        if not spans:
+            raise ValueError(
+                "makespan_s is undefined: no flow in this run carried"
+                " any packets")
+        return max(spans)
+
+
+def contention_link(n_flows: int, *, background_stations: int = 1,
+                    channel_error_rate: float = 0.0,
+                    retry_limit: int = 7) -> LinkConfig:
+    """The DCF fixed point for ``n_flows + background_stations``
+    contenders, as a :class:`LinkConfig` (kernel-free: both engines and
+    the benchmarks build their links through this)."""
+    if n_flows < 1:
+        raise ValueError(f"need at least one flow, got {n_flows}")
+    if background_stations < 0:
+        raise ValueError("background station count must be >= 0")
+    params = DcfParameters(
+        n_stations=n_flows + background_stations,
+        channel_error_rate=channel_error_rate,
+    )
+    return LinkConfig(phy=params.phy, dcf=solve_dcf(params),
+                      retry_limit=retry_limit)
+
+
+MULTIFLOW_ENGINES = ("events", "vector")
 
 
 def run_multiflow(
@@ -263,8 +295,10 @@ def run_multiflow(
     disk_read_rate_pkts_per_s: float = 600.0,
     stagger_s: float = 0.0,
     seed: "Optional[int | np.random.SeedSequence]" = None,
+    engine: str = "events",
+    sampling: str = "batch",
 ) -> MultiFlowRun:
-    """Run N contending senders through the event kernel.
+    """Run N contending senders; coroutine kernel or vector fast path.
 
     ``bitstream`` is either one encoded clip every flow transmits a copy
     of (then ``flows`` picks the count, default 2) or a sequence of
@@ -272,7 +306,24 @@ def run_multiflow(
     re-solve); otherwise the fixed point is solved for ``flows +
     background_stations`` stations.  ``stagger_s`` offsets flow ``i``'s
     producer by ``i * stagger_s`` to break phase-locked arrivals.
+
+    ``engine="events"`` drives one generator coroutine per flow through
+    the discrete-event kernel; ``engine="vector"`` pre-samples every
+    flow's service draws into struct-of-arrays and schedules them in
+    numpy (:mod:`repro.testbed.vector_flows`) — same process, orders of
+    magnitude faster at large N.  ``sampling`` applies to the vector
+    engine only: ``"oracle"`` replays the kernel's exact RNG streams
+    (bit-identical traces, Python-loop sampling speed), ``"batch"``
+    draws whole matrices from one Philox stream (the fast path,
+    distributionally identical).  A stateful ``channel`` is only
+    expressible on the events engine — its draws depend on cross-flow
+    interleaving, which pre-sampling removes — so the vector engine
+    rejects it.
     """
+    if engine not in MULTIFLOW_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of"
+            f" {MULTIFLOW_ENGINES}")
     if isinstance(bitstream, Bitstream):
         n_flows = 2 if flows is None else flows
         streams: List[Bitstream] = [bitstream] * n_flows
@@ -287,6 +338,31 @@ def run_multiflow(
     if stagger_s < 0:
         raise ValueError("stagger must be non-negative")
 
+    if engine == "vector":
+        if channel is not None:
+            raise ValueError(
+                "engine='vector' cannot thread a stateful LossChannel:"
+                " shared channel state makes draws depend on cross-flow"
+                " interleaving, which pre-sampling removes.  Use"
+                " engine='events', or express iid loss via"
+                " channel_error_rate / the transport's retry model."
+            )
+        if link is None:
+            link = contention_link(
+                n_flows, background_stations=background_stations,
+                channel_error_rate=channel_error_rate,
+                retry_limit=retry_limit)
+        service = _service_for(policy, device, link, transport)
+        flow_streams, flow_arrivals = _packetize_flows(
+            streams, mtu=mtu,
+            disk_read_rate_pkts_per_s=disk_read_rate_pkts_per_s,
+            stagger_s=stagger_s)
+        from .vector_flows import run_vector_flows
+        vrun = run_vector_flows(
+            flow_streams, flow_arrivals, service=service, seed=seed,
+            sampling=sampling)
+        return vrun.to_multiflow_run()
+
     kernel = EventKernel(seed=seed)
     if link is not None:
         mac = ContentionMAC(kernel, link=link, channel=channel)
@@ -298,11 +374,7 @@ def run_multiflow(
             retry_limit=retry_limit,
             channel=channel,
         )
-    cost = (device.cipher_cost(policy.algorithm)
-            if policy.algorithm is not None and policy.mode != "none"
-            else None)
-    service = PacketService(link=mac.link, transport=transport,
-                            policy=policy, cost=cost)
+    service = _service_for(policy, device, mac.link, transport)
 
     flow_processes: List[FlowProcess] = []
     for index, stream in enumerate(streams):
@@ -321,3 +393,38 @@ def run_multiflow(
 
     kernel.run()
     return MultiFlowRun(flows=[flow.as_run() for flow in flow_processes])
+
+
+def _service_for(policy: EncryptionPolicy, device: DeviceProfile,
+                 link: LinkConfig,
+                 transport: TransportConfig) -> PacketService:
+    cost = (device.cipher_cost(policy.algorithm)
+            if policy.algorithm is not None and policy.mode != "none"
+            else None)
+    return PacketService(link=link, transport=transport,
+                         policy=policy, cost=cost)
+
+
+def _packetize_flows(streams: List[Bitstream], *, mtu: int,
+                     disk_read_rate_pkts_per_s: float, stagger_s: float):
+    """Per-flow packet sequences and (offset) arrival arrays, with one
+    packetize pass per *distinct* bitstream object — flows transmitting
+    copies of the same clip share the packet list and base arrivals, so
+    a 10^4-flow grid over one clip packetizes once."""
+    by_stream: Dict[int, Tuple[List[Packet], np.ndarray]] = {}
+    flow_streams: List[List[Packet]] = []
+    flow_arrivals: List[np.ndarray] = []
+    for index, stream in enumerate(streams):
+        key = id(stream)
+        if key not in by_stream:
+            packets = packetize(stream, mtu=mtu, carry_payload=False)
+            arrivals = arrival_times(
+                packets, fps=stream.fps,
+                disk_read_rate_pkts_per_s=disk_read_rate_pkts_per_s,
+            )
+            by_stream[key] = (packets, arrivals)
+        packets, arrivals = by_stream[key]
+        flow_streams.append(packets)
+        # Replicates FlowProcess: arrival = float(base) + offset.
+        flow_arrivals.append(arrivals + index * stagger_s)
+    return flow_streams, flow_arrivals

@@ -24,9 +24,14 @@ Correctness rests on three filesystem guarantees:
   lease (rename preserves the submit-time mtime, which would otherwise
   look instantly expired).
 - **lease expiry** — a worker that dies mid-cell leaves its lease file
-  behind; once its mtime is older than ``lease_expiry_s`` any caller of
-  :meth:`WorkQueue.requeue_expired` moves it back to ``tasks/``.  Live
-  workers renew between repeats.
+  behind; once its heartbeat is older than ``lease_expiry_s`` any caller
+  of :meth:`WorkQueue.requeue_expired` moves it back to ``tasks/``.
+  Live workers renew between repeats.  The heartbeat is a
+  ``renewed_at`` wall-clock timestamp written *into* the lease payload
+  (claim and renew both stamp it); file mtime is only a fallback for
+  bare legacy leases, because mtime granularity and clock skew on
+  shared filesystems (NFS/SMB) can make a live lease look expired — or
+  a dead one look fresh.
 - **idempotent completion** — results land in the shared result cache
   under the cell's content key *before* the lease is retired, so the
   race where an expired worker and its replacement both finish is
@@ -102,6 +107,30 @@ def _atomic_write(path: Path, data: bytes) -> None:
     tmp = path.with_name(f"{_TMP_PREFIX}{os.getpid()}-{path.name}")
     tmp.write_bytes(data)
     os.replace(tmp, path)
+
+
+def _parse_lease_payload(text: str) -> Tuple[QueueTask, Optional[float]]:
+    """A lease file is either a wrapped ``{"task": ..., "renewed_at": ts}``
+    payload or (legacy / freshly renamed from ``tasks/``) a bare task.
+    Returns the task plus the heartbeat timestamp, ``None`` when only
+    file mtime is available."""
+    try:
+        raw = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"malformed queue task: {exc}") from exc
+    if isinstance(raw, dict) and "task" in raw and "renewed_at" in raw:
+        try:
+            return QueueTask(**raw["task"]), float(raw["renewed_at"])
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"malformed queue task: {exc}") from exc
+    return QueueTask.from_json(text), None
+
+
+def _lease_payload(task: QueueTask, renewed_at: float) -> bytes:
+    return json.dumps(
+        {"task": json.loads(task.to_json()), "renewed_at": renewed_at},
+        sort_keys=True,
+    ).encode("utf-8")
 
 
 class WorkQueue:
@@ -212,21 +241,43 @@ class WorkQueue:
                 os.rename(task_path, lease_path)
             except OSError:
                 continue  # lost the race for this key
-            # rename preserves the submit-time mtime; stamp the claim
-            # time so the lease is not instantly "expired".
-            os.utime(lease_path)
             try:
-                return QueueTask.from_json(lease_path.read_text())
-            except ValueError as exc:
+                task, _ = _parse_lease_payload(lease_path.read_text())
+            except (OSError, ValueError) as exc:
                 self.fail(key, f"unreadable task file: {exc}")
+                continue
+            # Stamp the claim heartbeat *into* the payload: rename
+            # preserves the submit-time mtime, and mtime alone is
+            # unreliable on coarse-granularity or clock-skewed shared
+            # filesystems.  utime keeps the fallback signal fresh too.
+            _atomic_write(lease_path, _lease_payload(task, time.time()))
+            os.utime(lease_path)
+            return task
         return None
 
     def renew(self, key: str) -> None:
-        """Refresh a held lease's heartbeat (call between repeats)."""
+        """Refresh a held lease's heartbeat (call between repeats):
+        rewrites the payload's ``renewed_at`` stamp and touches mtime
+        (the fallback signal)."""
+        lease_path = self._lease_path(key)
         try:
-            os.utime(self._lease_path(key))
-        except OSError:
+            task, _ = _parse_lease_payload(lease_path.read_text())
+            _atomic_write(lease_path, _lease_payload(task, time.time()))
+            os.utime(lease_path)
+        except (OSError, ValueError):
             pass  # lease expired and was requeued; completion still works
+
+    def _lease_heartbeat(self, lease_path: Path) -> float:
+        """Last-renewal timestamp of a lease: the payload's
+        ``renewed_at`` when present, file mtime otherwise (bare legacy
+        leases or a claim interrupted before its payload rewrite)."""
+        try:
+            _, renewed_at = _parse_lease_payload(lease_path.read_text())
+        except ValueError:
+            renewed_at = None  # unreadable payload: judge by mtime alone
+        if renewed_at is not None:
+            return renewed_at
+        return lease_path.stat().st_mtime
 
     def requeue_expired(self) -> List[str]:
         """Return expired leases to ``tasks/`` so another worker can take
@@ -236,7 +287,7 @@ class WorkQueue:
         for key in self._keys_in(self.path / LEASES_DIR):
             lease_path = self._lease_path(key)
             try:
-                age = now - lease_path.stat().st_mtime
+                age = now - self._lease_heartbeat(lease_path)
             except OSError:
                 continue  # completed or failed while we looked
             if age < self.lease_expiry_s:
@@ -277,7 +328,7 @@ class WorkQueue:
                                    "failed_at": time.time()}
         for source in (self._lease_path(key), self._task_path(key)):
             try:
-                task = QueueTask.from_json(source.read_text())
+                task, _ = _parse_lease_payload(source.read_text())
                 payload["task"] = asdict(task)
             except (OSError, ValueError):
                 pass

@@ -1,0 +1,477 @@
+"""Struct-of-arrays fast path for N-flow contention grids.
+
+The coroutine kernel (:mod:`repro.testbed.multiflow`) spends its time in
+Python generator switches — fine for the paper's two phones, hopeless
+for the ROADMAP's 10^4-flow hotspot scenarios.  This module re-derives
+the same queueing process in array form:
+
+1. **Pre-sampling** — every random service component (encryption,
+   backoff, retransmissions, airtime) is drawn up front into ``(flows,
+   packets)`` matrices (:mod:`repro.testbed.flow_sampling`).  This is
+   sound because the :class:`~repro.testbed.simulator.PacketService`
+   contract draws from the flow's *own* stream in a fixed per-packet
+   order, so no draw depends on how flows interleave on the medium.
+2. **Scheduling** — what remains of the simulation is deterministic:
+   a single FIFO server (the medium) serving per-flow job chains where
+   job ``k+1`` of a flow becomes ready ``encryption`` seconds after
+   ``max(arrival[k+1], departure[k])``.  Two interchangeable
+   schedulers compute the same process:
+
+   - ``"exact"`` — a heap over per-flow *next* jobs, one pop per
+     packet, replaying the event kernel's float-operation order and
+     FIFO tie-breaking bit-for-bit.  With ``sampling="oracle"`` the
+     traces equal the coroutine kernel's exactly (the differential
+     tests' anchor).
+   - ``"batch"`` — processes *rounds* of jobs at once: sort pending
+     jobs by (ready, seq), run a vectorized Lindley recursion
+     (cumulative sums + running maxima) over the whole round, and
+     commit the longest prefix no future job can preempt (a job is
+     safe while its ready time precedes every newly-unlocked job's).
+     In the saturated regimes that need 10^4 flows, whole backlogs
+     commit per round, so the Python-level loop runs ~``packets per
+     flow`` times regardless of flow count.
+
+Float caveat: the batch scheduler's running-maximum form reorders the
+additions the sequential chain performs, so committed times drift from
+the exact scheduler's by ulps (each packet's own ``transmit ->
+departure`` segment stays exactly ``transmission_s``).  The property
+tests bound the drift; use ``scheduler="exact"`` when bit-equality
+with the coroutine kernel matters more than speed.
+
+``repro lint`` bans per-packet Python loops in this file — per-flow
+state must stay in arrays.  The unavoidable per-packet work (column
+extraction, oracle sampling, trace materialization) lives in
+:mod:`repro.testbed.flow_sampling`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .flow_sampling import (
+    PacketColumns,
+    batch_sample,
+    materialize_run,
+    oracle_sample,
+    packet_columns,
+)
+from .simulator import PacketService
+
+__all__ = ["FlowTables", "VectorFlowRun", "run_vector_flows",
+           "SAMPLING_MODES", "SCHEDULERS"]
+
+SAMPLING_MODES = ("batch", "oracle")
+SCHEDULERS = ("batch", "exact")
+
+
+@dataclass
+class FlowTables:
+    """Per-flow state as ``(flows, packets)`` struct-of-arrays.
+
+    Rows are flows; columns are packet slots, padded to the widest flow
+    (``arrival_s`` pads with ``+inf``, service columns with zeros,
+    ``attempts`` with ones) — ``n_packets`` masks the padding out.
+    """
+
+    arrival_s: np.ndarray         # (F, P) float, +inf padded
+    encryption_s: np.ndarray      # (F, P) float
+    backoff_s: np.ndarray         # (F, P) float
+    extra_delay_s: np.ndarray     # (F, P) float
+    transmission_s: np.ndarray    # (F, P) float (airtime x attempts)
+    attempts: np.ndarray          # (F, P) int64
+    delivered: np.ndarray         # (F, P) bool
+    encrypted: np.ndarray         # (F, P) bool
+    n_packets: np.ndarray         # (F,) int64
+
+    @property
+    def n_flows(self) -> int:
+        return int(self.n_packets.shape[0])
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.n_packets.sum())
+
+    def valid_mask(self) -> np.ndarray:
+        """(F, P) bool: True where a packet slot is real, not padding."""
+        width = self.arrival_s.shape[1]
+        return np.arange(width)[np.newaxis, :] < self.n_packets[:, np.newaxis]
+
+
+def _schedule_exact(tables: FlowTables):
+    """Serve the job chains one packet at a time, kernel-faithfully.
+
+    The heap holds each flow's *next* job as ``(ready, seq, flow)``;
+    ``seq`` is assigned when the job is pushed — at t=0 in flow order,
+    afterwards at the previous departure — which reproduces the event
+    kernel's FIFO request order exactly, including ties (two flows
+    enqueueing the same arrival instant resolve by who departed first,
+    just as their ``WaitUntil`` events would).  All time arithmetic
+    uses the kernel's operation order, so results are bit-identical.
+    """
+    arrival = tables.arrival_s
+    enc = tables.encryption_s
+    start_out = np.zeros_like(arrival)
+    transmit_out = np.zeros_like(arrival)
+    depart_out = np.zeros_like(arrival)
+
+    heap: list = []
+    for flow in range(tables.n_flows):
+        if tables.n_packets[flow] > 0:
+            first_start = max(float(arrival[flow, 0]), 0.0)
+            heapq.heappush(
+                heap, (first_start + float(enc[flow, 0]), flow, flow, 0,
+                       first_start))
+    seq = tables.n_flows
+    free_at = 0.0
+    while heap:
+        ready, _, flow, slot, start = heapq.heappop(heap)
+        grant = ready if ready > free_at else free_at
+        transmit = (grant + float(tables.backoff_s[flow, slot])
+                    + float(tables.extra_delay_s[flow, slot]))
+        depart = transmit + float(tables.transmission_s[flow, slot])
+        start_out[flow, slot] = start
+        transmit_out[flow, slot] = transmit
+        depart_out[flow, slot] = depart
+        free_at = depart
+        slot += 1
+        if slot < tables.n_packets[flow]:
+            next_arrival = float(arrival[flow, slot])
+            next_start = next_arrival if next_arrival > depart else depart
+            heapq.heappush(
+                heap, (next_start + float(enc[flow, slot]), seq, flow, slot,
+                       next_start))
+            seq += 1
+    return start_out, transmit_out, depart_out
+
+
+def _schedule_batch(tables: FlowTables):
+    """Serve the job chains in vectorized rounds (see module docstring).
+
+    Per round: lexsort the pending set by ``(ready, seq)``, compute the
+    whole round's departures with a Lindley recursion (``dep = cumsum
+    (service) + running_max(ready - cumsum_prev, floor=free_at)``),
+    then commit the prefix whose positions no newly-unlocked job could
+    preempt: position ``p`` is safe iff ``ready[p] <= min(next_ready[q]
+    for q < p)`` (prefix-minimum; ties go to the already-pending job,
+    matching FIFO request order).  Committed flows push their next job
+    with a fresh, strictly larger ``seq``.
+    """
+    arrival = tables.arrival_s
+    start_out = np.zeros_like(arrival)
+    transmit_out = np.zeros_like(arrival)
+    depart_out = np.zeros_like(arrival)
+
+    flows = np.nonzero(tables.n_packets > 0)[0]
+    if not flows.size:  # an all-empty grid has nothing to schedule
+        return start_out, transmit_out, depart_out
+    first_start = np.maximum(arrival[flows, 0], 0.0)
+    pend_flow = flows
+    pend_slot = np.zeros(flows.shape[0], dtype=np.int64)
+    pend_start = first_start
+    pend_ready = first_start + tables.encryption_s[flows, 0]
+    pend_seq = np.arange(flows.shape[0], dtype=np.int64)
+    next_seq = int(flows.shape[0])
+    free_at = 0.0
+    width = arrival.shape[1]
+
+    while pend_flow.size:
+        order = np.lexsort((pend_seq, pend_ready))
+        flow = pend_flow[order]
+        slot = pend_slot[order]
+        ready = pend_ready[order]
+        start = pend_start[order]
+        seq = pend_seq[order]
+
+        service = (tables.backoff_s[flow, slot]
+                   + tables.extra_delay_s[flow, slot]
+                   + tables.transmission_s[flow, slot])
+        served_before = np.cumsum(service) - service
+        slack = ready - served_before
+        floor = np.maximum.accumulate(np.maximum(slack, free_at))
+        dep_chain = served_before + service + floor
+        dep_prev = np.concatenate(([free_at], dep_chain[:-1]))
+        grant = np.maximum(ready, dep_prev)
+        transmit = (grant + tables.backoff_s[flow, slot]
+                    + tables.extra_delay_s[flow, slot])
+        depart = transmit + tables.transmission_s[flow, slot]
+
+        # Readiness of each served flow's *next* job, under the
+        # assumption the whole round commits; exact for the prefix that
+        # actually does.
+        next_slot = slot + 1
+        has_next = next_slot < tables.n_packets[flow]
+        clipped = np.minimum(next_slot, width - 1)
+        next_start = np.maximum(arrival[flow, clipped], depart)
+        next_ready = np.where(
+            has_next, next_start + tables.encryption_s[flow, clipped],
+            np.inf)
+
+        # Commit gate: position p is valid while no earlier position's
+        # next job would have been served first.
+        unlock_floor = np.concatenate(
+            ([np.inf], np.minimum.accumulate(next_ready)[:-1]))
+        valid = ready <= unlock_floor
+        n_commit = int(valid.shape[0] if valid.all()
+                       else np.argmin(valid))
+
+        commit = slice(0, n_commit)
+        c_flow = flow[commit]
+        c_slot = slot[commit]
+        start_out[c_flow, c_slot] = start[commit]
+        transmit_out[c_flow, c_slot] = transmit[commit]
+        depart_out[c_flow, c_slot] = depart[commit]
+        free_at = float(depart[n_commit - 1])
+
+        cont = has_next[commit]
+        new_flow = c_flow[cont]
+        new_count = int(new_flow.shape[0])
+        pend_flow = np.concatenate((flow[n_commit:], new_flow))
+        pend_slot = np.concatenate((slot[n_commit:], next_slot[commit][cont]))
+        pend_start = np.concatenate((start[n_commit:],
+                                     next_start[commit][cont]))
+        pend_ready = np.concatenate((ready[n_commit:],
+                                     next_ready[commit][cont]))
+        pend_seq = np.concatenate(
+            (seq[n_commit:],
+             np.arange(next_seq, next_seq + new_count, dtype=np.int64)))
+        next_seq += new_count
+    return start_out, transmit_out, depart_out
+
+
+_SCHEDULE_FNS = {"exact": _schedule_exact, "batch": _schedule_batch}
+
+
+@dataclass
+class VectorFlowRun:
+    """One vector-engine run: the sampled tables plus scheduled times.
+
+    All views are struct-of-arrays — percentiles over 10^4 flows cost
+    one ``nanpercentile`` call, not 10^4 trace materializations.  Use
+    :meth:`to_multiflow_run` only when coroutine-kernel compatibility
+    (per-packet ``PacketTrace`` objects) is actually needed.
+    """
+
+    tables: FlowTables
+    start_s: np.ndarray           # (F, P)
+    transmit_s: np.ndarray        # (F, P)
+    depart_s: np.ndarray          # (F, P)
+    sampling: str
+    scheduler: str
+    flow_streams: "List[Sequence]"        # per-flow Packet sequences
+    flow_columns: List[PacketColumns]
+
+    @property
+    def n_flows(self) -> int:
+        return self.tables.n_flows
+
+    @property
+    def total_packets(self) -> int:
+        return self.tables.total_packets
+
+    def delays_ms(self) -> np.ndarray:
+        """(F, P) per-packet sojourn delays, NaN in padding slots."""
+        delays = (self.depart_s - self.tables.arrival_s) * 1e3
+        return np.where(self.tables.valid_mask(), delays, np.nan)
+
+    def per_flow_delays_ms(self) -> List[np.ndarray]:
+        delays = self.delays_ms()
+        out = []
+        for flow in range(self.n_flows):
+            count = int(self.tables.n_packets[flow])
+            out.append(delays[flow, :count])
+        return out
+
+    def delay_percentiles_ms(
+        self, qs: Sequence[float] = (50.0, 90.0, 99.0),
+    ) -> List[Optional[Dict[str, float]]]:
+        """Same contract as ``MultiFlowRun.delay_percentiles_ms`` —
+        ``None`` rows for zero-packet flows — but computed as one
+        vectorized pass over the whole grid."""
+        delays = self.delays_ms()
+        populated = self.tables.n_packets > 0
+        rows: List[Optional[Dict[str, float]]] = [None] * self.n_flows
+        if not populated.any():
+            return rows
+        import warnings
+        with warnings.catch_warnings():
+            # nanpercentile/nanmean warn on the all-NaN rows we mask out.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            percentiles = np.nanpercentile(delays, list(qs), axis=1)
+            means = np.nanmean(delays, axis=1)
+        for flow in np.nonzero(populated)[0]:
+            row = {f"p{q:g}": float(percentiles[which, flow])
+                   for which, q in enumerate(qs)}
+            row["mean"] = float(means[flow])
+            rows[int(flow)] = row
+        return rows
+
+    @property
+    def mean_delay_ms(self) -> float:
+        delays = self.delays_ms()
+        if self.total_packets == 0:
+            raise ValueError(
+                "mean_delay_ms is undefined: no flow in this run carried"
+                " any packets")
+        return float(np.nanmean(delays))
+
+    @property
+    def makespan_s(self) -> float:
+        if self.total_packets == 0:
+            raise ValueError(
+                "makespan_s is undefined: no flow in this run carried"
+                " any packets")
+        return float(np.max(np.where(self.tables.valid_mask(),
+                                     self.depart_s, -np.inf)))
+
+    def to_multiflow_run(self):
+        """Materialize per-packet traces into a ``MultiFlowRun`` (the
+        coroutine-kernel result type).  O(total packets) Python work —
+        the compatibility bridge, not the fast path."""
+        from .multiflow import MultiFlowRun
+
+        runs = []
+        for flow in range(self.n_flows):
+            count = int(self.tables.n_packets[flow])
+            runs.append(materialize_run(
+                self.flow_streams[flow], self.flow_columns[flow],
+                arrival=self.tables.arrival_s[flow, :count],
+                start=self.start_s[flow, :count],
+                encryption=self.tables.encryption_s[flow, :count],
+                transmit=self.transmit_s[flow, :count],
+                depart=self.depart_s[flow, :count],
+                delivered=self.tables.delivered[flow, :count],
+                attempts=self.tables.attempts[flow, :count],
+            ))
+        return MultiFlowRun(flows=runs)
+
+
+def build_tables(flow_streams: "List[Sequence]",
+                 flow_arrivals: List[np.ndarray], *,
+                 service: PacketService,
+                 seed: "Optional[int | np.random.SeedSequence]" = None,
+                 sampling: str = "batch",
+                 ) -> "tuple[FlowTables, List[PacketColumns]]":
+    """Sample every flow's service components into padded SoA tables.
+
+    ``flow_streams`` holds each flow's Packet sequence (flows sharing a
+    clip should share the *same* sequence object — columns are extracted
+    once per distinct object); ``flow_arrivals`` the matching enqueue
+    instants, stagger offsets already applied.
+    """
+    if sampling not in SAMPLING_MODES:
+        raise ValueError(
+            f"unknown sampling mode {sampling!r}; expected one of"
+            f" {SAMPLING_MODES}")
+    if len(flow_streams) != len(flow_arrivals):
+        raise ValueError("one arrival array per flow required")
+    n_flows = len(flow_streams)
+    counts = np.array([len(group) for group in flow_streams],
+                      dtype=np.int64)
+    for flow in range(n_flows):
+        if counts[flow] != len(flow_arrivals[flow]):
+            raise ValueError(
+                f"flow {flow}: {counts[flow]} packets but"
+                f" {len(flow_arrivals[flow])} arrival instants")
+    width = int(counts.max()) if n_flows else 0
+
+    columns_by_id: Dict[int, PacketColumns] = {}
+    flow_columns: List[PacketColumns] = []
+    for flow in range(n_flows):
+        key = id(flow_streams[flow])
+        if key not in columns_by_id:
+            columns_by_id[key] = packet_columns(flow_streams[flow], service)
+        flow_columns.append(columns_by_id[key])
+
+    arrival = np.full((n_flows, width), np.inf)
+    encrypted = np.zeros((n_flows, width), dtype=bool)
+    enc_mean = np.zeros((n_flows, width))
+    enc_sigma = np.zeros((n_flows, width))
+    trans_mean = np.zeros((n_flows, width))
+    for flow in range(n_flows):
+        count = int(counts[flow])
+        cols = flow_columns[flow]
+        arrival[flow, :count] = flow_arrivals[flow]
+        encrypted[flow, :count] = cols.encrypted
+        enc_mean[flow, :count] = cols.enc_mean_s
+        enc_sigma[flow, :count] = cols.enc_sigma_s
+        trans_mean[flow, :count] = cols.trans_mean_s
+
+    encryption = np.zeros((n_flows, width))
+    backoff = np.zeros((n_flows, width))
+    extra = np.zeros((n_flows, width))
+    transmission = np.zeros((n_flows, width))
+    attempts = np.ones((n_flows, width), dtype=np.int64)
+    delivered = np.zeros((n_flows, width), dtype=bool)
+
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+
+    if sampling == "oracle":
+        # One spawned child per flow, spawn order = flow order — the
+        # same streams EventKernel.spawn_rng hands the coroutines.
+        for flow in range(n_flows):
+            rng = np.random.default_rng(root.spawn(1)[0])
+            samples = oracle_sample(flow_streams[flow], service, rng)
+            count = int(counts[flow])
+            encryption[flow, :count] = samples.encryption_s
+            backoff[flow, :count] = samples.backoff_s
+            extra[flow, :count] = samples.extra_delay_s
+            transmission[flow, :count] = samples.transmission_s
+            attempts[flow, :count] = samples.attempts
+            delivered[flow, :count] = samples.delivered
+    else:
+        # One counter-based Philox stream fills the whole grid.
+        rng = np.random.Generator(np.random.Philox(root))
+        drawn = batch_sample(enc_mean, enc_sigma, encrypted, trans_mean,
+                             service, rng)
+        mask = np.arange(width)[np.newaxis, :] < counts[:, np.newaxis]
+        encryption = np.where(mask, drawn["encryption_s"], 0.0)
+        backoff = np.where(mask, drawn["backoff_s"], 0.0)
+        extra = np.where(mask, drawn["extra_delay_s"], 0.0)
+        transmission = np.where(mask, drawn["transmission_s"], 0.0)
+        attempts = np.where(mask, drawn["attempts"], 1)
+        delivered = mask & drawn["delivered"]
+
+    return FlowTables(
+        arrival_s=arrival, encryption_s=encryption, backoff_s=backoff,
+        extra_delay_s=extra, transmission_s=transmission,
+        attempts=attempts, delivered=delivered, encrypted=encrypted,
+        n_packets=counts,
+    ), flow_columns
+
+
+def run_vector_flows(flow_streams: "List[Sequence]",
+                     flow_arrivals: List[np.ndarray], *,
+                     service: PacketService,
+                     seed: "Optional[int | np.random.SeedSequence]" = None,
+                     sampling: str = "batch",
+                     scheduler: Optional[str] = None) -> VectorFlowRun:
+    """Sample and schedule an N-flow contention grid, fully vectorized.
+
+    ``scheduler`` defaults to the mode matching the sampling choice:
+    ``"oracle"`` sampling pairs with the ``"exact"`` scheduler (the
+    kernel-bit-identical configuration), ``"batch"`` with ``"batch"``
+    (the 10^4-flow fast path).  Both can be forced for differential
+    testing.
+    """
+    if scheduler is None:
+        scheduler = "exact" if sampling == "oracle" else "batch"
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of"
+            f" {SCHEDULERS}")
+    tables, flow_columns = build_tables(
+        flow_streams, flow_arrivals, service=service, seed=seed,
+        sampling=sampling)
+    start, transmit, depart = _SCHEDULE_FNS[scheduler](tables)
+    return VectorFlowRun(
+        tables=tables, start_s=start, transmit_s=transmit, depart_s=depart,
+        sampling=sampling, scheduler=scheduler,
+        flow_streams=list(flow_streams), flow_columns=flow_columns,
+    )

@@ -65,11 +65,32 @@ class TestCommands:
     def test_tier2_runs_full_suite(self, workflow):
         assert "python -m pytest -x -q" in _run_lines(workflow, "tier-2")
 
+    def test_tier1_runs_flows_scale_smoke(self, workflow):
+        """The PR job must differential-check the vector engine against
+        the kernel at 10/100 flows — cheap, and it guards the fast
+        path's core equivalence claim on every PR."""
+        runs = _run_lines(workflow, "tier-1")
+        assert any("bench_ext_flows_scale.py --smoke" in line
+                   for line in runs)
+
     def test_bench_gate_checks_trend(self, workflow):
         runs = _run_lines(workflow, "bench-gate")
-        assert any("crypto_microbench.py --check-trend" in line
+        assert any("crypto_microbench.py" in line for line in runs)
+        # The flows-scale run gates the *merged* report (crypto + cache
+        # + flows curve), so --check-trend rides on the last writer.
+        assert any("bench_ext_flows_scale.py --check-trend" in line
                    for line in runs)
         assert any("bench history" in line for line in runs)
+
+    def test_bench_gate_merges_before_gating(self, workflow):
+        """crypto_microbench rewrites BENCH_crypto.json from scratch, so
+        it must run before the flows bench merges its section in."""
+        runs = _run_lines(workflow, "bench-gate")
+        crypto = next(i for i, line in enumerate(runs)
+                      if "crypto_microbench.py" in line)
+        flows = next(i for i, line in enumerate(runs)
+                     if "bench_ext_flows_scale.py" in line)
+        assert crypto < flows
 
     def test_static_checks_compile_and_lint(self, workflow):
         runs = _run_lines(workflow, "static-checks")

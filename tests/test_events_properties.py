@@ -213,6 +213,156 @@ class TestFifoTieBreaking:
             assert start >= end
 
 
+class TestKillAndStall:
+    """Regressions: ``release()`` used to grant the medium to a dead
+    process (leaking the slot and deadlocking every waiter behind it),
+    and a stalled kernel returned silently with half-finished flows."""
+
+    def test_dead_waiter_skipped_on_release(self):
+        kernel = EventKernel()
+        resource = Resource(kernel)
+        order = []
+
+        def user(i, hold):
+            yield Request(resource)
+            order.append(i)
+            yield Timeout(hold)
+            resource.release()
+
+        processes = [kernel.add_process(user(i, hold=1.0), name=f"u{i}")
+                     for i in range(4)]
+        kernel.run(until=0.5)      # u0 holds; u1..u3 queued
+        processes[1].kill()        # dies while waiting
+        kernel.run()
+        assert order == [0, 2, 3]
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_grant_in_flight_to_killed_process_releases_slot(self):
+        """The race the queue cannot see: the hand-over event is already
+        in the heap when the grantee dies.  The grant must bounce the
+        slot to the next waiter instead of leaking it."""
+        kernel = EventKernel()
+        resource = Resource(kernel)
+        order = []
+
+        def user(i):
+            yield Request(resource)
+            order.append(i)
+            yield Timeout(1.0)
+            resource.release()
+
+        victim = {}
+
+        def killer():
+            yield WaitUntil(1.0)  # fires after u0's release, before the
+            victim["b"].kill()    # in-flight grant event reaches u1
+
+        kernel.add_process(user(0), name="u0")
+        victim["b"] = kernel.add_process(user(1), name="u1")
+        kernel.add_process(user(2), name="u2")
+        kernel.add_process(killer(), name="killer")
+        kernel.run()
+        assert order == [0, 2]
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_all_waiters_dead_frees_the_slot(self):
+        kernel = EventKernel()
+        resource = Resource(kernel)
+
+        def holder():
+            yield Request(resource)
+            yield Timeout(1.0)
+            resource.release()
+
+        def waiter():
+            yield Request(resource)
+            resource.release()
+
+        kernel.add_process(holder(), name="h")
+        doomed = [kernel.add_process(waiter(), name=f"w{i}")
+                  for i in range(3)]
+        kernel.run(until=0.5)
+        for process in doomed:
+            process.kill()
+        kernel.run()
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_kill_is_idempotent(self):
+        kernel = EventKernel()
+
+        def gen():
+            yield Timeout(1.0)
+
+        process = kernel.add_process(gen())
+        process.kill()
+        process.kill()  # second kill: no error, still dead
+        assert not process.alive
+        kernel.run()  # the orphaned timeout event is a no-op
+
+    def test_stalled_kernel_raises_instead_of_returning(self):
+        """A holder that never releases leaves its waiter stranded: the
+        heap drains while the waiter is still alive."""
+        kernel = EventKernel()
+        resource = Resource(kernel)
+
+        def holder():
+            yield Request(resource)
+            # ends without releasing: the classic leak
+
+        def waiter():
+            yield Request(resource)
+            resource.release()
+
+        kernel.add_process(holder(), name="leaky-holder")
+        kernel.add_process(waiter(), name="stranded-waiter")
+        with pytest.raises(RuntimeError, match="stalled"):
+            kernel.run()
+
+    def test_stall_message_names_the_stranded_processes(self):
+        kernel = EventKernel()
+        resource = Resource(kernel)
+
+        def holder():
+            yield Request(resource)
+
+        def waiter():
+            yield Request(resource)
+            resource.release()
+
+        kernel.add_process(holder(), name="leaky-holder")
+        kernel.add_process(waiter(), name="stranded-waiter")
+        with pytest.raises(RuntimeError, match="stranded-waiter"):
+            kernel.run()
+
+    def test_run_until_does_not_raise_on_pending_processes(self):
+        """Stopping at a horizon legitimately leaves live processes —
+        only a *drained* heap with survivors is a stall."""
+        kernel = EventKernel()
+
+        def gen():
+            yield Timeout(10.0)
+
+        kernel.add_process(gen())
+        assert kernel.run(until=1.0) == 1.0  # no RuntimeError
+        kernel.run()  # completes normally
+
+    def test_clean_completion_still_silent(self):
+        kernel = EventKernel()
+        resource = Resource(kernel)
+
+        def user():
+            yield Request(resource)
+            yield Timeout(0.5)
+            resource.release()
+
+        for _ in range(3):
+            kernel.add_process(user())
+        assert kernel.run() == 1.5
+
+
 class TestValidation:
     def test_negative_timeout_rejected(self):
         kernel = EventKernel()

@@ -55,6 +55,29 @@ class TestRules:
         assert [e.rule for e in lint_file(kernel)] == \
             ["wall-clock-in-kernel"]
 
+    def test_packet_loop_only_banned_in_vector_module(self, tmp_path):
+        loop = "for packet in packets:"
+        elsewhere = _write(tmp_path, "mod.py", loop, "    pass")
+        assert lint_file(elsewhere) == []
+        vector = _write(tmp_path, "vector_flows.py", loop, "    pass")
+        assert [e.rule for e in lint_file(vector)] == \
+            ["packet-loop-in-vector"]
+        assert "flow_sampling" in lint_file(vector)[0].message
+
+    def test_packet_loop_variants_flagged(self, tmp_path):
+        for line in ("for pkt in self.pkts:",
+                     "for i, packet in enumerate(stream):",
+                     "for p in packets[flow]:"):
+            vector = _write(tmp_path, "vector_flows.py", line, "    pass")
+            assert [e.rule for e in lint_file(vector)] == \
+                ["packet-loop-in-vector"], line
+
+    def test_flow_loop_allowed_in_vector_module(self, tmp_path):
+        vector = _write(tmp_path, "vector_flows.py",
+                        "for flow in range(tables.n_flows):",
+                        "    pass")
+        assert lint_file(vector) == []
+
     def test_allow_marker_and_comments_skipped(self, tmp_path):
         path = _write(tmp_path, "mod.py",
                       NP_SEED + "  # lint: allow",

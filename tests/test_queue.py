@@ -92,6 +92,16 @@ class TestLifecycle:
         assert queue.counts()["failed"] == 1
 
 
+def _age_lease(lease, seconds):
+    """Age a lease's heartbeat: payload ``renewed_at`` and mtime both."""
+    payload = json.loads(lease.read_text())
+    if isinstance(payload, dict) and "renewed_at" in payload:
+        payload["renewed_at"] -= seconds
+        lease.write_text(json.dumps(payload))
+    old = time.time() - seconds
+    os.utime(lease, (old, old))
+
+
 class TestLeaseExpiry:
     def test_abandoned_lease_requeued_after_expiry(self, tmp_path):
         """Fault injection: a worker claims a cell and dies.  After the
@@ -103,8 +113,7 @@ class TestLeaseExpiry:
         assert queue.requeue_expired() == []  # fresh lease: not expired
         # age the lease artificially past expiry
         lease = queue.path / "leases" / f"{task.key}.json"
-        old = time.time() - 60.0
-        os.utime(lease, (old, old))
+        _age_lease(lease, 60.0)
         assert queue.requeue_expired() == [task.key]
         replacement = queue.claim()
         assert replacement == task
@@ -114,10 +123,66 @@ class TestLeaseExpiry:
         queue.submit(_task("a"))
         task = queue.claim()
         lease = queue.path / "leases" / f"{task.key}.json"
-        old = time.time() - 60.0
-        os.utime(lease, (old, old))
+        _age_lease(lease, 60.0)
         queue.renew(task.key)  # live worker heartbeat
         assert queue.requeue_expired() == []
+
+    def test_stale_mtime_does_not_expire_live_lease(self, tmp_path):
+        """Regression: a shared filesystem that mangles mtime (coarse
+        granularity, skewed clock) must not kill a live lease — the
+        payload's ``renewed_at`` heartbeat is authoritative."""
+        queue = WorkQueue(tmp_path / "q", lease_expiry_s=30.0)
+        queue.submit(_task("a"))
+        task = queue.claim()
+        lease = queue.path / "leases" / f"{task.key}.json"
+        old = time.time() - 3600.0
+        os.utime(lease, (old, old))  # mtime lies; payload stays fresh
+        assert queue.requeue_expired() == []
+        queue.complete(task.key)
+
+    def test_fresh_mtime_does_not_revive_dead_lease(self, tmp_path):
+        """The other direction: a fresh mtime (e.g. a backup tool or a
+        skewed writer touched the file) must not shield a lease whose
+        payload heartbeat is long past expiry."""
+        queue = WorkQueue(tmp_path / "q", lease_expiry_s=30.0)
+        queue.submit(_task("a"))
+        task = queue.claim()
+        lease = queue.path / "leases" / f"{task.key}.json"
+        payload = json.loads(lease.read_text())
+        payload["renewed_at"] -= 3600.0
+        lease.write_text(json.dumps(payload))
+        os.utime(lease)  # mtime says "just touched"
+        assert queue.requeue_expired() == [task.key]
+
+    def test_bare_legacy_lease_falls_back_to_mtime(self, tmp_path):
+        """A lease written by an older worker (bare task JSON, no
+        heartbeat payload) is still expirable via mtime."""
+        queue = WorkQueue(tmp_path / "q", lease_expiry_s=30.0)
+        queue.submit(_task("a"))
+        task = queue.claim()
+        lease = queue.path / "leases" / f"{task.key}.json"
+        lease.write_text(task.to_json())  # strip the heartbeat wrapper
+        assert queue.requeue_expired() == []  # fresh mtime: keep it
+        old = time.time() - 60.0
+        os.utime(lease, (old, old))
+        assert queue.requeue_expired() == [task.key]
+        assert queue.claim() == task
+
+    def test_requeued_wrapped_task_claimable(self, tmp_path):
+        """requeue_expired moves the *wrapped* payload back to tasks/;
+        a later claim must unwrap it transparently."""
+        queue = WorkQueue(tmp_path / "q", lease_expiry_s=30.0)
+        queue.submit(_task("a"))
+        task = queue.claim()
+        _age_lease(queue.path / "leases" / f"{task.key}.json", 60.0)
+        assert queue.requeue_expired() == [task.key]
+        pending = queue.path / "tasks" / f"{task.key}.json"
+        assert "renewed_at" in pending.read_text()
+        assert queue.claim() == task
+        queue.fail(task.key, "boom")
+        reasons = json.loads(
+            (queue.path / "failed" / f"{task.key}.json").read_text())
+        assert reasons["task"]["key"] == task.key  # payload survived
 
     def test_claim_resets_submit_mtime(self, tmp_path):
         """os.rename preserves mtime; an old pending task must not be

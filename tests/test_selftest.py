@@ -11,7 +11,7 @@ class TestRunSelftest:
     def test_all_checks_pass_in_this_tree(self):
         results = run_selftest()
         assert [r.name for r in results] == [
-            "crypto-kat", "cached-engine", "event-kernel"]
+            "crypto-kat", "cached-engine", "event-kernel", "vector-flows"]
         failures = [r for r in results if not r.ok]
         assert not failures, [f"{r.name}: {r.detail}" for r in failures]
 
