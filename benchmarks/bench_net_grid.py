@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Networked-grid smoke/bench: ``repro cached serve`` + TCP workers.
+
+``--smoke`` is the PR-tier mode (what CI runs): it serves a freshly
+submitted grid over a loopback TCP server spawned through the real CLI
+(``repro cached serve --port 0``), drains it with two ``repro worker
+--queue tcp:...`` subprocesses, and asserts the wire-assembled grid is
+**byte-identical** to a purely local ``dispatch="local"`` run with zero
+duplicate simulations.  That is the acceptance bar for the networked
+tier: N workers on hosts that share no filesystem must produce the same
+cache a single process would, byte for byte.  Writes nothing.
+
+Without ``--smoke`` it additionally times raw RPC round-trips against
+an in-process server thread and prints pings per second (informational
+only; no report files are written).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_net_grid.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.core import standard_policies
+from repro.testbed import (
+    DEVICES,
+    ExperimentConfig,
+    ExperimentEngine,
+    GridCell,
+    NetClient,
+    ResultCache,
+    parse_tcp_spec,
+)
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+POLICIES = ("none", "I", "all")
+REPEATS = 2
+MASTER_SEED = 7
+SEED = 2013
+
+_SRC_ROOT = Path(repro.__file__).resolve().parent.parent
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_SRC_ROOT)] + ([env["PYTHONPATH"]] if "PYTHONPATH" in env
+                            else []))
+    return env
+
+
+def _scenario():
+    clip = generate_clip("slow", 12, seed=1)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=8))
+    return clip, bitstream
+
+
+def _cells():
+    policies = standard_policies("AES256")
+    return [
+        GridCell("netbench", ExperimentConfig(
+            policy=policies[name], device=DEVICES["samsung-s2"],
+            sensitivity_fraction=0.55, decode_video=False), REPEATS)
+        for name in POLICIES
+    ]
+
+
+def _start_server(root: Path) -> "tuple[subprocess.Popen, str]":
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "cached", "serve",
+         "--root", str(root), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_child_env())
+    line = proc.stdout.readline()  # "serving ROOT on HOST:PORT"
+    if "serving" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to announce itself: {line!r}")
+    host, _, port = line.strip().rpartition(" ")[2].rpartition(":")
+    return proc, f"tcp:{host}:{port}"
+
+
+def run_smoke() -> int:
+    clip, bitstream = _scenario()
+    cells = _cells()
+    with tempfile.TemporaryDirectory(prefix="repro-netbench-") as tmp:
+        tmp = Path(tmp)
+        # Local reference grid: one process, no queue, no network.
+        local_cache = ResultCache(tmp / "local-cache")
+        local = ExperimentEngine(cache=local_cache, workers=1,
+                                 master_seed=MASTER_SEED, repeats=REPEATS)
+        local.add_scenario("netbench", clip, bitstream)
+        reference = local.run_grid(cells)
+        keys = [local.cell_key(cell) for cell in cells]
+
+        server_proc, spec = _start_server(tmp / "queue")
+        try:
+            submitter = ExperimentEngine(dispatch="queue", queue=spec,
+                                         master_seed=MASTER_SEED,
+                                         repeats=REPEATS)
+            submitter.add_scenario("netbench", clip, bitstream)
+            submitted = submitter.submit_grid(cells)
+            assert len(submitted) == len(cells), submitted
+
+            reports = []
+            workers = []
+            for i in range(2):
+                report_path = tmp / f"worker-{i}.json"
+                workers.append((report_path, subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "worker",
+                     "--queue", spec, "--report", str(report_path)],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL, env=_child_env())))
+            for report_path, proc in workers:
+                if proc.wait(timeout=300) != 0:
+                    raise RuntimeError(f"worker exited {proc.returncode}")
+                reports.append(json.loads(report_path.read_text()))
+
+            total_sims = sum(r["simulations"] for r in reports)
+            expected = len(cells) * REPEATS
+            assert total_sims == expected, (
+                f"{total_sims} simulations over the wire, expected"
+                f" {expected} (duplicates or losses)")
+            assert sum(r["failed"] for r in reports) == 0, reports
+
+            assembled = submitter.run_grid(cells)
+            assert assembled == reference, (
+                "TCP-drained grid summaries diverged from local run")
+
+            remote_cache = ResultCache.from_spec(spec)
+            try:
+                for key in keys:
+                    local_bytes = local_cache.backend.read(key)
+                    remote_bytes = remote_cache.backend.read(key)
+                    assert local_bytes is not None
+                    assert local_bytes == remote_bytes, (
+                        f"cache entry {key[:16]}… differs over TCP")
+            finally:
+                remote_cache.close()
+            submitter.close()
+        finally:
+            server_proc.kill()
+            server_proc.wait()
+            local_cache.close()
+    print(f"net-grid smoke: {len(cells)} cells x {REPEATS} repeats,"
+          f" {total_sims} simulations across 2 TCP workers,"
+          " byte-identical to local")
+    return 0
+
+
+def run_rpc_bench(pings: int) -> None:
+    from repro.testbed.server import ServerThread
+
+    with tempfile.TemporaryDirectory(prefix="repro-netbench-") as tmp:
+        with ServerThread(Path(tmp) / "queue") as served:
+            host, port = parse_tcp_spec(served.spec)
+            client = NetClient(host, port)
+            try:
+                client.call("ping", {})  # connect outside the timed loop
+                start = time.perf_counter()
+                for _ in range(pings):
+                    client.call("ping", {})
+                elapsed = time.perf_counter() - start
+            finally:
+                client.close()
+    print(f"rpc round-trips: {pings / elapsed:.0f}/s"
+          f" ({elapsed / pings * 1e6:.0f} us/ping over loopback)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: differential assertion only")
+    parser.add_argument("--pings", type=int, default=2000,
+                        help="RPC round-trips to time (non-smoke)")
+    args = parser.parse_args()
+    code = run_smoke()
+    if not args.smoke:
+        run_rpc_bench(args.pings)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

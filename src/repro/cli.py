@@ -56,6 +56,8 @@ from .testbed import (
     MULTIFLOW_ENGINES,
     ResultCache,
     WorkQueue,
+    open_queue,
+    run_autoscaler,
     run_experiment,
     run_multiflow,
     run_worker,
@@ -387,11 +389,53 @@ def _print_queue_counts(queue: WorkQueue) -> None:
         print(f"failed {key[:16]}…: {queue.failure_reason(key)}")
 
 
+def cmd_cached(args) -> int:
+    import asyncio
+
+    from .testbed.server import CacheQueueServer
+
+    server = CacheQueueServer(args.root, host=args.host, port=args.port,
+                              lease_expiry_s=args.lease_expiry)
+
+    async def _serve() -> None:
+        await server.start()
+        # One parseable line so scripts (and the smoke bench) can scrape
+        # the bound port when --port 0 picked a free one.
+        print(f"serving {args.root} on {server.host}:{server.port}",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_grid(args) -> int:
-    queue = WorkQueue(args.queue)
+    queue = open_queue(args.queue)
     if args.action == "status":
         _print_queue_counts(queue)
         return 1 if queue.failed_keys() else 0
+    if args.action == "autoscale":
+        report = run_autoscaler(
+            queue,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            cells_per_worker=args.cells_per_worker,
+            poll_s=args.poll,
+        )
+        rows = [
+            ["rounds", str(report.rounds)],
+            ["workers spawned", str(report.spawned)],
+            ["workers retired", str(report.retired)],
+            ["peak pool size", str(report.peak_workers)],
+            ["leases requeued", str(report.requeued)],
+        ]
+        print(render_table(["counter", "value"], rows,
+                           title=f"autoscaled {args.queue}"))
+        _print_queue_counts(queue)
+        return 1 if report.final_counts.get("failed") else 0
     if args.action == "drain":
         report = run_worker(queue, drain=True)
         print(f"drained: {report.completed} completed,"
@@ -560,7 +604,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_selftest.add_argument(
         "--only", action="append", metavar="CHECK",
         help="run only this check (repeatable):"
-             " crypto-kat/cached-engine/event-kernel",
+             " crypto-kat/cached-engine/event-kernel/vector-flows/"
+             "net-queue",
     )
     p_selftest.set_defaults(func=cmd_selftest)
 
@@ -569,8 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="project-specific static checks (global RNG and wall-clock"
              " bans)",
         description="Bans np.random.seed(), module-level"  # lint: allow
-                    " random.* calls, and time.time() in the event"
-                    " kernel."
+                    " random.* calls, time.time() in the event"
+                    " kernel, and blocking socket/sleep calls in the"
+                    " asyncio server."
                     "  Exit 1 on any violation.",
     )
     p_lint.add_argument("paths", nargs="*",
@@ -587,7 +633,9 @@ def build_parser() -> argparse.ArgumentParser:
                     " one queue for an N-way distributed grid.",
     )
     p_worker.add_argument("--queue", required=True,
-                          help="queue directory (created by grid submit)")
+                          help="queue directory (created by grid submit)"
+                               " or tcp:HOST:PORT of a `repro cached"
+                               " serve` endpoint")
     p_worker.add_argument("--max-cells", type=int, default=None,
                           help="stop after claiming this many cells")
     p_worker.add_argument("--no-drain", action="store_true",
@@ -610,8 +658,10 @@ def build_parser() -> argparse.ArgumentParser:
                     " config.json, so `repro cache stats --dir <spec>`"
                     " can inspect them.",
     )
-    p_grid.add_argument("action", choices=("submit", "status", "drain"))
-    p_grid.add_argument("--queue", required=True, help="queue directory")
+    p_grid.add_argument("action",
+                        choices=("submit", "status", "drain", "autoscale"))
+    p_grid.add_argument("--queue", required=True,
+                        help="queue directory or tcp:HOST:PORT spec")
     common(p_grid)
     p_grid.add_argument("--scenario", default="grid",
                         help="scenario key recorded in cache entries")
@@ -627,7 +677,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--master-seed", type=int, default=0)
     p_grid.add_argument("--decode", action="store_true",
                         help="decode at receiver/eavesdropper (slower)")
+    p_grid.add_argument("--min-workers", type=int, default=0,
+                        help="autoscale: floor on the worker pool")
+    p_grid.add_argument("--max-workers", type=int, default=4,
+                        help="autoscale: ceiling on the worker pool")
+    p_grid.add_argument("--cells-per-worker", type=int, default=2,
+                        help="autoscale: backlog cells per spawned worker")
+    p_grid.add_argument("--poll", type=float, default=0.5,
+                        help="autoscale: supervision poll interval (s)")
     p_grid.set_defaults(func=cmd_grid)
+
+    p_cached = sub.add_parser(
+        "cached",
+        help="serve a queue+cache over TCP for networked workers",
+        description="serve: bind an asyncio server on HOST:PORT speaking"
+                    " the framed repro wire protocol, fronting the work"
+                    " queue (and its result cache) at --root.  Workers on"
+                    " hosts that share no filesystem then drain the grid"
+                    " with `repro worker --queue tcp:HOST:PORT`.",
+    )
+    p_cached.add_argument("action", choices=("serve",))
+    p_cached.add_argument("--root", required=True,
+                          help="queue directory to serve (created by"
+                               " grid submit, or fresh)")
+    p_cached.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default loopback)")
+    p_cached.add_argument("--port", type=int, default=0,
+                          help="bind port (default 0 = pick a free one,"
+                               " printed on startup)")
+    p_cached.add_argument("--lease-expiry", type=float, default=None,
+                          help="queue lease expiry in seconds (default:"
+                               " the queue's configured value)")
+    p_cached.set_defaults(func=cmd_cached)
     return parser
 
 

@@ -16,6 +16,10 @@ so this module enforces the three rules that protect it:
   per-flow state stays in arrays; looping over packets there silently
   reintroduces the coroutine kernel's costs.  Per-packet work belongs
   in ``flow_sampling.py``.
+- blocking calls (``socket.*``, ``time.sleep(...)``) are banned inside
+  the asyncio cache/queue server (``server.py``): one stalled handler
+  would freeze every connected worker's RPCs.  Connection I/O must go
+  through asyncio streams; delays through the event loop.
 
 A line may opt out with a trailing ``# lint: allow`` comment (used by
 code that mentions the patterns in strings, e.g. this linter's tests).
@@ -47,6 +51,11 @@ _WALL_CLOCK = re.compile(r"time\.time\s*\(\s*\)")
 # contain.
 _PACKET_LOOP = re.compile(
     r"\bfor\b(?=[^#]*\bin\b)[^#]*(\bpacket\w*|\bpkts?\b)")
+# Blocking primitives inside the asyncio server module: raw socket use
+# or time.sleep() would stall the single event loop that serializes
+# every client's RPCs.
+_BLOCKING_NET = re.compile(
+    r"(?<![\w.])socket\.\w+|(?<![\w.])time\.sleep\s*\(")
 
 
 @dataclass(frozen=True)
@@ -85,6 +94,7 @@ def lint_file(path: Path) -> List[LintError]:
         return [LintError(str(path), 0, "unreadable", str(exc), "")]
     is_events = path.name == "events.py"
     is_vector = path.name == "vector_flows.py"
+    is_server = path.name == "server.py"
     for number, raw in enumerate(text.splitlines(), start=1):
         if ALLOW_MARKER in raw:
             continue
@@ -112,6 +122,12 @@ def lint_file(path: Path) -> List[LintError]:
                 "per-packet Python loop in the vectorized scheduler:"
                 " keep per-flow state in arrays (per-packet work lives"
                 " in flow_sampling.py)", raw.strip()))
+        if is_server and _BLOCKING_NET.search(line):
+            errors.append(LintError(
+                str(path), number, "blocking-call-in-server",
+                "blocking socket/sleep call in the asyncio server: use"
+                " asyncio streams and loop-scheduled delays so one"
+                " handler cannot stall every client", raw.strip()))
     return errors
 
 

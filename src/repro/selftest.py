@@ -18,7 +18,11 @@ subsystem:
 - **vector** — the struct-of-arrays fast path replayed against the
   coroutine kernel on the same tiny grid: oracle sampling must match
   the kernel trace-for-trace, and batch sampling must produce a sane
-  delay profile (the property the 10^4-flow story rests on).
+  delay profile (the property the 10^4-flow story rests on);
+- **net** — a loopback ``repro cached serve`` instance driven through
+  the ``tcp:`` queue and cache clients: submit/claim/renew/complete
+  plus a cache write/read round-trip, all over the framed wire
+  protocol.
 
 Each check returns a row; any failure makes ``repro selftest`` exit 1.
 """
@@ -173,11 +177,50 @@ def _check_vector_flows() -> str:
             f" batch mean delay {mean:.2f}ms")
 
 
+def _check_net_queue() -> str:
+    from .testbed import RemoteWorkQueue, ResultCache
+    from .testbed.queue import QueueTask
+    from .testbed.server import ServerThread
+
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        root = Path(tmp) / "queue"
+        with ServerThread(root) as served:
+            remote = RemoteWorkQueue.from_spec(served.spec)
+            task = QueueTask(
+                key="selftest-cell", scenario="selftest",
+                scenario_fingerprint="f" * 64, scenario_meta={},
+                config={"policy": "none"}, repeats=1, master_seed=7,
+                schema=0, code="c" * 64)
+            if not remote.submit(task):
+                raise AssertionError("remote submit refused a fresh task")
+            claimed = remote.claim()
+            if claimed is None or claimed.key != task.key:
+                raise AssertionError(f"remote claim returned {claimed!r}")
+            remote.renew(task.key)
+            remote.complete(task.key)
+            counts = remote.counts()
+            if counts["done"] != 1 or counts["pending"] or counts["leased"]:
+                raise AssertionError(f"queue counts wrong: {counts}")
+            cache = ResultCache.from_spec(served.spec)
+            try:
+                payload = b"net-queue selftest payload"
+                cache.backend.write("selftest-cell", payload)
+                back = cache.backend.read("selftest-cell")
+                if back != payload:
+                    raise AssertionError("cache bytes mutated over TCP")
+            finally:
+                cache.close()
+            served_ops = served.server.requests_served
+    return (f"submit/claim/complete + cache round-trip over"
+            f" tcp ({served_ops} RPCs)")
+
+
 _CHECKS: List[tuple] = [
     ("crypto-kat", _check_crypto_kat),
     ("cached-engine", _check_cached_engine),
     ("event-kernel", _check_event_kernel),
     ("vector-flows", _check_vector_flows),
+    ("net-queue", _check_net_queue),
 ]
 
 

@@ -45,7 +45,15 @@ from .experiment import (
 )
 from .multiflow import (ContentionMAC, FlowProcess, MULTIFLOW_ENGINES,
                         MultiFlowRun, contention_link, run_multiflow)
-from .queue import QueueTask, WorkQueue
+from .netproto import (
+    Backoff,
+    NetClient,
+    RemoteWorkQueue,
+    TcpCacheBackend,
+    parse_tcp_spec,
+)
+from .queue import (QueueTask, WorkQueue, open_queue, pack_scenario,
+                    unpack_scenario)
 from .simulator import (
     LinkConfig,
     PacketService,
@@ -53,7 +61,8 @@ from .simulator import (
     SimulationRun,
 )
 from .tracing import PacketTrace, TraceLog
-from .worker import WorkerReport, run_worker
+from .worker import (AutoscaleReport, WorkerReport, run_autoscaler,
+                     run_worker)
 from .transport import (
     HTTP_TCP,
     UDP_RTP,
@@ -82,4 +91,8 @@ __all__ = [
     "parse_backend_spec", "FileLock", "LockTimeout",
     "config_from_description",
     "QueueTask", "WorkQueue", "WorkerReport", "run_worker",
+    "open_queue", "pack_scenario", "unpack_scenario",
+    "Backoff", "NetClient", "RemoteWorkQueue", "TcpCacheBackend",
+    "parse_tcp_spec",
+    "AutoscaleReport", "run_autoscaler",
 ]

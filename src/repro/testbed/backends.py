@@ -431,10 +431,15 @@ def parse_backend_spec(spec: Union[str, Path]) -> CacheBackend:
     - ``sqlite:PATH`` / ``sqlite://PATH`` / ``sqlite:///PATH`` — the
       single-file WAL store at ``PATH``;
     - ``dir:PATH`` / ``file:PATH`` — the sharded directory tree;
+    - ``tcp:HOST:PORT`` — a ``repro cached serve`` endpoint, every
+      operation proxied over the framed wire protocol;
     - anything else — treated as a directory path.
     """
     text = str(spec)
     lowered = text.lower()
+    if lowered.startswith("tcp:"):
+        from .netproto import TcpCacheBackend  # noqa: avoids import cycle
+        return TcpCacheBackend.from_spec(text)
     if lowered.startswith("sqlite:"):
         path = text[len("sqlite:"):]
         path = path[2:] if path.startswith("//") else path
@@ -458,7 +463,8 @@ def parse_backend_spec(spec: Union[str, Path]) -> CacheBackend:
     if sep and scheme.isalnum() and os.sep not in scheme:
         raise ValueError(
             f"unknown cache backend scheme {scheme!r} in {spec!r};"
-            " supported: sqlite:, dir:, file:, or a bare directory path"
+            " supported: sqlite:, dir:, file:, tcp:, or a bare"
+            " directory path"
         )
     return DirectoryBackend(text)
 

@@ -40,7 +40,7 @@ from ..video.gop import Bitstream
 from ..video.yuv import Sequence420
 from .cache import ResultCache, RunMetrics, code_fingerprint, stable_key
 from .experiment import ExperimentConfig, run_experiment
-from .queue import QueueTask, WorkQueue
+from .queue import QueueTask, WorkQueue, open_queue
 
 __all__ = ["CellSummary", "GridCell", "ExperimentEngine",
            "cell_seed_payload", "cell_seed_sequences",
@@ -234,7 +234,7 @@ class ExperimentEngine:
             raise ValueError(
                 f"dispatch must be 'local' or 'queue', got {dispatch!r}")
         if queue is not None and not isinstance(queue, WorkQueue):
-            queue = WorkQueue(queue)
+            queue = open_queue(queue)
         if dispatch == "queue":
             if queue is None:
                 raise ValueError("dispatch='queue' requires a work queue")

@@ -57,7 +57,8 @@ import numpy as np
 from ..video.gop import Bitstream, EncodedFrame, FrameType, GopLayout
 from ..video.yuv import Frame, Sequence420
 
-__all__ = ["QueueTask", "WorkQueue"]
+__all__ = ["QueueTask", "WorkQueue", "open_queue",
+           "pack_scenario", "unpack_scenario"]
 
 _TMP_PREFIX = ".tmp-"
 
@@ -241,15 +242,24 @@ class WorkQueue:
                 os.rename(task_path, lease_path)
             except OSError:
                 continue  # lost the race for this key
+            # Stamp the mtime heartbeat the instant the rename is won,
+            # BEFORE parsing: rename preserves the submit-time mtime, so
+            # a task submitted more than lease_expiry_s ago would
+            # otherwise look already-expired during the parse window and
+            # a concurrent requeue_expired() could steal it back — two
+            # workers then simulate the same cell.
+            try:
+                os.utime(lease_path)
+            except OSError:
+                pass  # lease vanished (completed elsewhere); parse fails next
             try:
                 task, _ = _parse_lease_payload(lease_path.read_text())
             except (OSError, ValueError) as exc:
                 self.fail(key, f"unreadable task file: {exc}")
                 continue
-            # Stamp the claim heartbeat *into* the payload: rename
-            # preserves the submit-time mtime, and mtime alone is
-            # unreliable on coarse-granularity or clock-skewed shared
-            # filesystems.  utime keeps the fallback signal fresh too.
+            # Then stamp the claim heartbeat *into* the payload: mtime
+            # alone is unreliable on coarse-granularity or clock-skewed
+            # shared filesystems (the payload stamp is authoritative).
             _atomic_write(lease_path, _lease_payload(task, time.time()))
             os.utime(lease_path)
             return task
@@ -391,6 +401,20 @@ class WorkQueue:
         counts = self.counts()
         return counts["pending"] == 0 and counts["leased"] == 0
 
+    def lease_stats(self) -> Dict[str, float]:
+        """Heartbeat age (seconds) per held lease — the signal the
+        elastic-worker supervisor scales on: old ages mean dead workers,
+        many young ones mean a busy fleet."""
+        now = time.time()
+        stats: Dict[str, float] = {}
+        for key in self._keys_in(self.path / LEASES_DIR):
+            try:
+                stats[key] = now - self._lease_heartbeat(
+                    self._lease_path(key))
+            except OSError:
+                continue  # completed or requeued while we looked
+        return stats
+
     # -- scenario blobs ----------------------------------------------------
 
     def _scenario_path(self, fingerprint: str) -> Path:
@@ -403,51 +427,23 @@ class WorkQueue:
                        bitstream: Bitstream) -> None:
         """Persist a scenario's inputs under their content fingerprint
         (idempotent; concurrent writers race benignly to identical bytes)."""
+        if self.has_scenario(fingerprint):
+            return
+        self.store_scenario_blob(fingerprint,
+                                 pack_scenario(original, bitstream))
+
+    def store_scenario_blob(self, fingerprint: str, data: bytes) -> None:
+        """Persist an already-packed scenario blob (the networked path:
+        the client packs, the server stores the raw bytes)."""
         blob_path = self._scenario_path(fingerprint)
         if blob_path.exists():
             return
-        meta = {
-            "clip": {"width": original.width, "height": original.height,
-                     "fps": original.fps, "name": original.name,
-                     "n_frames": len(original.frames)},
-            "bitstream": {"width": bitstream.width,
-                          "height": bitstream.height,
-                          "fps": bitstream.fps,
-                          "gop_size": bitstream.gop_layout.gop_size,
-                          "b_frames": bitstream.gop_layout.b_frames,
-                          "quantizer": bitstream.quantizer,
-                          "name": bitstream.name},
-            "frame_types": "".join(
-                frame.frame_type.value for frame in bitstream.frames),
-        }
-        clip = np.frombuffer(
-            b"".join(frame.to_planar_bytes() for frame in original.frames),
-            dtype=np.uint8,
-        )
-        payloads = np.frombuffer(
-            b"".join(frame.payload for frame in bitstream.frames),
-            dtype=np.uint8,
-        )
-        buffer = io.BytesIO()
-        np.savez_compressed(
-            buffer,
-            meta=np.frombuffer(json.dumps(meta, sort_keys=True).encode(),
-                               dtype=np.uint8),
-            clip=clip,
-            payloads=payloads,
-            payload_lens=np.array(
-                [len(frame.payload) for frame in bitstream.frames],
-                dtype=np.int64),
-            frame_indices=np.array(
-                [frame.index for frame in bitstream.frames], dtype=np.int64),
-            gop_indices=np.array(
-                [frame.gop_index for frame in bitstream.frames],
-                dtype=np.int64),
-            gop_positions=np.array(
-                [frame.position_in_gop for frame in bitstream.frames],
-                dtype=np.int64),
-        )
-        _atomic_write(blob_path, buffer.getvalue())
+        _atomic_write(blob_path, data)
+
+    def scenario_blob(self, fingerprint: str) -> bytes:
+        """The raw packed bytes of one scenario; raises ``OSError`` when
+        the fingerprint is unknown."""
+        return self._scenario_path(fingerprint).read_bytes()
 
     def load_scenario(
         self, fingerprint: str, *,
@@ -456,8 +452,69 @@ class WorkQueue:
         """Reconstruct a scenario blob; ``verify`` (typically
         :func:`repro.testbed.engine.scenario_fingerprint`) recomputes the
         content digest and must reproduce ``fingerprint`` exactly."""
-        blob_path = self._scenario_path(fingerprint)
-        with np.load(blob_path) as blob:
+        return unpack_scenario(self.scenario_blob(fingerprint),
+                               fingerprint=fingerprint, verify=verify)
+
+
+# -- scenario blob packing -----------------------------------------------------
+
+
+def pack_scenario(original: Sequence420, bitstream: Bitstream) -> bytes:
+    """Serialize a scenario's inputs into one compressed ``.npz`` blob —
+    shared by the on-disk queue and the TCP tier, so both transports
+    move the exact bytes the submitter fingerprinted."""
+    meta = {
+        "clip": {"width": original.width, "height": original.height,
+                 "fps": original.fps, "name": original.name,
+                 "n_frames": len(original.frames)},
+        "bitstream": {"width": bitstream.width,
+                      "height": bitstream.height,
+                      "fps": bitstream.fps,
+                      "gop_size": bitstream.gop_layout.gop_size,
+                      "b_frames": bitstream.gop_layout.b_frames,
+                      "quantizer": bitstream.quantizer,
+                      "name": bitstream.name},
+        "frame_types": "".join(
+            frame.frame_type.value for frame in bitstream.frames),
+    }
+    clip = np.frombuffer(
+        b"".join(frame.to_planar_bytes() for frame in original.frames),
+        dtype=np.uint8,
+    )
+    payloads = np.frombuffer(
+        b"".join(frame.payload for frame in bitstream.frames),
+        dtype=np.uint8,
+    )
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        meta=np.frombuffer(json.dumps(meta, sort_keys=True).encode(),
+                           dtype=np.uint8),
+        clip=clip,
+        payloads=payloads,
+        payload_lens=np.array(
+            [len(frame.payload) for frame in bitstream.frames],
+            dtype=np.int64),
+        frame_indices=np.array(
+            [frame.index for frame in bitstream.frames], dtype=np.int64),
+        gop_indices=np.array(
+            [frame.gop_index for frame in bitstream.frames],
+            dtype=np.int64),
+        gop_positions=np.array(
+            [frame.position_in_gop for frame in bitstream.frames],
+            dtype=np.int64),
+    )
+    return buffer.getvalue()
+
+
+def unpack_scenario(
+    data: bytes, *, fingerprint: str = "",
+    verify: Optional[Callable[[Sequence420, Bitstream], str]] = None,
+) -> Tuple[Sequence420, Bitstream]:
+    """Inverse of :func:`pack_scenario`; ``verify`` recomputes the
+    content digest and must reproduce ``fingerprint`` exactly."""
+    try:
+        with np.load(io.BytesIO(data)) as blob:
             meta = json.loads(bytes(blob["meta"]).decode("utf-8"))
             clip_bytes = blob["clip"].tobytes()
             payload_bytes = blob["payloads"].tobytes()
@@ -465,49 +522,68 @@ class WorkQueue:
             frame_indices = blob["frame_indices"]
             gop_indices = blob["gop_indices"]
             gop_positions = blob["gop_positions"]
-        clip_meta = meta["clip"]
-        width, height = clip_meta["width"], clip_meta["height"]
-        frame_bytes = width * height * 3 // 2
-        if len(clip_bytes) != frame_bytes * clip_meta["n_frames"]:
-            raise ValueError(
-                f"scenario blob {fingerprint[:12]}… clip bytes do not"
-                " match its geometry metadata"
-            )
-        frames = [
-            Frame.from_planar_bytes(
-                clip_bytes[i * frame_bytes:(i + 1) * frame_bytes],
-                width, height)
-            for i in range(clip_meta["n_frames"])
-        ]
-        original = Sequence420(frames, fps=clip_meta["fps"],
-                               name=clip_meta["name"])
-        bs_meta = meta["bitstream"]
-        layout = GopLayout(gop_size=bs_meta["gop_size"],
-                           b_frames=bs_meta["b_frames"])
-        encoded: List[EncodedFrame] = []
-        offset = 0
-        for position, length in enumerate(payload_lens):
-            payload = payload_bytes[offset:offset + int(length)]
-            offset += int(length)
-            encoded.append(EncodedFrame(
-                index=int(frame_indices[position]),
-                frame_type=FrameType(meta["frame_types"][position]),
-                payload=payload,
-                gop_index=int(gop_indices[position]),
-                position_in_gop=int(gop_positions[position]),
-            ))
-        bitstream = Bitstream(
-            frames=encoded, width=bs_meta["width"],
-            height=bs_meta["height"], fps=bs_meta["fps"],
-            gop_layout=layout, quantizer=bs_meta["quantizer"],
-            name=bs_meta["name"],
+    except (OSError, KeyError, ValueError) as exc:
+        raise ValueError(
+            f"scenario blob {fingerprint[:12]}… is not a readable"
+            f" scenario archive: {exc}"
+        ) from exc
+    clip_meta = meta["clip"]
+    width, height = clip_meta["width"], clip_meta["height"]
+    frame_bytes = width * height * 3 // 2
+    if len(clip_bytes) != frame_bytes * clip_meta["n_frames"]:
+        raise ValueError(
+            f"scenario blob {fingerprint[:12]}… clip bytes do not"
+            " match its geometry metadata"
         )
-        if verify is not None:
-            recomputed = verify(original, bitstream)
-            if recomputed != fingerprint:
-                raise ValueError(
-                    f"scenario blob {fingerprint[:12]}… failed its"
-                    f" fingerprint check (got {recomputed[:12]}…);"
-                    " refusing to simulate corrupted inputs"
-                )
-        return original, bitstream
+    frames = [
+        Frame.from_planar_bytes(
+            clip_bytes[i * frame_bytes:(i + 1) * frame_bytes],
+            width, height)
+        for i in range(clip_meta["n_frames"])
+    ]
+    original = Sequence420(frames, fps=clip_meta["fps"],
+                           name=clip_meta["name"])
+    bs_meta = meta["bitstream"]
+    layout = GopLayout(gop_size=bs_meta["gop_size"],
+                       b_frames=bs_meta["b_frames"])
+    encoded: List[EncodedFrame] = []
+    offset = 0
+    for position, length in enumerate(payload_lens):
+        payload = payload_bytes[offset:offset + int(length)]
+        offset += int(length)
+        encoded.append(EncodedFrame(
+            index=int(frame_indices[position]),
+            frame_type=FrameType(meta["frame_types"][position]),
+            payload=payload,
+            gop_index=int(gop_indices[position]),
+            position_in_gop=int(gop_positions[position]),
+        ))
+    bitstream = Bitstream(
+        frames=encoded, width=bs_meta["width"],
+        height=bs_meta["height"], fps=bs_meta["fps"],
+        gop_layout=layout, quantizer=bs_meta["quantizer"],
+        name=bs_meta["name"],
+    )
+    if verify is not None:
+        recomputed = verify(original, bitstream)
+        if recomputed != fingerprint:
+            raise ValueError(
+                f"scenario blob {fingerprint[:12]}… failed its"
+                f" fingerprint check (got {recomputed[:12]}…);"
+                " refusing to simulate corrupted inputs"
+            )
+    return original, bitstream
+
+
+def open_queue(queue, **kwargs):
+    """A queue from whatever names one: an existing queue object is
+    passed through; a ``tcp:HOST:PORT`` spec opens a
+    :class:`~repro.testbed.netproto.RemoteWorkQueue`; anything else is a
+    :class:`WorkQueue` directory."""
+    if not isinstance(queue, (str, Path)):
+        return queue
+    spec = str(queue)
+    if spec.lower().startswith("tcp:"):
+        from .netproto import RemoteWorkQueue
+        return RemoteWorkQueue.from_spec(spec, **kwargs)
+    return WorkQueue(queue, **kwargs)

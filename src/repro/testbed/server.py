@@ -1,0 +1,410 @@
+"""``repro cached serve`` — the asyncio TCP cache/queue server.
+
+One process fronts an on-disk :class:`~repro.testbed.queue.WorkQueue`
+plus its :class:`~repro.testbed.cache.ResultCache` behind the framed
+protocol of :mod:`repro.testbed.netproto`, so workers on hosts that
+share no filesystem mount can submit/claim/heartbeat/complete cells and
+read/write cache entries over ``tcp:HOST:PORT``.
+
+Concurrency model: every request is dispatched inline on the single
+event loop.  The underlying operations are small filesystem/sqlite
+touches, and running them serially IS the correctness argument — two
+claims can never interleave, so the on-disk queue's single-winner
+rename is never raced from the wire, and lease heartbeats are stamped
+server-side where wire latency cannot widen any expiry window.  No
+blocking network primitives belong in this module (``repro lint``
+enforces that); connection I/O is all asyncio streams.
+
+The served directory is an ordinary queue root: a grid submitted
+locally with ``repro grid submit --queue DIR`` can be served afterwards
+with ``repro cached serve --root DIR``, and vice versa.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import traceback
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .backends import IndexEntry
+from .cache import ResultCache
+from .netproto import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    read_frame_async,
+)
+from .queue import QueueTask, WorkQueue
+
+__all__ = ["CacheQueueServer", "ServerThread"]
+
+_Reply = Tuple[Dict[str, Any], bytes]
+
+
+class CacheQueueServer:
+    """Serve one queue root (queue state + result cache + scenario
+    blobs) to any number of TCP clients.
+
+    Parameters mirror :class:`~repro.testbed.queue.WorkQueue`; the cache
+    is opened from the queue's own ``cache_spec``, so local and remote
+    workers land results in the same store.
+    """
+
+    def __init__(self, root: Union[str, Path], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 lease_expiry_s: Optional[float] = None,
+                 cache_spec: Optional[str] = None) -> None:
+        self.queue = WorkQueue(root, lease_expiry_s=lease_expiry_s,
+                               cache_spec=cache_spec)
+        self.cache = ResultCache.from_spec(self.queue.cache_spec)
+        self.requested_host = host
+        self.requested_port = port
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.host``/``self.port`` hold the
+        actual address afterwards (``port=0`` picks a free one)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.requested_host,
+            self.requested_port)
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.cache.close()
+
+    @property
+    def spec(self) -> str:
+        """The ``tcp:HOST:PORT`` clients should dial."""
+        return f"tcp:{self.host}:{self.port}"
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    kind, header, blob = await read_frame_async(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client went away (cleanly or not)
+                except ProtocolError:
+                    return  # garbage on the wire: drop the connection
+                if kind != KIND_REQUEST:
+                    return
+                response_header, response_blob, reply_kind = \
+                    self._execute(header, blob)
+                writer.write(encode_frame(response_header, response_blob,
+                                          kind=reply_kind))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    return
+        except asyncio.CancelledError:
+            return  # server shutdown: end the task cleanly, not cancelled
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _execute(self, header: Dict[str, Any],
+                 blob: bytes) -> Tuple[Dict[str, Any], bytes, int]:
+        op = header.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            return ({"error": f"unknown op {op!r}",
+                     "kind": "ValueError"}, b"", KIND_ERROR)
+        try:
+            response_header, response_blob = handler(self, header, blob)
+            self.requests_served += 1
+            return response_header, response_blob, KIND_RESPONSE
+        except Exception as exc:
+            summary = traceback.format_exception_only(type(exc), exc)
+            return ({"error": summary[-1].strip(),
+                     "kind": type(exc).__name__}, b"", KIND_ERROR)
+
+    def _index(self):
+        """The server-side cache index (created on first use)."""
+        return self.cache._ensure_index(create=True)
+
+    # -- op handlers -------------------------------------------------------
+
+    def _op_ping(self, header, blob) -> _Reply:
+        return {"pong": True, "version": PROTOCOL_VERSION}, b""
+
+    def _op_stats(self, header, blob) -> _Reply:
+        return {
+            "queue": self.queue.counts(),
+            "leases": self.queue.lease_stats(),
+            "lease_expiry_s": self.queue.lease_expiry_s,
+            "cache_entries": self._index().count(),
+            "requests_served": self.requests_served,
+        }, b""
+
+    def _op_queue_config(self, header, blob) -> _Reply:
+        return {"lease_expiry_s": self.queue.lease_expiry_s,
+                "cache_spec_local": self.queue.cache_spec}, b""
+
+    def _op_queue_submit(self, header, blob) -> _Reply:
+        task = QueueTask(**header["task"])
+        return {"submitted": self.queue.submit(task)}, b""
+
+    def _op_queue_claim(self, header, blob) -> _Reply:
+        task = self.queue.claim()
+        return {"task": None if task is None else asdict(task)}, b""
+
+    def _op_queue_renew(self, header, blob) -> _Reply:
+        self.queue.renew(header["key"])
+        return {}, b""
+
+    def _op_queue_complete(self, header, blob) -> _Reply:
+        self.queue.complete(header["key"])
+        return {}, b""
+
+    def _op_queue_fail(self, header, blob) -> _Reply:
+        self.queue.fail(header["key"], str(header.get("reason", "")))
+        return {}, b""
+
+    def _op_queue_requeue_expired(self, header, blob) -> _Reply:
+        return {"requeued": self.queue.requeue_expired()}, b""
+
+    def _op_queue_retry_failed(self, header, blob) -> _Reply:
+        return {"retried": self.queue.retry_failed()}, b""
+
+    def _op_queue_keys(self, header, blob) -> _Reply:
+        state = header.get("state")
+        keys_by_state = {
+            "pending": self.queue.pending_keys,
+            "leased": self.queue.leased_keys,
+            "done": self.queue.done_keys,
+            "failed": self.queue.failed_keys,
+        }
+        if state not in keys_by_state:
+            raise ValueError(f"unknown queue state {state!r}")
+        return {"keys": keys_by_state[state]()}, b""
+
+    def _op_queue_counts(self, header, blob) -> _Reply:
+        return {"counts": self.queue.counts()}, b""
+
+    def _op_queue_failure_reason(self, header, blob) -> _Reply:
+        return {"reason": self.queue.failure_reason(header["key"])}, b""
+
+    def _op_queue_lease_stats(self, header, blob) -> _Reply:
+        return {"leases": self.queue.lease_stats()}, b""
+
+    def _op_scenario_has(self, header, blob) -> _Reply:
+        return {"has": self.queue.has_scenario(header["fingerprint"])}, b""
+
+    def _op_scenario_put(self, header, blob) -> _Reply:
+        self.queue.store_scenario_blob(header["fingerprint"], blob)
+        return {}, b""
+
+    def _op_scenario_get(self, header, blob) -> _Reply:
+        fingerprint = header["fingerprint"]
+        try:
+            data = self.queue.scenario_blob(fingerprint)
+        except OSError:
+            raise FileNotFoundError(
+                f"no scenario blob {fingerprint[:12]}… on this server")
+        return {"size": len(data)}, data
+
+    def _op_cache_read(self, header, blob) -> _Reply:
+        data = self.cache.backend.read(header["key"])
+        if data is None:
+            return {"found": False}, b""
+        return {"found": True}, data
+
+    def _op_cache_write(self, header, blob) -> _Reply:
+        return {"size": self.cache.backend.write(header["key"], blob)}, b""
+
+    def _op_cache_delete(self, header, blob) -> _Reply:
+        return {"deleted": self.cache.backend.delete(header["key"])}, b""
+
+    def _op_cache_quarantine(self, header, blob) -> _Reply:
+        return {"moved": self.cache.backend.quarantine(header["key"])}, b""
+
+    def _op_cache_clear_quarantine(self, header, blob) -> _Reply:
+        return {"removed": self.cache.backend.clear_quarantine()}, b""
+
+    def _op_cache_scan(self, header, blob) -> _Reply:
+        return {"entries": [[key, size, mtime] for key, size, mtime
+                            in self.cache.backend.scan()]}, b""
+
+    def _op_index_count(self, header, blob) -> _Reply:
+        return {"count": self._index().count()}, b""
+
+    def _op_index_total_bytes(self, header, blob) -> _Reply:
+        return {"total_bytes": self._index().total_bytes()}, b""
+
+    def _op_index_touch(self, header, blob) -> _Reply:
+        self._index().touch(header["key"], int(header["size"]),
+                            float(header["accessed"]))
+        return {}, b""
+
+    def _op_index_upsert(self, header, blob) -> _Reply:
+        key, size, created, accessed = header["entry"]
+        self._index().upsert(IndexEntry(str(key), int(size),
+                                        float(created), float(accessed)))
+        return {}, b""
+
+    def _op_index_remove(self, header, blob) -> _Reply:
+        self._index().remove(header["key"])
+        return {}, b""
+
+    def _op_index_entries(self, header, blob) -> _Reply:
+        return {"entries": [[e.key, e.size, e.created, e.accessed]
+                            for e in self._index().entries()]}, b""
+
+    def _op_index_lru(self, header, blob) -> _Reply:
+        return {"entries": [[e.key, e.size, e.created, e.accessed]
+                            for e in self._index().lru()]}, b""
+
+    def _op_index_replace_all(self, header, blob) -> _Reply:
+        entries = [IndexEntry(str(k), int(s), float(c), float(a))
+                   for k, s, c, a in header["entries"]]
+        self._index().replace_all(entries)
+        return {}, b""
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "stats": _op_stats,
+        "queue.config": _op_queue_config,
+        "queue.submit": _op_queue_submit,
+        "queue.claim": _op_queue_claim,
+        "queue.renew": _op_queue_renew,
+        "queue.complete": _op_queue_complete,
+        "queue.fail": _op_queue_fail,
+        "queue.requeue_expired": _op_queue_requeue_expired,
+        "queue.retry_failed": _op_queue_retry_failed,
+        "queue.keys": _op_queue_keys,
+        "queue.counts": _op_queue_counts,
+        "queue.failure_reason": _op_queue_failure_reason,
+        "queue.lease_stats": _op_queue_lease_stats,
+        "scenario.has": _op_scenario_has,
+        "scenario.put": _op_scenario_put,
+        "scenario.get": _op_scenario_get,
+        "cache.read": _op_cache_read,
+        "cache.write": _op_cache_write,
+        "cache.delete": _op_cache_delete,
+        "cache.quarantine": _op_cache_quarantine,
+        "cache.clear_quarantine": _op_cache_clear_quarantine,
+        "cache.scan": _op_cache_scan,
+        "index.count": _op_index_count,
+        "index.total_bytes": _op_index_total_bytes,
+        "index.touch": _op_index_touch,
+        "index.upsert": _op_index_upsert,
+        "index.remove": _op_index_remove,
+        "index.entries": _op_index_entries,
+        "index.lru": _op_index_lru,
+        "index.replace_all": _op_index_replace_all,
+    }
+
+
+class ServerThread:
+    """A :class:`CacheQueueServer` on a background thread with its own
+    event loop — the in-process harness tests and ``repro selftest``
+    use (production serving goes through ``repro cached serve``).
+
+    Context-manager: entering starts the loop and blocks until the
+    server is bound; ``.host``/``.port``/``.spec`` then address it.
+    """
+
+    def __init__(self, root: Union[str, Path], *, host: str = "127.0.0.1",
+                 port: int = 0, lease_expiry_s: Optional[float] = None,
+                 cache_spec: Optional[str] = None) -> None:
+        self.server = CacheQueueServer(root, host=host, port=port,
+                                       lease_expiry_s=lease_expiry_s,
+                                       cache_spec=cache_spec)
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-cached-serve",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("cache/queue server failed to start in 30s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(
+                f"cache/queue server failed to bind: {self._startup_error}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None \
+                and self._thread is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=10.0)
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def host(self) -> str:
+        assert self.server.host is not None
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def spec(self) -> str:
+        return self.server.spec

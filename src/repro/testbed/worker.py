@@ -27,7 +27,10 @@ from __future__ import annotations
 import json
 import os
 import socket
+import subprocess
+import sys
 import time
+import traceback
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -39,9 +42,10 @@ from .engine import (ENGINE_SCHEMA_VERSION, cell_seed_payload,
                      cell_seed_sequences, config_from_description,
                      scenario_fingerprint)
 from .experiment import run_experiment
-from .queue import QueueTask, WorkQueue
+from .netproto import Backoff
+from .queue import QueueTask, WorkQueue, open_queue
 
-__all__ = ["WorkerReport", "run_worker"]
+__all__ = ["AutoscaleReport", "WorkerReport", "run_autoscaler", "run_worker"]
 
 
 @dataclass
@@ -93,7 +97,12 @@ def run_worker(queue: Union[str, Path, WorkQueue], *,
     Parameters
     ----------
     queue:
-        A :class:`WorkQueue` or its directory.
+        A :class:`WorkQueue` (or duck-typed remote queue), its directory,
+        or a ``tcp:HOST:PORT`` spec naming a ``repro cached serve``
+        endpoint.
+    poll_s:
+        Base delay when the queue has nothing claimable; the worker
+        backs off exponentially (with jitter, capped) from here.
     cache:
         Shared result cache; defaults to the one named by the queue's
         ``cache_spec`` so every worker lands results in the same place.
@@ -106,8 +115,7 @@ def run_worker(queue: Union[str, Path, WorkQueue], *,
     report_path:
         Optional JSON dump of the returned :class:`WorkerReport`.
     """
-    if not isinstance(queue, WorkQueue):
-        queue = WorkQueue(queue)
+    queue = open_queue(queue)
     own_cache = cache is None
     if cache is None:
         cache = ResultCache.from_spec(queue.cache_spec)
@@ -116,6 +124,9 @@ def run_worker(queue: Union[str, Path, WorkQueue], *,
     started = time.monotonic()
     my_code = code_fingerprint()
     scenarios: Dict[str, Tuple[Sequence420, Bitstream]] = {}
+    # Jittered exponential backoff instead of a fixed-interval busy-poll:
+    # a fleet of elastic workers must not hammer the queue in lockstep.
+    idle = Backoff(base_s=poll_s, cap_s=max(poll_s, 2.0))
     try:
         while True:
             if max_cells is not None and report.claimed >= max_cells:
@@ -125,8 +136,9 @@ def run_worker(queue: Union[str, Path, WorkQueue], *,
             if task is None:
                 if not drain or queue.is_drained():
                     break
-                time.sleep(poll_s)
+                time.sleep(idle.next_delay())
                 continue
+            idle.reset()
             report.claimed += 1
             report.cells.append(task.key)
             if task.schema != ENGINE_SCHEMA_VERSION:
@@ -154,8 +166,17 @@ def run_worker(queue: Union[str, Path, WorkQueue], *,
                                             verify=scenario_fingerprint))
                 original, bitstream = scenarios[task.scenario_fingerprint]
                 runs = _execute_task(task, original, bitstream, queue)
-            except (OSError, ValueError) as exc:
-                queue.fail(task.key, f"{type(exc).__name__}: {exc}")
+            except (KeyboardInterrupt, SystemExit):
+                # Operator-initiated shutdown: release the lease for the
+                # next worker rather than burying the cell in failed/.
+                raise
+            except BaseException as exc:
+                # ANY other exception fails the cell and keeps draining —
+                # a malformed config (KeyError) or numpy error must not
+                # strand the lease until expiry.
+                summary = traceback.format_exception_only(
+                    type(exc), exc)[-1].strip()
+                queue.fail(task.key, summary)
                 report.failed += 1
                 continue
             report.simulations += len(runs)
@@ -180,4 +201,103 @@ def run_worker(queue: Union[str, Path, WorkQueue], *,
             report_path = Path(report_path)
             report_path.parent.mkdir(parents=True, exist_ok=True)
             report_path.write_text(report.to_json() + "\n")
+    return report
+
+
+@dataclass
+class AutoscaleReport:
+    """What one ``repro grid autoscale`` supervisor run did."""
+
+    queue: str
+    rounds: int = 0
+    spawned: int = 0
+    retired: int = 0
+    peak_workers: int = 0
+    requeued: int = 0
+    final_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+
+def _spawn_worker_process(spec: str) -> "subprocess.Popen":
+    """Default worker factory: a ``repro worker --no-drain`` child that
+    exits on its own once nothing is claimable (elastic retirement)."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--queue", spec, "--no-drain"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def run_autoscaler(queue: Union[str, Path, "WorkQueue"], *,
+                   min_workers: int = 0,
+                   max_workers: int = 4,
+                   cells_per_worker: int = 2,
+                   poll_s: float = 0.5,
+                   max_rounds: Optional[int] = None,
+                   spawn_worker=None,
+                   stop_when_drained: bool = True) -> AutoscaleReport:
+    """Elastic-worker supervisor: size a local worker pool from queue
+    depth and lease statistics.
+
+    Each round the supervisor requeues expired leases, targets
+    ``ceil(backlog / cells_per_worker)`` workers (clamped to
+    ``[min_workers, max_workers]``, where the backlog counts pending
+    cells plus leases with stale heartbeats), and spawns children up to
+    the target.  Shrinking is passive: children run ``--no-drain`` and
+    exit once nothing is claimable, so capacity retires itself as the
+    queue empties.
+
+    Parameters
+    ----------
+    queue:
+        Queue directory, ``tcp:HOST:PORT`` spec, or an open queue.
+    spawn_worker:
+        Test hook — callable ``(spec) -> Popen-like`` (needs ``poll()``
+        and ``wait()``); defaults to spawning ``repro worker`` children.
+    max_rounds:
+        Safety cap on supervision rounds (``None`` = until drained).
+    """
+    q = open_queue(queue)
+    spec = str(q.path)
+    if spawn_worker is None:
+        spawn_worker = _spawn_worker_process
+    report = AutoscaleReport(queue=spec)
+    pool: List[object] = []
+    pause = Backoff(base_s=poll_s, cap_s=max(poll_s, 2.0))
+    try:
+        while True:
+            if max_rounds is not None and report.rounds >= max_rounds:
+                break
+            report.rounds += 1
+            report.requeued += len(q.requeue_expired())
+            # Reap children that drained themselves out of the pool.
+            live = [p for p in pool if p.poll() is None]
+            report.retired += len(pool) - len(live)
+            pool = live
+            counts = q.counts()
+            # Leases whose heartbeat is older than half the expiry are
+            # likely dying workers: count them as backlog so replacement
+            # capacity is already warm when requeue_expired fires.
+            stale = sum(1 for age in q.lease_stats().values()
+                        if age > q.lease_expiry_s / 2.0)
+            backlog = counts["pending"] + stale
+            desired = -(-backlog // cells_per_worker)  # ceil
+            desired = max(min_workers, min(max_workers, desired))
+            while len(pool) < desired:
+                pool.append(spawn_worker(spec))
+                report.spawned += 1
+            report.peak_workers = max(report.peak_workers, len(pool))
+            if stop_when_drained and q.is_drained() and not pool:
+                break
+            if backlog or pool:
+                pause.reset()
+            time.sleep(pause.next_delay())
+    finally:
+        for p in pool:
+            try:
+                p.wait(timeout=60.0)
+            except Exception:
+                pass
+        report.final_counts = q.counts()
     return report

@@ -73,6 +73,13 @@ class TestCommands:
         assert any("bench_ext_flows_scale.py --smoke" in line
                    for line in runs)
 
+    def test_tier1_runs_net_grid_smoke(self, workflow):
+        """The PR job must also spin up a loopback `cached serve` and
+        differential-check two TCP workers against local execution —
+        the networked tier's byte-identity claim, on every PR."""
+        runs = _run_lines(workflow, "tier-1")
+        assert any("bench_net_grid.py --smoke" in line for line in runs)
+
     def test_bench_gate_checks_trend(self, workflow):
         runs = _run_lines(workflow, "bench-gate")
         assert any("crypto_microbench.py" in line for line in runs)

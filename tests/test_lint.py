@@ -14,6 +14,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 NP_SEED = "np.random." + "seed(42)"
 GLOBAL_RANDOM = "x = " + "random" + ".randint(0, 9)"
 WALL_CLOCK = "now = time." + "time()"
+RAW_SOCKET = "sock = " + "socket" + ".create_connection(addr)"
+BLOCKING_SLEEP = "time." + "sleep(0.2)"
 
 
 def _write(tmp_path, name, *lines):
@@ -77,6 +79,23 @@ class TestRules:
                         "for flow in range(tables.n_flows):",
                         "    pass")
         assert lint_file(vector) == []
+
+    def test_blocking_calls_only_banned_in_server_module(self, tmp_path):
+        for line in (RAW_SOCKET, BLOCKING_SLEEP):
+            elsewhere = _write(tmp_path, "mod.py", line)
+            assert lint_file(elsewhere) == [], line
+            server = _write(tmp_path, "server.py", line)
+            assert [e.rule for e in lint_file(server)] == \
+                ["blocking-call-in-server"], line
+            assert "asyncio" in lint_file(server)[0].message
+
+    def test_socket_attribute_access_allowed_in_server(self, tmp_path):
+        # server.sockets[0].getsockname() is asyncio API, not the
+        # blocking socket module
+        server = _write(tmp_path, "server.py",
+                        "addr = listener.sockets[0].getsockname()",
+                        "s = my.socket.thing")
+        assert lint_file(server) == []
 
     def test_allow_marker_and_comments_skipped(self, tmp_path):
         path = _write(tmp_path, "mod.py",

@@ -1,0 +1,216 @@
+"""Wire-protocol unit tests: frame round-trips, malformed/truncated
+frame fuzzing, the backoff helper, and tcp: spec parsing."""
+
+import random
+import struct
+
+import pytest
+
+from repro.testbed.netproto import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_BLOB_BYTES,
+    MAX_HEADER_BYTES,
+    PREFIX_LEN,
+    PROTOCOL_VERSION,
+    Backoff,
+    NetClient,
+    ProtocolError,
+    RemoteError,
+    decode_frame,
+    encode_frame,
+    parse_prefix,
+    parse_tcp_spec,
+)
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("kind", [KIND_REQUEST, KIND_RESPONSE,
+                                      KIND_ERROR])
+    def test_kinds_round_trip(self, kind):
+        header = {"op": "queue.claim", "n": 3, "nested": {"a": [1, 2]}}
+        blob = bytes(range(256)) * 7
+        got_kind, got_header, got_blob = decode_frame(
+            encode_frame(header, blob, kind=kind))
+        assert got_kind == kind
+        assert got_header == header
+        assert got_blob == blob
+
+    def test_empty_header_and_blob(self):
+        kind, header, blob = decode_frame(encode_frame({}))
+        assert (kind, header, blob) == (KIND_REQUEST, {}, b"")
+
+    def test_unicode_header_survives(self):
+        header = {"reason": "scénario → perdu", "key": "αβγ"}
+        _, got, _ = decode_frame(encode_frame(header))
+        assert got == header
+
+    def test_prefix_is_twelve_bytes(self):
+        # the layout the docstrings promise: 2+1+1+4+4
+        assert PREFIX_LEN == 12
+
+    def test_unknown_kind_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            encode_frame({}, b"", kind=7)
+
+    def test_oversized_header_rejected_on_encode(self):
+        big = {"pad": "x" * (MAX_HEADER_BYTES + 1)}
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame(big)
+
+
+class TestMalformedFrames:
+    def _valid(self):
+        return encode_frame({"op": "ping"}, b"payload")
+
+    def test_every_truncation_rejected(self):
+        frame = self._valid()
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(self._valid() + b"x")
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(self._valid())
+        frame[0] = 0x58
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_wrong_version_rejected(self):
+        frame = bytearray(self._valid())
+        frame[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_unknown_kind_rejected(self):
+        frame = bytearray(self._valid())
+        frame[3] = 9
+        with pytest.raises(ProtocolError, match="kind"):
+            decode_frame(bytes(frame))
+
+    def test_hostile_header_length_rejected(self):
+        prefix = struct.pack("!2sBBII", b"RW", PROTOCOL_VERSION,
+                             KIND_REQUEST, MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="header length"):
+            parse_prefix(prefix)
+
+    def test_hostile_blob_length_rejected(self):
+        # a 256 GiB announcement must die at the prefix, not allocate
+        prefix = struct.pack("!2sBBII", b"RW", PROTOCOL_VERSION,
+                             KIND_REQUEST, 2, MAX_BLOB_BYTES + 1)
+        with pytest.raises(ProtocolError, match="blob length"):
+            parse_prefix(prefix)
+
+    def test_non_dict_header_rejected(self):
+        body = b"[1, 2, 3]"
+        frame = struct.pack("!2sBBII", b"RW", PROTOCOL_VERSION,
+                            KIND_REQUEST, len(body), 0) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(frame)
+
+    def test_undecodable_header_rejected(self):
+        body = b"\xff\xfe not json"
+        frame = struct.pack("!2sBBII", b"RW", PROTOCOL_VERSION,
+                            KIND_REQUEST, len(body), 0) + body
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(frame)
+
+    def test_random_bytes_never_crash(self):
+        """Fuzz: arbitrary bytes either parse (astronomically unlikely)
+        or raise ProtocolError — never any other exception."""
+        rng = random.Random(20130927)
+        for trial in range(500):
+            length = rng.randrange(0, 64)
+            data = bytes(rng.randrange(256) for _ in range(length))
+            try:
+                decode_frame(data)
+            except ProtocolError:
+                pass
+
+    def test_bitflipped_valid_frames_never_crash(self):
+        frame = self._valid()
+        rng = random.Random(7)
+        for trial in range(300):
+            mutated = bytearray(frame)
+            for _ in range(rng.randrange(1, 4)):
+                mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+            try:
+                decode_frame(bytes(mutated))
+            except ProtocolError:
+                pass
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        backoff = Backoff(base_s=0.1, cap_s=0.8, jitter=0.0)
+        assert [round(backoff.next_delay(), 3) for _ in range(5)] == \
+            [0.1, 0.2, 0.4, 0.8, 0.8]
+
+    def test_jitter_stays_in_band(self):
+        backoff = Backoff(base_s=0.1, cap_s=10.0, jitter=0.5,
+                          rng=random.Random(1))
+        for attempt in range(6):
+            raw = min(10.0, 0.1 * 2.0 ** attempt)
+            delay = backoff.next_delay()
+            assert 0.5 * raw <= delay < 1.5 * raw
+
+    def test_reset_starts_cheap_again(self):
+        backoff = Backoff(base_s=0.1, cap_s=5.0, jitter=0.0)
+        for _ in range(4):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.attempt == 0
+        assert backoff.next_delay() == pytest.approx(0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(base_s=0.0)
+        with pytest.raises(ValueError):
+            Backoff(base_s=2.0, cap_s=1.0)
+        with pytest.raises(ValueError):
+            Backoff(jitter=1.0)
+
+
+class TestTcpSpec:
+    @pytest.mark.parametrize("spec,expected", [
+        ("tcp:127.0.0.1:9000", ("127.0.0.1", 9000)),
+        ("tcp://example.org:80", ("example.org", 80)),
+        ("TCP:LOCALHOST:1", ("LOCALHOST", 1)),
+        ("tcp:[::1]:4242", ("::1", 4242)),
+        ("  tcp:10.0.0.2:65535  ", ("10.0.0.2", 65535)),
+    ])
+    def test_valid_specs(self, spec, expected):
+        assert parse_tcp_spec(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "tcp:nohost", "tcp::9000", "tcp:host:", "tcp:host:port",
+        "dir:/tmp/x", "tcp:host:9000/path", "tcp:host:0",
+        "tcp:host:70000", "",
+    ])
+    def test_invalid_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_tcp_spec(spec)
+
+
+class TestRemoteErrorMapping:
+    def test_builtin_kinds_map_to_builtins(self):
+        client = NetClient.__new__(NetClient)  # no connection needed
+        assert isinstance(
+            client._remote_error({"error": "x", "kind": "ValueError"}),
+            ValueError)
+        assert isinstance(
+            client._remote_error({"error": "x",
+                                  "kind": "FileNotFoundError"}),
+            FileNotFoundError)
+
+    def test_unknown_kind_preserved_on_remote_error(self):
+        client = NetClient.__new__(NetClient)
+        error = client._remote_error({"error": "boom",
+                                      "kind": "ZeroDivisionError"})
+        assert isinstance(error, RemoteError)
+        assert error.kind == "ZeroDivisionError"
+        assert "boom" in str(error)

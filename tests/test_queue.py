@@ -9,7 +9,8 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from repro.testbed.engine import scenario_fingerprint
-from repro.testbed.queue import QueueTask, WorkQueue
+from repro.testbed.queue import (QueueTask, WorkQueue, open_queue,
+                                 pack_scenario, unpack_scenario)
 from repro.video import CodecConfig, encode_sequence, generate_clip
 
 
@@ -196,6 +197,43 @@ class TestLeaseExpiry:
         assert queue.requeue_expired() == []
         queue.complete(task.key)
 
+    def test_claim_vs_requeue_race_regression(self, tmp_path,
+                                              monkeypatch):
+        """Regression for the claim-time false-expiry race: an old
+        pending task is claimed while a concurrent requeue_expired()
+        fires *inside* the claim's parse window.  Pre-fix, the rename
+        preserved the hour-old submit mtime, so the requeuer saw an
+        expired lease, stole the task back to pending, and the claimer's
+        heartbeat rewrite resurrected the lease — the same cell then
+        existed in both states and was simulated twice."""
+        import repro.testbed.queue as queue_mod
+
+        queue = WorkQueue(tmp_path / "q", lease_expiry_s=30.0)
+        queue.submit(_task("a"))
+        pending = queue.path / "tasks" / f"{_task('a').key}.json"
+        old = time.time() - 3600.0
+        os.utime(pending, (old, old))  # submitted an hour ago
+
+        stealer = WorkQueue(tmp_path / "q")
+        real_parse = queue_mod._parse_lease_payload
+        stolen = []
+        fired = []
+
+        def racing_parse(text):
+            if not fired:  # one shot: requeue_expired parses leases too
+                fired.append(True)
+                stolen.extend(stealer.requeue_expired())
+            return real_parse(text)
+
+        monkeypatch.setattr(queue_mod, "_parse_lease_payload",
+                            racing_parse)
+        task = queue.claim()
+        assert task == _task("a")
+        assert stolen == []  # the mid-claim requeue must see a live lease
+        assert queue.claim() is None  # and no duplicate copy to claim
+        assert queue.counts() == {"pending": 0, "leased": 1,
+                                  "done": 0, "failed": 0}
+
 
 def _claim_all(queue_dir: str):
     queue = WorkQueue(queue_dir)
@@ -255,6 +293,54 @@ class TestScenarioBlobs:
         # and the correct fingerprint passes
         queue.store_scenario(fingerprint, clip, bitstream)
         queue.load_scenario(fingerprint, verify=scenario_fingerprint)
+
+
+class TestLeaseStats:
+    def test_lease_stats_reports_heartbeat_ages(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_expiry_s=30.0)
+        queue.submit(_task("a"))
+        queue.submit(_task("b"))
+        first = queue.claim()
+        second = queue.claim()
+        _age_lease(queue.path / "leases" / f"{first.key}.json", 10.0)
+        stats = queue.lease_stats()
+        assert set(stats) == {first.key, second.key}
+        assert stats[first.key] >= 9.0
+        assert 0.0 <= stats[second.key] < 5.0
+        queue.complete(first.key)
+        queue.complete(second.key)
+        assert queue.lease_stats() == {}
+
+
+class TestOpenQueue:
+    def test_directory_opens_local_queue(self, tmp_path):
+        queue = open_queue(tmp_path / "q")
+        assert isinstance(queue, WorkQueue)
+
+    def test_existing_queue_passes_through(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        assert open_queue(queue) is queue
+
+    def test_malformed_tcp_spec_rejected(self):
+        with pytest.raises(ValueError, match="tcp"):
+            open_queue("tcp:no-port-here")
+
+
+class TestScenarioPacking:
+    def test_module_level_pack_unpack_round_trip(self):
+        clip = generate_clip("slow", 6, seed=1)
+        bitstream = encode_sequence(clip,
+                                    CodecConfig(gop_size=6, quantizer=8))
+        fingerprint = scenario_fingerprint(clip, bitstream)
+        blob = pack_scenario(clip, bitstream)
+        loaded_clip, loaded_bitstream = unpack_scenario(
+            blob, fingerprint=fingerprint, verify=scenario_fingerprint)
+        assert scenario_fingerprint(loaded_clip, loaded_bitstream) == \
+            fingerprint
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises(ValueError, match="archive"):
+            unpack_scenario(b"not an npz archive at all")
 
 
 class TestTaskSerialization:

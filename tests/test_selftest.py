@@ -11,7 +11,8 @@ class TestRunSelftest:
     def test_all_checks_pass_in_this_tree(self):
         results = run_selftest()
         assert [r.name for r in results] == [
-            "crypto-kat", "cached-engine", "event-kernel", "vector-flows"]
+            "crypto-kat", "cached-engine", "event-kernel", "vector-flows",
+            "net-queue"]
         failures = [r for r in results if not r.ok]
         assert not failures, [f"{r.name}: {r.detail}" for r in failures]
 

@@ -1,0 +1,128 @@
+"""Worker fault handling: unexpected exceptions must fail the cell and
+keep draining (not strand the lease), operator interrupts must still
+propagate, and the idle poll must back off instead of spinning at a
+fixed interval."""
+
+import pytest
+
+from repro.core import standard_policies
+from repro.testbed import (
+    DEVICES,
+    ExperimentConfig,
+    ExperimentEngine,
+    GridCell,
+    WorkQueue,
+)
+from repro.testbed import worker as worker_mod
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+MASTER_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    clip = generate_clip("slow", 12, seed=1)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=8))
+    return clip, bitstream
+
+
+def _submitted_queue(tiny_scenario, tmp_path, cells=1):
+    clip, bitstream = tiny_scenario
+    table = standard_policies("AES256")
+    grid = [
+        GridCell("tiny", ExperimentConfig(
+            policy=table[name], device=DEVICES["samsung-s2"],
+            sensitivity_fraction=0.55, decode_video=False), 2)
+        for name in ("none", "I", "all")[:cells]
+    ]
+    queue = WorkQueue(tmp_path / "q")
+    engine = ExperimentEngine(dispatch="queue", queue=queue,
+                              master_seed=MASTER_SEED)
+    engine.add_scenario("tiny", clip, bitstream)
+    keys = engine.submit_grid(grid)
+    engine.close()
+    return queue, keys
+
+
+class TestCrashingExperiment:
+    def test_unexpected_exception_fails_cell_releases_lease(
+            self, tiny_scenario, tmp_path, monkeypatch):
+        """Regression: pre-fix, only (OSError, ValueError) were caught
+        around the simulation, so a KeyError propagated out of
+        run_worker with the lease still held, stalling the drain until
+        expiry."""
+        queue, keys = _submitted_queue(tiny_scenario, tmp_path)
+
+        def crashing(original, bitstream, config, seed):
+            raise KeyError("malformed config description")
+
+        monkeypatch.setattr(worker_mod, "run_experiment", crashing)
+        report = worker_mod.run_worker(queue)  # must NOT raise
+        assert report.failed == len(keys)
+        assert report.simulations == 0
+        assert queue.counts() == {"pending": 0, "leased": 0,
+                                  "done": 0, "failed": len(keys)}
+        reason = queue.failure_reason(keys[0])
+        assert "KeyError" in reason
+        assert "malformed config" in reason
+
+    def test_failed_cells_recoverable_after_crash(
+            self, tiny_scenario, tmp_path, monkeypatch):
+        """After the crash is fixed, retry_failed + a healthy worker
+        completes the grid."""
+        queue, keys = _submitted_queue(tiny_scenario, tmp_path)
+
+        real = worker_mod.run_experiment
+        monkeypatch.setattr(
+            worker_mod, "run_experiment",
+            lambda *args, **kwargs: (_ for _ in ()).throw(
+                RuntimeError("transient crash")))
+        assert worker_mod.run_worker(queue).failed == len(keys)
+
+        monkeypatch.setattr(worker_mod, "run_experiment", real)
+        assert sorted(queue.retry_failed()) == sorted(keys)
+        report = worker_mod.run_worker(queue)
+        assert report.failed == 0
+        assert queue.counts()["done"] == len(keys)
+
+    def test_keyboard_interrupt_propagates(self, tiny_scenario, tmp_path,
+                                           monkeypatch):
+        queue, keys = _submitted_queue(tiny_scenario, tmp_path)
+
+        def interrupted(original, bitstream, config, seed):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(worker_mod, "run_experiment", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            worker_mod.run_worker(queue)
+        # the interrupt is not buried in failed/ — the lease stays for
+        # expiry-requeue so another worker finishes the cell
+        assert queue.counts()["failed"] == 0
+
+
+class TestIdleBackoff:
+    def test_idle_poll_backs_off_exponentially(self, tiny_scenario,
+                                               tmp_path, monkeypatch):
+        """The worker's wait-for-other-workers loop must sleep on a
+        growing (jittered, capped) schedule, not a fixed interval."""
+        queue, keys = _submitted_queue(tiny_scenario, tmp_path)
+        holder = WorkQueue(tmp_path / "q")
+        held = holder.claim()  # another "worker" holds the only cell
+        assert held is not None
+
+        sleeps = []
+
+        def fake_sleep(delay):
+            sleeps.append(delay)
+            if len(sleeps) >= 6:  # enough samples: finish the cell
+                holder.complete(held.key)
+
+        monkeypatch.setattr(worker_mod.time, "sleep", fake_sleep)
+        report = worker_mod.run_worker(queue, poll_s=0.1)
+        assert report.claimed == 0
+        assert len(sleeps) >= 6
+        # capped exponential with +/-50% jitter around 0.1 * 2^n
+        for index, delay in enumerate(sleeps):
+            raw = min(2.0, 0.1 * 2.0 ** index)
+            assert 0.5 * raw <= delay <= 1.5 * raw
+        assert sleeps[4] > sleeps[0]  # it actually grew
