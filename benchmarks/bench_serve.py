@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Service benchmark: cold model sweeps vs memoized answers over TCP.
+
+Stands up an in-process ``AdvisorServer`` over a throwaway memo cache
+and measures requests per second through the full wire path (framing,
+admission, memo lookup) in two regimes:
+
+* **cold** — every request has a distinct canonical key, so each one
+  runs the full calibrate-and-sweep pipeline before answering;
+* **warm** — the same requests replayed, so every answer is a memo hit
+  and the daemon does zero model sweeps.
+
+Results merge into the crypto micro-bench report (``BENCH_crypto.json``
+under a ``serve`` section) so ``repro bench trend`` gates the
+``*_per_s`` throughput keys against the committed baseline; the
+speedup ratio rides along un-gated.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/crypto_microbench.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --check-trend
+
+``--smoke`` is the PR-tier mode: one cold and several warm requests,
+asserting the warm path is byte-identical to the cold answer and did
+zero additional evaluations (writes nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.core.advisor import encode_choice
+from repro.testbed.advisor_service import (
+    AdvisorClient,
+    ServiceRequest,
+    evaluate_request,
+)
+from repro.testbed.server import AdvisorServer, ServerThread
+
+DEFAULT_BASELINE = Path("benchmarks/results/bench_baseline.json")
+FRAMES, GOP = 12, 6          # the fast cold path; the model is exact
+DEFAULT_COLD = 4             # distinct sessions in the cold burst
+DEFAULT_WARM_ROUNDS = 25     # replays of the burst for the warm rate
+SEED0 = 500
+
+
+def _requests(count: int):
+    return [ServiceRequest(frames=FRAMES, gop=GOP, seed=SEED0 + i)
+            for i in range(count)]
+
+
+def _smoke() -> None:
+    """PR-tier check: warm answers are memo hits, byte for byte."""
+    request = _requests(1)[0]
+    local = encode_choice(evaluate_request(request))
+    with tempfile.TemporaryDirectory() as tmp:
+        server = AdvisorServer(Path(tmp) / "memo")
+        with ServerThread(server=server) as served, \
+                AdvisorClient(served.host, served.port) as client:
+            cold = client.recommend(request)
+            warms = [client.recommend(request) for _ in range(5)]
+            stats = client.stats()
+    assert cold.source == "cold", cold.source
+    assert cold.data == local, "served answer diverged from local sweep"
+    for warm in warms:
+        assert warm.source == "memo", warm.source
+        assert warm.data == cold.data, "memo answer not byte-identical"
+    assert stats["evaluations"] == 1, stats
+    assert stats["memo"]["hits"] == len(warms), stats
+    print(f"smoke: 1 cold + {len(warms)} warm requests, 1 evaluation,"
+          f" all answers byte-identical to the local sweep")
+
+
+def _bench(cold_count: int, warm_rounds: int) -> dict:
+    requests = _requests(cold_count)
+    with tempfile.TemporaryDirectory() as tmp:
+        server = AdvisorServer(Path(tmp) / "memo")
+        with ServerThread(server=server) as served, \
+                AdvisorClient(served.host, served.port) as client:
+            start = time.perf_counter()
+            for request in requests:
+                answer = client.recommend(request)
+                assert answer.source == "cold", answer.source
+            cold_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            warm_calls = 0
+            for _ in range(warm_rounds):
+                for request in requests:
+                    answer = client.recommend(request)
+                    assert answer.source == "memo", answer.source
+                    warm_calls += 1
+            warm_s = time.perf_counter() - start
+            stats = client.stats()
+
+    assert stats["evaluations"] == cold_count, stats
+    cold_rate = cold_count / cold_s
+    warm_rate = warm_calls / warm_s
+    return {
+        "frames": FRAMES,
+        "cold_requests": cold_count,
+        "warm_requests": warm_calls,
+        "cold_requests_per_s": cold_rate,
+        "warm_requests_per_s": warm_rate,
+        "warm_over_cold_speedup": warm_rate / cold_rate,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cold", type=int, default=DEFAULT_COLD,
+                        help=f"distinct sessions in the cold burst"
+                             f" (default {DEFAULT_COLD})")
+    parser.add_argument("--warm-rounds", type=int,
+                        default=DEFAULT_WARM_ROUNDS,
+                        help=f"replays of the burst for the warm rate"
+                             f" (default {DEFAULT_WARM_ROUNDS})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="PR-tier mode: assert memo correctness and"
+                             " byte-identity; writes no report")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_crypto.json"),
+                        help="report to merge the serve section into"
+                             " (default ./BENCH_crypto.json)")
+    parser.add_argument("--check-trend", action="store_true",
+                        help="after writing, run the regression gate"
+                             " against the committed baseline")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline for --check-trend (default"
+                             f" {DEFAULT_BASELINE})")
+    args = parser.parse_args()
+    if args.cold < 1:
+        parser.error("--cold must be positive")
+    if args.warm_rounds < 1:
+        parser.error("--warm-rounds must be positive")
+
+    if args.smoke:
+        _smoke()
+        return
+
+    section = _bench(args.cold, args.warm_rounds)
+    print(f"cold : {section['cold_requests_per_s']:10.2f} req/s"
+          f"  ({section['cold_requests']} full sweeps)")
+    print(f"warm : {section['warm_requests_per_s']:10.2f} req/s"
+          f"  ({section['warm_requests']} memo hits)")
+    print(f"ratio: {section['warm_over_cold_speedup']:10.1f}x")
+
+    report = {}
+    if args.out.exists():
+        report = json.loads(args.out.read_text())
+    report["serve"] = section
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[saved to {args.out}]")
+    if args.check_trend:
+        raise SystemExit(repro_main([
+            "bench", "trend", "--current", str(args.out),
+            "--baseline", str(args.baseline),
+        ]))
+
+
+if __name__ == "__main__":
+    main()

@@ -21,13 +21,7 @@ import os
 import sys
 from typing import List, Optional
 
-from .analysis import (
-    blank_frame_distortion,
-    fit_distortion_polynomial,
-    measure_recovery_fraction,
-    measure_reference_distance_distortion,
-    render_table,
-)
+from .analysis import render_table
 from .analysis.history import (
     DEFAULT_HISTORY_DIR,
     load_history,
@@ -40,23 +34,22 @@ from .analysis.trend import (
     render_trend,
     trend_gate,
 )
-from .core import (
-    EncryptionPolicy,
-    PolicyAdvisor,
-    calibrate_scenario,
-    standard_policies,
-)
+from .core import EncryptionPolicy
 from .lint import DEFAULT_ROOTS, lint_paths
 from .selftest import run_selftest
 from .testbed import (
+    AdvisorClient,
     DEVICES,
     ExperimentConfig,
     ExperimentEngine,
     GridCell,
     MULTIFLOW_ENGINES,
     ResultCache,
+    ServiceRequest,
     WorkQueue,
+    evaluate_payload,
     open_queue,
+    policy_from_name,
     run_autoscaler,
     run_experiment,
     run_multiflow,
@@ -85,16 +78,10 @@ def _clip_and_bitstream(args):
 
 
 def _policy_from_name(name: str, algorithm: str) -> EncryptionPolicy:
-    table = standard_policies(algorithm)
-    if name in table:
-        return table[name]
-    if name.startswith("I+") and name.endswith("%P"):
-        fraction = float(name[2:-2]) / 100.0
-        return EncryptionPolicy("i_plus_p_fraction", algorithm,
-                                fraction=fraction)
-    raise SystemExit(
-        f"unknown policy {name!r}; use none/I/P/all or I+<percent>%P"
-    )
+    try:
+        return policy_from_name(name, algorithm)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_clip(args) -> int:
@@ -131,50 +118,98 @@ def cmd_inspect(args) -> int:
     return 0
 
 
-def _build_scenario(clip, bitstream, device, sensitivity):
-    curve = measure_reference_distance_distortion(clip, max_distance=30)
-    polynomial = fit_distortion_polynomial(
-        curve, cap=blank_frame_distortion(clip)
-    )
-    recovery = measure_recovery_fraction(
-        clip, gop_size=bitstream.gop_layout.gop_size,
-        sensitivity_fraction=sensitivity,
-    )
-    baseline = sequence_mse(clip, decode_bitstream(bitstream))
-    return calibrate_scenario(
-        bitstream,
-        cipher_costs=device.cipher_costs,
-        polynomial=polynomial,
-        sensitivity_fraction=sensitivity,
-        recovery_fraction=recovery,
-        baseline_distortion=baseline,
-    )
+def _advise_request(args) -> ServiceRequest:
+    """One :class:`ServiceRequest` from the `advise` CLI arguments.
+
+    When neither confidentiality target is given the historical CLI
+    default (15 dB) applies; the service's own default (19 dB) is only
+    for requests that arrive over the wire with no target at all.
+    """
+    target_psnr = args.target_psnr
+    if target_psnr is None and args.target_mos is None:
+        target_psnr = 15.0
+    candidates = None
+    if args.policies:
+        candidates = tuple(
+            name.strip() for name in args.policies.split(","))
+    try:
+        return ServiceRequest(
+            motion=args.motion, frames=args.frames, gop=args.gop,
+            quantizer=args.quantizer, seed=args.seed, device=args.device,
+            flows=args.flows, algorithm=args.algorithm,
+            target_psnr_db=target_psnr, target_mos=args.target_mos,
+            candidates=candidates, ap=args.ap,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
-def cmd_advise(args) -> int:
-    clip, bitstream = _clip_and_bitstream(args)
-    device = DEVICES[args.device]
-    sensitivity = sensitivity_for(analyze_motion(clip).motion_class)
-    scenario = _build_scenario(clip, bitstream, device, sensitivity)
-    choice = PolicyAdvisor(scenario).recommend(
-        target_psnr_db=args.target_psnr
-    )
+def _print_choice_table(payload, *, device_name: str,
+                        source: str = "local") -> None:
+    """Render one choice payload — the exact same table whether the
+    recommendation was computed here or served over TCP."""
+    recommended = payload["recommended"]
     rows = []
-    for label, prediction in choice.sweep.items():
-        marker = ("<= recommended"
-                  if choice.recommended is not None
-                  and prediction.policy == choice.recommended.policy else "")
-        rows.append([label, f"{prediction.delay_ms:.2f}",
-                     f"{prediction.eavesdropper_psnr_db:.1f}", marker])
+    for label, prediction in payload["sweep"].items():
+        marker = "<= recommended" if label == recommended else ""
+        rows.append([label, f"{prediction['delay_ms']:.2f}",
+                     f"{prediction['eavesdropper_psnr_db']:.1f}", marker])
     print(render_table(
         ["policy", "predicted delay (ms)", "predicted eaves PSNR (dB)", ""],
         rows,
-        title=f"advisor sweep (target <= {args.target_psnr:.0f} dB,"
-              f" {device.name})",
+        title=f"advisor sweep (target <= {payload['target_psnr_db']:.0f}"
+              f" dB, {device_name}, {source})",
     ))
-    if not choice.satisfied:
+
+
+def cmd_advise(args) -> int:
+    request = _advise_request(args)
+    if args.server:
+        try:
+            with AdvisorClient.from_spec(args.server) as client:
+                answer = client.recommend(request)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        except ConnectionError as exc:
+            print(f"advise: {exc}")
+            return 1
+        payload = answer.payload
+        source = f"{args.server} {answer.source}"
+    else:
+        payload = evaluate_payload(request)
+        source = "local"
+    _print_choice_table(payload, device_name=DEVICES[args.device].name,
+                        source=source)
+    if not payload["satisfied"]:
         print("no candidate met the target; encrypt everything.")
         return 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .testbed.server import AdvisorServer
+
+    try:
+        server = AdvisorServer(
+            _open_cache(args.cache), host=args.host, port=args.port,
+            ap_capacity=args.ap_capacity, workers=args.workers)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    async def _serve() -> None:
+        await server.start()
+        # One parseable line so scripts (and the serve bench) can scrape
+        # the bound port when --port 0 picked a free one.
+        print(f"serving advisor on {server.host}:{server.port}",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -485,12 +520,42 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_inspect)
     p_inspect.set_defaults(func=cmd_inspect)
 
-    p_advise = sub.add_parser("advise",
-                              help="run the Fig. 1 policy advisor")
+    p_advise = sub.add_parser(
+        "advise",
+        help="run the Fig. 1 policy advisor (locally or via a server)",
+        description="Sweeps candidate encryption policies and recommends"
+                    " the cheapest one whose predicted eavesdropper PSNR"
+                    " meets the confidentiality target.  With --server"
+                    " the question is asked of a running `repro serve`"
+                    " daemon instead (answers are byte-identical to the"
+                    " local computation, memoized server-side).",
+    )
     common(p_advise)
     p_advise.add_argument("--device", choices=sorted(DEVICES),
                           default="samsung-s2")
-    p_advise.add_argument("--target-psnr", type=float, default=15.0)
+    p_advise.add_argument("--target-psnr", type=float, default=None,
+                          help="eavesdropper PSNR ceiling in dB"
+                               " (default 15 when no target is given)")
+    p_advise.add_argument("--target-mos", type=float, default=None,
+                          help="eavesdropper MOS ceiling in [1, 5];"
+                               " mutually exclusive with --target-psnr")
+    p_advise.add_argument("--flows", type=int, default=2,
+                          help="contending stations the DCF fixed point"
+                               " is solved for (default 2)")
+    p_advise.add_argument("--algorithm",
+                          choices=("AES128", "AES256", "3DES"),
+                          default="AES256")
+    p_advise.add_argument("--policies", default=None,
+                          help="comma-separated candidate policies"
+                               " (none/I/P/all or I+<percent>%%P;"
+                               " default: the standard ladder)")
+    p_advise.add_argument("--server", default=None, metavar="SPEC",
+                          help="ask a running `repro serve` daemon at"
+                               " tcp:HOST:PORT instead of computing"
+                               " locally")
+    p_advise.add_argument("--ap", default="default",
+                          help="simulated access point the session rides"
+                               " (scopes server-side admission control)")
     p_advise.set_defaults(func=cmd_advise)
 
     p_exp = sub.add_parser("experiment",
@@ -605,7 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", action="append", metavar="CHECK",
         help="run only this check (repeatable):"
              " crypto-kat/cached-engine/event-kernel/vector-flows/"
-             "net-queue",
+             "net-queue/advise-serve",
     )
     p_selftest.set_defaults(func=cmd_selftest)
 
@@ -709,6 +774,37 @@ def build_parser() -> argparse.ArgumentParser:
                           help="queue lease expiry in seconds (default:"
                                " the queue's configured value)")
     p_cached.set_defaults(func=cmd_cached)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the policy advisor as a long-running TCP service",
+        description="Binds an asyncio server speaking the framed repro"
+                    " wire protocol that answers `repro advise --server"
+                    " tcp:HOST:PORT` requests.  Finished recommendations"
+                    " are memoized content-addressed in the cache at"
+                    " --cache, so repeated questions are answered with"
+                    " zero model sweeps; cold evaluations run on a"
+                    " thread pool behind per-AP admission caps.",
+    )
+    p_serve.add_argument(
+        "--cache",
+        default=os.environ.get("REPRO_CACHE_DIR",
+                               "benchmarks/results/cache"),
+        help="memo cache directory or backend spec (default:"
+             " $REPRO_CACHE_DIR or benchmarks/results/cache)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port (default 0 = pick a free one,"
+                              " printed on startup)")
+    p_serve.add_argument("--ap-capacity", type=int, default=4,
+                         help="max cold evaluations in flight per"
+                              " simulated AP before sessions get a busy"
+                              " response (default 4)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="thread-pool size for cold evaluations"
+                              " (default 2)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

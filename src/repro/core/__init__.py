@@ -17,7 +17,18 @@ from .adaptive import (
     classify_windows,
     plan_adaptive_policy,
 )
-from .advisor import AdvisorChoice, PolicyAdvisor, default_candidates
+from .advisor import (
+    DEFAULT_PSNR_TARGET_DB,
+    AdvisorChoice,
+    PolicyAdvisor,
+    choice_payload,
+    default_candidates,
+    encode_choice,
+    encode_payload,
+    prediction_payload,
+    psnr_target_for_mos,
+    select_cheapest,
+)
 from .calibration import (
     estimate_success_rate,
     fit_gaussian_atom,
@@ -65,6 +76,9 @@ __all__ = [
     "AdaptivePolicy", "WindowPlan", "classify_windows",
     "plan_adaptive_policy",
     "AdvisorChoice", "PolicyAdvisor", "default_candidates",
+    "DEFAULT_PSNR_TARGET_DB", "choice_payload", "encode_choice",
+    "encode_payload", "prediction_payload", "psnr_target_for_mos",
+    "select_cheapest",
     "estimate_success_rate", "fit_gaussian_atom", "fit_mmpp_from_trace",
     "FrameworkModel", "PolicyPrediction",
     "DistortionEstimate", "DistortionModel", "DistortionPolynomial",

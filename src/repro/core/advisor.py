@@ -9,22 +9,58 @@ policy."
 Given a calibrated scenario, the advisor sweeps a candidate policy set
 and returns the cheapest policy (by modelled per-packet delay) whose
 predicted eavesdropper PSNR falls below a confidentiality target.
+
+Predictions are memoized per policy: the model is a pure function of
+(scenario, policy), so re-running :meth:`PolicyAdvisor.recommend` with a
+different target or candidate subset re-selects over cached evaluations
+instead of re-solving the queueing model.  This is the in-process twin
+of the service-side memo layer (:mod:`repro.testbed.advisor_service`).
+
+:func:`choice_payload` / :func:`encode_choice` define the canonical wire
+form of an :class:`AdvisorChoice` — scalar summaries only, serialized as
+sorted-key JSON — so a recommendation served over TCP can be compared
+byte-for-byte against a local evaluation.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from ..video.quality import MAX_PSNR_DB, mos_from_psnr
 from .delay import FrameworkModel, PolicyPrediction
 from .policies import EncryptionPolicy
 from .scenario import Scenario
 
-__all__ = ["AdvisorChoice", "PolicyAdvisor", "default_candidates"]
+__all__ = [
+    "AdvisorChoice", "PolicyAdvisor", "default_candidates",
+    "select_cheapest", "prediction_payload", "choice_payload",
+    "encode_payload", "encode_choice", "psnr_target_for_mos",
+    "DEFAULT_PSNR_TARGET_DB",
+]
 
 # An eavesdropper PSNR at or below this is "practically unviewable"
 # (MOS ~= 1; the paper's partially encrypted flows land here, Section 6.2).
 DEFAULT_PSNR_TARGET_DB = 19.0
+
+# Upper PSNR edge of each EvalVid MOS bucket (video.quality.mos_from_psnr):
+# demanding "eavesdropper MOS <= m" is demanding "PSNR <= edge of m".
+_MOS_BUCKET_TOP_DB = {1: 20.0, 2: 25.0, 3: 31.0, 4: 37.0, 5: MAX_PSNR_DB}
+
+
+def psnr_target_for_mos(target_mos: float) -> float:
+    """The PSNR threshold equivalent to an eavesdropper-MOS target.
+
+    ``mos_from_psnr`` buckets PSNR; a MOS target of ``m`` (fractional
+    values floor to the containing bucket) holds exactly when the
+    eavesdropper PSNR stays at or below that bucket's upper edge.
+    """
+    if not 1.0 <= target_mos <= 5.0 or not math.isfinite(target_mos):
+        raise ValueError(
+            f"target MOS must be in [1, 5], got {target_mos}")
+    return _MOS_BUCKET_TOP_DB[int(target_mos)]
 
 
 def default_candidates(algorithm: str = "AES256",
@@ -56,11 +92,37 @@ class AdvisorChoice:
         return self.recommended is not None
 
 
+def select_cheapest(predictions: Sequence[PolicyPrediction],
+                    target_psnr_db: float) -> Optional[PolicyPrediction]:
+    """The pure selection rule: the delay-minimal prediction among those
+    whose eavesdropper PSNR meets the target (``None`` if none does).
+    Ties break toward the earlier candidate, matching sweep order."""
+    best: Optional[PolicyPrediction] = None
+    for prediction in predictions:
+        if prediction.eavesdropper_psnr_db <= target_psnr_db:
+            if best is None or prediction.delay_ms < best.delay_ms:
+                best = prediction
+    return best
+
+
 class PolicyAdvisor:
     """Sweep candidate policies and pick the cheapest confidential one."""
 
     def __init__(self, scenario: Scenario) -> None:
         self.model = FrameworkModel(scenario)
+        self._predictions: Dict[EncryptionPolicy, PolicyPrediction] = {}
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct policies actually run through the model so far."""
+        return len(self._predictions)
+
+    def _predict(self, policy: EncryptionPolicy) -> PolicyPrediction:
+        prediction = self._predictions.get(policy)
+        if prediction is None:
+            prediction = self.model.predict(policy)
+            self._predictions[policy] = prediction
+        return prediction
 
     def recommend(
         self,
@@ -77,16 +139,62 @@ class PolicyAdvisor:
         candidates = list(candidates) if candidates is not None else (
             default_candidates()
         )
-        sweep: Dict[str, PolicyPrediction] = {}
-        best: Optional[PolicyPrediction] = None
-        for policy in candidates:
-            prediction = self.model.predict(policy)
-            sweep[policy.label] = prediction
-            if prediction.eavesdropper_psnr_db <= target_psnr_db:
-                if best is None or prediction.delay_ms < best.delay_ms:
-                    best = prediction
+        sweep = {policy.label: self._predict(policy)
+                 for policy in candidates}
         return AdvisorChoice(
-            recommended=best,
+            recommended=select_cheapest(list(sweep.values()),
+                                        target_psnr_db),
             target_psnr_db=target_psnr_db,
             sweep=sweep,
         )
+
+
+# -- the canonical wire form ---------------------------------------------------
+
+
+def prediction_payload(prediction: PolicyPrediction) -> Dict[str, Any]:
+    """One sweep entry as plain JSON-able scalars."""
+    policy = prediction.policy
+    return {
+        "policy": {
+            "mode": policy.mode,
+            "algorithm": policy.algorithm,
+            "fraction": policy.fraction,
+            "label": policy.label,
+        },
+        "delay_ms": prediction.delay_ms,
+        "waiting_ms": prediction.queue.mean_waiting_time_s * 1e3,
+        "traffic_intensity": prediction.queue.traffic_intensity,
+        "receiver_psnr_db": prediction.receiver_psnr_db,
+        "eavesdropper_psnr_db": prediction.eavesdropper_psnr_db,
+        "eavesdropper_mos": mos_from_psnr(prediction.eavesdropper_psnr_db),
+    }
+
+
+def choice_payload(choice: AdvisorChoice) -> Dict[str, Any]:
+    """An :class:`AdvisorChoice` as plain JSON-able data: the shape the
+    advisor service returns on the wire and memoizes in the cache."""
+    return {
+        "target_psnr_db": choice.target_psnr_db,
+        "satisfied": choice.satisfied,
+        "recommended": (None if choice.recommended is None
+                        else choice.recommended.policy.label),
+        "sweep": {label: prediction_payload(prediction)
+                  for label, prediction in choice.sweep.items()},
+    }
+
+
+def encode_payload(payload: Dict[str, Any]) -> bytes:
+    """Canonical bytes of a choice payload: sorted-key compact JSON.
+
+    Equal payloads produce equal bytes (``repr``-based float encoding is
+    deterministic), which is what lets tests assert a served answer is
+    byte-identical to a local evaluation.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def encode_choice(choice: AdvisorChoice) -> bytes:
+    """Canonical wire bytes of a locally computed choice."""
+    return encode_payload(choice_payload(choice))

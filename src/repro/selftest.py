@@ -22,7 +22,10 @@ subsystem:
 - **net** — a loopback ``repro cached serve`` instance driven through
   the ``tcp:`` queue and cache clients: submit/claim/renew/complete
   plus a cache write/read round-trip, all over the framed wire
-  protocol.
+  protocol;
+- **serve** — a loopback ``repro serve`` advisor instance asked the
+  same question twice: the first answer must be a cold evaluation, the
+  second a memo hit with identical bytes and zero extra model sweeps.
 
 Each check returns a row; any failure makes ``repro selftest`` exit 1.
 """
@@ -215,12 +218,44 @@ def _check_net_queue() -> str:
             f" tcp ({served_ops} RPCs)")
 
 
+def _check_advise_serve() -> str:
+    from .testbed import AdvisorClient, ServiceRequest
+    from .testbed.server import AdvisorServer, ServerThread
+
+    request = ServiceRequest(motion="slow", frames=12, gop=6, seed=1)
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        server = AdvisorServer(Path(tmp) / "memo")
+        with ServerThread(server=server) as served:
+            with AdvisorClient(served.host, served.port) as client:
+                cold = client.recommend(request)
+                warm = client.recommend(request)
+                stats = client.stats()
+        if cold.source != "cold":
+            raise AssertionError(
+                f"first request answered from {cold.source!r}")
+        if warm.source != "memo":
+            raise AssertionError(
+                f"repeated request answered from {warm.source!r},"
+                " expected a memo hit")
+        if warm.data != cold.data:
+            raise AssertionError("memo answer diverged from cold answer")
+        if stats["evaluations"] != 1:
+            raise AssertionError(
+                f"{stats['evaluations']} model evaluations for 2"
+                " requests, expected exactly 1 (warm path must sweep"
+                " nothing)")
+        recommended = cold.payload["recommended"]
+    return (f"cold+warm over tcp, 1 evaluation, memo hit,"
+            f" recommended {recommended}")
+
+
 _CHECKS: List[tuple] = [
     ("crypto-kat", _check_crypto_kat),
     ("cached-engine", _check_cached_engine),
     ("event-kernel", _check_event_kernel),
     ("vector-flows", _check_vector_flows),
     ("net-queue", _check_net_queue),
+    ("advise-serve", _check_advise_serve),
 ]
 
 

@@ -18,6 +18,17 @@ from .cache import (
     code_fingerprint,
     stable_key,
 )
+from .advisor_service import (
+    AdvisorAnswer,
+    AdvisorClient,
+    AdvisorMemo,
+    ServiceRequest,
+    advisor_fingerprint,
+    build_scenario,
+    evaluate_payload,
+    evaluate_request,
+    policy_from_name,
+)
 from .locks import FileLock, LockTimeout
 from .devices import DEVICES, GALAXY_S2, HTC_AMAZE_4G, DeviceProfile
 from .energy import EnergyBreakdown, average_power_w, microamp_hours_to_watts
@@ -95,4 +106,7 @@ __all__ = [
     "Backoff", "NetClient", "RemoteWorkQueue", "TcpCacheBackend",
     "parse_tcp_spec",
     "AutoscaleReport", "run_autoscaler",
+    "AdvisorAnswer", "AdvisorClient", "AdvisorMemo", "ServiceRequest",
+    "advisor_fingerprint", "build_scenario", "evaluate_payload",
+    "evaluate_request", "policy_from_name",
 ]

@@ -1,18 +1,32 @@
-"""``repro cached serve`` — the asyncio TCP cache/queue server.
+"""``repro cached serve`` / ``repro serve`` — the asyncio TCP servers.
 
-One process fronts an on-disk :class:`~repro.testbed.queue.WorkQueue`
-plus its :class:`~repro.testbed.cache.ResultCache` behind the framed
-protocol of :mod:`repro.testbed.netproto`, so workers on hosts that
-share no filesystem mount can submit/claim/heartbeat/complete cells and
-read/write cache entries over ``tcp:HOST:PORT``.
+:class:`FramedServer` owns the shared machinery: bind/serve/stop
+lifecycle, per-connection frame loops, and dispatch of ``op``-keyed
+requests to handler methods with exceptions mapped onto ``KIND_ERROR``
+frames.  Two services ride on it:
 
-Concurrency model: every request is dispatched inline on the single
-event loop.  The underlying operations are small filesystem/sqlite
-touches, and running them serially IS the correctness argument — two
-claims can never interleave, so the on-disk queue's single-winner
-rename is never raced from the wire, and lease heartbeats are stamped
-server-side where wire latency cannot widen any expiry window.  No
-blocking network primitives belong in this module (``repro lint``
+- :class:`CacheQueueServer` fronts an on-disk
+  :class:`~repro.testbed.queue.WorkQueue` plus its
+  :class:`~repro.testbed.cache.ResultCache`, so workers on hosts that
+  share no filesystem mount can submit/claim/heartbeat/complete cells
+  and read/write cache entries over ``tcp:HOST:PORT``.  Every request
+  is dispatched inline on the single event loop; the underlying
+  operations are small filesystem/sqlite touches, and running them
+  serially IS the correctness argument — two claims can never
+  interleave, so the on-disk queue's single-winner rename is never
+  raced from the wire.
+
+- :class:`AdvisorServer` is the production facade of the paper's
+  policy advisor (``repro serve``): streaming-session requests in,
+  :class:`~repro.core.advisor.AdvisorChoice`-shaped recommendations
+  out.  Warm answers come from a content-addressed memo layer over
+  :class:`~repro.testbed.cache.ResultCache` and perform **zero** model
+  sweeps; cold evaluations run on a thread pool so the loop keeps
+  answering, guarded by per-simulated-AP admission caps — a session
+  over an AP already at capacity gets a ``busy`` response the client
+  retries with backoff instead of queueing unboundedly.
+
+No blocking network primitives belong in this module (``repro lint``
 enforces that); connection I/O is all asyncio streams.
 
 The served directory is an ordinary queue root: a grid submitted
@@ -24,8 +38,11 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import inspect
 import threading
+import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
@@ -42,28 +59,22 @@ from .netproto import (
     read_frame_async,
 )
 from .queue import QueueTask, WorkQueue
+from . import advisor_service
 
-__all__ = ["CacheQueueServer", "ServerThread"]
+__all__ = ["FramedServer", "CacheQueueServer", "AdvisorServer",
+           "ServerThread"]
 
 _Reply = Tuple[Dict[str, Any], bytes]
 
 
-class CacheQueueServer:
-    """Serve one queue root (queue state + result cache + scenario
-    blobs) to any number of TCP clients.
+class FramedServer:
+    """Lifecycle + connection handling + op dispatch for one framed-RPC
+    TCP service.  Subclasses populate ``_HANDLERS`` with methods taking
+    ``(self, header, blob)`` and returning ``(header, blob)``; handlers
+    may be sync (run inline on the loop, atomically w.r.t. other
+    requests) or async (may await, e.g. into an executor)."""
 
-    Parameters mirror :class:`~repro.testbed.queue.WorkQueue`; the cache
-    is opened from the queue's own ``cache_spec``, so local and remote
-    workers land results in the same store.
-    """
-
-    def __init__(self, root: Union[str, Path], *,
-                 host: str = "127.0.0.1", port: int = 0,
-                 lease_expiry_s: Optional[float] = None,
-                 cache_spec: Optional[str] = None) -> None:
-        self.queue = WorkQueue(root, lease_expiry_s=lease_expiry_s,
-                               cache_spec=cache_spec)
-        self.cache = ResultCache.from_spec(self.queue.cache_spec)
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
         self.requested_host = host
         self.requested_port = port
         self.host: Optional[str] = None
@@ -99,7 +110,6 @@ class CacheQueueServer:
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-        self.cache.close()
 
     @property
     def spec(self) -> str:
@@ -124,7 +134,7 @@ class CacheQueueServer:
                 if kind != KIND_REQUEST:
                     return
                 response_header, response_blob, reply_kind = \
-                    self._execute(header, blob)
+                    await self._execute(header, blob)
                 writer.write(encode_frame(response_header, response_blob,
                                           kind=reply_kind))
                 try:
@@ -140,15 +150,18 @@ class CacheQueueServer:
                 writer.close()
                 await writer.wait_closed()
 
-    def _execute(self, header: Dict[str, Any],
-                 blob: bytes) -> Tuple[Dict[str, Any], bytes, int]:
+    async def _execute(self, header: Dict[str, Any],
+                       blob: bytes) -> Tuple[Dict[str, Any], bytes, int]:
         op = header.get("op")
         handler = self._HANDLERS.get(op)
         if handler is None:
             return ({"error": f"unknown op {op!r}",
                      "kind": "ValueError"}, b"", KIND_ERROR)
         try:
-            response_header, response_blob = handler(self, header, blob)
+            result = handler(self, header, blob)
+            if inspect.isawaitable(result):
+                result = await result
+            response_header, response_blob = result
             self.requests_served += 1
             return response_header, response_blob, KIND_RESPONSE
         except Exception as exc:
@@ -156,14 +169,41 @@ class CacheQueueServer:
             return ({"error": summary[-1].strip(),
                      "kind": type(exc).__name__}, b"", KIND_ERROR)
 
+    # -- ops every service answers -----------------------------------------
+
+    def _op_ping(self, header, blob) -> _Reply:
+        return {"pong": True, "version": PROTOCOL_VERSION}, b""
+
+    _HANDLERS: Dict[str, Any] = {"ping": _op_ping}
+
+
+class CacheQueueServer(FramedServer):
+    """Serve one queue root (queue state + result cache + scenario
+    blobs) to any number of TCP clients.
+
+    Parameters mirror :class:`~repro.testbed.queue.WorkQueue`; the cache
+    is opened from the queue's own ``cache_spec``, so local and remote
+    workers land results in the same store.
+    """
+
+    def __init__(self, root: Union[str, Path], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 lease_expiry_s: Optional[float] = None,
+                 cache_spec: Optional[str] = None) -> None:
+        super().__init__(host=host, port=port)
+        self.queue = WorkQueue(root, lease_expiry_s=lease_expiry_s,
+                               cache_spec=cache_spec)
+        self.cache = ResultCache.from_spec(self.queue.cache_spec)
+
+    async def stop(self) -> None:
+        await super().stop()
+        self.cache.close()
+
     def _index(self):
         """The server-side cache index (created on first use)."""
         return self.cache._ensure_index(create=True)
 
     # -- op handlers -------------------------------------------------------
-
-    def _op_ping(self, header, blob) -> _Reply:
-        return {"pong": True, "version": PROTOCOL_VERSION}, b""
 
     def _op_stats(self, header, blob) -> _Reply:
         return {
@@ -299,7 +339,7 @@ class CacheQueueServer:
         return {}, b""
 
     _HANDLERS = {
-        "ping": _op_ping,
+        "ping": FramedServer._op_ping,
         "stats": _op_stats,
         "queue.config": _op_queue_config,
         "queue.submit": _op_queue_submit,
@@ -333,21 +373,149 @@ class CacheQueueServer:
     }
 
 
+class AdvisorServer(FramedServer):
+    """``repro serve`` — policy recommendations as a long-running,
+    admission-controlled TCP service.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.testbed.cache.ResultCache`, or a directory /
+        backend spec to open one from.  Holds the content-addressed memo
+        of finished recommendations; a warm request is answered straight
+        from it with zero model sweeps.
+    ap_capacity:
+        Max cold evaluations in flight per simulated AP.  A request
+        whose AP is at capacity gets a ``{"busy": true}`` response (a
+        normal ``KIND_RESPONSE``, so :class:`NetClient` does not treat
+        it as an error) and the client retries with backoff.
+    workers:
+        Thread-pool size for cold evaluations.  The model sweep is pure
+        CPU over numpy, and the pool keeps the event loop free to answer
+        warm requests and ``stats`` while sweeps run.
+    """
+
+    def __init__(self, cache: Union[ResultCache, str, Path], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 ap_capacity: int = 4, workers: int = 2) -> None:
+        super().__init__(host=host, port=port)
+        if ap_capacity < 1:
+            raise ValueError(
+                f"ap_capacity must be >= 1, got {ap_capacity}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not isinstance(cache, ResultCache):
+            cache = ResultCache.from_spec(cache)
+        self.cache = cache
+        self.memo = advisor_service.AdvisorMemo(cache)
+        self.ap_capacity = ap_capacity
+        self.evaluations = 0
+        self._aps: Dict[str, Dict[str, int]] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-advise")
+        self._started_monotonic = time.monotonic()
+
+    async def start(self) -> None:
+        await super().start()
+        self._started_monotonic = time.monotonic()
+
+    async def stop(self) -> None:
+        await super().stop()
+        self._executor.shutdown(wait=True)
+        self.cache.close()
+
+    def _ap_load(self, ap: str) -> Dict[str, int]:
+        load = self._aps.get(ap)
+        if load is None:
+            load = {"in_flight": 0, "admitted": 0, "rejected": 0,
+                    "peak_in_flight": 0}
+            self._aps[ap] = load
+        return load
+
+    # -- op handlers -------------------------------------------------------
+
+    async def _op_advise_recommend(self, header, blob) -> _Reply:
+        request = advisor_service.ServiceRequest.from_header(
+            header.get("request"))
+        key = self.memo.key(request)
+        payload = self.memo.get(key)
+        if payload is not None:
+            return ({"source": "memo", "key": key, "ap": request.ap},
+                    advisor_service.encode_payload(payload))
+        # Admission check + bookkeeping with no await in between: atomic
+        # on the loop, so in-flight can never overshoot the cap.
+        load = self._ap_load(request.ap)
+        if load["in_flight"] >= self.ap_capacity:
+            load["rejected"] += 1
+            return ({"busy": True, "ap": request.ap,
+                     "in_flight": load["in_flight"],
+                     "capacity": self.ap_capacity}, b"")
+        load["in_flight"] += 1
+        load["admitted"] += 1
+        load["peak_in_flight"] = max(load["peak_in_flight"],
+                                     load["in_flight"])
+        try:
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self._executor, advisor_service.evaluate_payload, request)
+        finally:
+            load["in_flight"] -= 1
+        self.evaluations += 1
+        self.memo.put(key, request, payload)
+        return ({"source": "cold", "key": key, "ap": request.ap},
+                advisor_service.encode_payload(payload))
+
+    def _op_advise_stats(self, header, blob) -> _Reply:
+        lookups = self.memo.hits + self.memo.misses
+        return {
+            "ok": True,
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "requests_served": self.requests_served,
+            "evaluations": self.evaluations,
+            "memo": {
+                "hits": self.memo.hits,
+                "misses": self.memo.misses,
+                "hit_rate": (self.memo.hits / lookups) if lookups else None,
+            },
+            "in_flight": sum(load["in_flight"]
+                             for load in self._aps.values()),
+            "ap_capacity": self.ap_capacity,
+            "aps": {ap: dict(load) for ap, load in self._aps.items()},
+        }, b""
+
+    _HANDLERS = {
+        "ping": FramedServer._op_ping,
+        "advise.recommend": _op_advise_recommend,
+        "advise.stats": _op_advise_stats,
+    }
+
+
 class ServerThread:
-    """A :class:`CacheQueueServer` on a background thread with its own
+    """A :class:`FramedServer` on a background thread with its own
     event loop — the in-process harness tests and ``repro selftest``
-    use (production serving goes through ``repro cached serve``).
+    use (production serving goes through ``repro cached serve`` /
+    ``repro serve``).
+
+    Pass a queue root to serve a :class:`CacheQueueServer` (the
+    historical calling convention), or ``server=`` with any
+    already-constructed :class:`FramedServer`.
 
     Context-manager: entering starts the loop and blocks until the
     server is bound; ``.host``/``.port``/``.spec`` then address it.
     """
 
-    def __init__(self, root: Union[str, Path], *, host: str = "127.0.0.1",
+    def __init__(self, root: Optional[Union[str, Path]] = None, *,
+                 server: Optional[FramedServer] = None,
+                 host: str = "127.0.0.1",
                  port: int = 0, lease_expiry_s: Optional[float] = None,
                  cache_spec: Optional[str] = None) -> None:
-        self.server = CacheQueueServer(root, host=host, port=port,
-                                       lease_expiry_s=lease_expiry_s,
-                                       cache_spec=cache_spec)
+        if (root is None) == (server is None):
+            raise ValueError("pass exactly one of root= or server=")
+        if server is None:
+            server = CacheQueueServer(root, host=host, port=port,
+                                      lease_expiry_s=lease_expiry_s,
+                                      cache_spec=cache_spec)
+        self.server = server
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -375,15 +543,15 @@ class ServerThread:
 
     def __enter__(self) -> "ServerThread":
         self._thread = threading.Thread(target=self._run,
-                                        name="repro-cached-serve",
+                                        name="repro-framed-serve",
                                         daemon=True)
         self._thread.start()
         if not self._ready.wait(timeout=30.0):
-            raise RuntimeError("cache/queue server failed to start in 30s")
+            raise RuntimeError("framed server failed to start in 30s")
         if self._startup_error is not None:
             self._thread.join(timeout=5.0)
             raise RuntimeError(
-                f"cache/queue server failed to bind: {self._startup_error}")
+                f"framed server failed to bind: {self._startup_error}")
         return self
 
     def stop(self) -> None:

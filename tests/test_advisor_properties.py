@@ -1,0 +1,111 @@
+"""Property tests for the advisor's selection rule.
+
+One scenario is calibrated per module; `PolicyAdvisor` memoizes per-policy
+predictions, so hundreds of hypothesis examples re-select over nine cached
+model evaluations instead of re-solving the queueing model each time.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.advisor import (
+    default_candidates,
+    psnr_target_for_mos,
+    select_cheapest,
+)
+from repro.testbed.advisor_service import ServiceRequest, build_scenario
+from repro.core import PolicyAdvisor
+from repro.video.quality import mos_from_psnr
+
+CANDIDATES = default_candidates()
+LABELS = [policy.label for policy in CANDIDATES]
+
+targets = st.floats(min_value=-10.0, max_value=60.0,
+                    allow_nan=False, allow_infinity=False)
+subsets = st.lists(st.sampled_from(range(len(CANDIDATES))),
+                   min_size=1, max_size=len(CANDIDATES), unique=True)
+
+relaxed = settings(deadline=None, max_examples=50,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    scenario = build_scenario(ServiceRequest(frames=12, gop=6, seed=7))
+    return PolicyAdvisor(scenario)
+
+
+class TestSelectionRule:
+    @relaxed
+    @given(target=targets)
+    def test_recommended_is_delay_argmin_of_satisfying_entries(
+            self, advisor, target):
+        choice = advisor.recommend(target_psnr_db=target)
+        satisfying = [p for p in choice.sweep.values()
+                      if p.eavesdropper_psnr_db <= target]
+        if not satisfying:
+            assert choice.recommended is None
+            assert not choice.satisfied
+        else:
+            assert choice.recommended in satisfying
+            best = min(p.delay_ms for p in satisfying)
+            assert choice.recommended.delay_ms == best
+
+    @relaxed
+    @given(lo=targets, hi=targets)
+    def test_tightening_the_target_is_never_cheaper(self, advisor, lo, hi):
+        """A stricter confidentiality target (lower permissible
+        eavesdropper PSNR) can only shrink the satisfying set, so the
+        chosen policy can only get slower — never cheaper."""
+        lo, hi = sorted((lo, hi))
+        strict = advisor.recommend(target_psnr_db=lo)
+        loose = advisor.recommend(target_psnr_db=hi)
+        if strict.satisfied:
+            assert loose.satisfied
+            assert strict.recommended.delay_ms >= loose.recommended.delay_ms
+
+    @relaxed
+    @given(indices=subsets)
+    def test_candidate_subsets_never_invent_labels(self, advisor, indices):
+        chosen = [CANDIDATES[i] for i in indices]
+        choice = advisor.recommend(candidates=chosen)
+        assert set(choice.sweep) == {policy.label for policy in chosen}
+        if choice.recommended is not None:
+            assert choice.recommended.policy.label in choice.sweep
+        # the subset selection agrees with the pure rule applied to the
+        # subset's own predictions
+        expected = select_cheapest(list(choice.sweep.values()),
+                                   choice.target_psnr_db)
+        assert choice.recommended == expected
+
+    @relaxed
+    @given(target=targets)
+    def test_sweep_is_target_independent(self, advisor, target):
+        """The sweep is a pure function of the candidate set; the target
+        only affects selection."""
+        choice = advisor.recommend(target_psnr_db=target)
+        assert list(choice.sweep) == LABELS
+        assert advisor.evaluations == len(CANDIDATES)
+
+
+class TestMosBuckets:
+    @relaxed
+    @given(mos=st.floats(min_value=1.0, max_value=5.0,
+                         allow_nan=False))
+    def test_bucket_edge_is_the_loosest_psnr_meeting_the_mos(self, mos):
+        edge = psnr_target_for_mos(mos)
+        assert mos_from_psnr(edge) <= int(mos) + 0.5
+        # one dB looser already overshoots the bucket (except MOS 5,
+        # whose edge is the PSNR ceiling)
+        if int(mos) < 5:
+            assert mos_from_psnr(edge + 1.0) > int(mos)
+
+    @relaxed
+    @given(mos=st.one_of(
+        st.floats(max_value=0.999, allow_nan=False),
+        st.floats(min_value=5.001, allow_nan=False),
+        st.just(float("nan"))))
+    def test_out_of_range_mos_rejected(self, mos):
+        with pytest.raises(ValueError):
+            psnr_target_for_mos(mos)

@@ -80,6 +80,13 @@ class TestCommands:
         runs = _run_lines(workflow, "tier-1")
         assert any("bench_net_grid.py --smoke" in line for line in runs)
 
+    def test_tier1_runs_serve_smoke(self, workflow):
+        """The PR job must also prove the advisor service's memo layer:
+        warm answers byte-identical to a cold sweep, zero extra
+        evaluations — over a real loopback TCP server, on every PR."""
+        runs = _run_lines(workflow, "tier-1")
+        assert any("bench_serve.py --smoke" in line for line in runs)
+
     def test_bench_gate_checks_trend(self, workflow):
         runs = _run_lines(workflow, "bench-gate")
         assert any("crypto_microbench.py" in line for line in runs)
@@ -91,13 +98,16 @@ class TestCommands:
 
     def test_bench_gate_merges_before_gating(self, workflow):
         """crypto_microbench rewrites BENCH_crypto.json from scratch, so
-        it must run before the flows bench merges its section in."""
+        it must run first; the serve bench merges its section in next,
+        and the flows bench (the last writer) carries --check-trend."""
         runs = _run_lines(workflow, "bench-gate")
         crypto = next(i for i, line in enumerate(runs)
                       if "crypto_microbench.py" in line)
+        serve = next(i for i, line in enumerate(runs)
+                     if "bench_serve.py" in line)
         flows = next(i for i, line in enumerate(runs)
                      if "bench_ext_flows_scale.py" in line)
-        assert crypto < flows
+        assert crypto < serve < flows
 
     def test_static_checks_compile_and_lint(self, workflow):
         runs = _run_lines(workflow, "static-checks")

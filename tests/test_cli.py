@@ -91,6 +91,77 @@ class TestCommands:
             main(["multiflow", "--flows", "0", "--frames", "30"])
 
 
+class TestAdviseServeArgs:
+    """`repro advise` service arguments and `repro serve` error paths."""
+
+    def test_advise_defaults(self):
+        args = build_parser().parse_args(["advise"])
+        assert args.target_psnr is None
+        assert args.target_mos is None
+        assert args.flows == 2
+        assert args.server is None
+        assert args.ap == "default"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+        assert args.ap_capacity == 4
+        assert args.workers == 2
+
+    def test_advise_rejects_both_targets(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["advise", "--frames", "12", "--gop", "6",
+                  "--target-psnr", "15", "--target-mos", "2"])
+
+    def test_advise_rejects_unknown_policy_name(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main(["advise", "--frames", "12", "--gop", "6",
+                  "--policies", "I,everything"])
+
+    def test_advise_rejects_out_of_range_mos(self):
+        with pytest.raises(SystemExit, match="MOS"):
+            main(["advise", "--frames", "12", "--gop", "6",
+                  "--target-mos", "7"])
+
+    def test_advise_rejects_malformed_server_spec(self):
+        with pytest.raises(SystemExit, match="malformed tcp spec"):
+            main(["advise", "--frames", "12", "--gop", "6",
+                  "--server", "udp:somewhere"])
+
+    def test_advise_unreachable_server_fails_cleanly(self, capsys):
+        # A closed port: the client retries transport errors, then the
+        # CLI reports the failure with exit 1 instead of a traceback.
+        code = main(["advise", "--frames", "12", "--gop", "6",
+                     "--server", "tcp:127.0.0.1:9"])
+        assert code == 1
+        assert "advise:" in capsys.readouterr().out
+
+    def test_advise_explicit_policies_subset(self, capsys):
+        code = main(["advise", "--frames", "12", "--gop", "6",
+                     "--policies", "I,all"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "I(AES256)" in out
+        assert "all(AES256)" in out
+        assert "P(AES256)\n" not in out  # subset never invents labels
+
+    def test_advise_target_mos_resolves_to_bucket_edge(self, capsys):
+        code = main(["advise", "--frames", "12", "--gop", "6",
+                     "--target-mos", "2"])
+        assert code == 0
+        # MOS <= 2 is PSNR <= 25 dB, shown in the table title.
+        assert "target <= 25 dB" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_capacity(self, tmp_path):
+        with pytest.raises(SystemExit, match="ap_capacity"):
+            main(["serve", "--cache", str(tmp_path), "--ap-capacity", "0"])
+
+    def test_serve_rejects_bad_workers(self, tmp_path):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["serve", "--cache", str(tmp_path), "--workers", "-1"])
+
+
 class TestCacheCommand:
     @staticmethod
     def _populate(directory, n=2):

@@ -144,6 +144,123 @@ class TestMalformedFrames:
                 pass
 
 
+def _advisor_frames():
+    """One representative frame per advisor-service frame type: the
+    requests `AdvisorClient` sends, and every response shape
+    `AdvisorServer` answers with (cold/memo result, busy, stats,
+    error)."""
+    from repro.testbed.advisor_service import ServiceRequest, encode_payload
+
+    default_request = ServiceRequest(frames=12, gop=6)
+    rich_request = ServiceRequest(
+        motion="fast", frames=24, gop=6, flows=3, target_mos=2.0,
+        candidates=("I", "I+25%P", "all"), ap="ap-7")
+    payload = encode_payload({
+        "target_psnr_db": 19.0, "satisfied": True,
+        "recommended": "I(AES256)",
+        "sweep": {"I(AES256)": {"delay_ms": 2.5}}})
+    return {
+        "recommend-default": encode_frame(
+            {"op": "advise.recommend",
+             "request": default_request.to_header()}, kind=KIND_REQUEST),
+        "recommend-rich": encode_frame(
+            {"op": "advise.recommend",
+             "request": rich_request.to_header()}, kind=KIND_REQUEST),
+        "stats-request": encode_frame(
+            {"op": "advise.stats"}, kind=KIND_REQUEST),
+        "answer": encode_frame(
+            {"source": "cold", "key": "a" * 64, "ap": "default"},
+            payload, kind=KIND_RESPONSE),
+        "busy": encode_frame(
+            {"busy": True, "ap": "default", "in_flight": 4,
+             "capacity": 4}, b"", kind=KIND_RESPONSE),
+        "stats-response": encode_frame(
+            {"ok": True, "uptime_s": 1.5, "evaluations": 3,
+             "memo": {"hits": 2, "misses": 1, "hit_rate": 2 / 3},
+             "aps": {"default": {"in_flight": 0, "admitted": 3,
+                                 "rejected": 1, "peak_in_flight": 2}}},
+            b"", kind=KIND_RESPONSE),
+        "error": encode_frame(
+            {"error": "unknown device 'iphone'", "kind": "ValueError"},
+            b"", kind=KIND_ERROR),
+    }
+
+
+class TestAdvisorFrameFuzz:
+    """Every advisor-service frame type through the malformation
+    harness: truncation, bitflips, trailing garbage, and random bytes
+    must only ever produce ProtocolError — never a crash of any other
+    shape.  (Live-server behaviour on malformed-but-well-framed
+    requests is covered in test_advisor_service.py.)"""
+
+    @pytest.fixture(scope="class")
+    def frames(self):
+        return _advisor_frames()
+
+    @pytest.mark.parametrize("name", [
+        "recommend-default", "recommend-rich", "stats-request", "answer",
+        "busy", "stats-response", "error",
+    ])
+    def test_round_trips(self, frames, name):
+        kind, header, blob = decode_frame(frames[name])
+        assert decode_frame(encode_frame(header, blob,
+                                         kind=kind)) == (kind, header, blob)
+
+    @pytest.mark.parametrize("name", [
+        "recommend-default", "recommend-rich", "stats-request", "answer",
+        "busy", "stats-response", "error",
+    ])
+    def test_every_truncation_rejected(self, frames, name):
+        frame = frames[name]
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                decode_frame(frame[:cut])
+
+    @pytest.mark.parametrize("name", [
+        "recommend-default", "recommend-rich", "stats-request", "answer",
+        "busy", "stats-response", "error",
+    ])
+    def test_trailing_garbage_rejected(self, frames, name):
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(frames[name] + b"\x00")
+
+    @pytest.mark.parametrize("name", [
+        "recommend-default", "recommend-rich", "stats-request", "answer",
+        "busy", "stats-response", "error",
+    ])
+    def test_bitflips_never_crash(self, frames, name):
+        frame = frames[name]
+        rng = random.Random(hash(name) & 0xFFFF)
+        for trial in range(200):
+            mutated = bytearray(frame)
+            for _ in range(rng.randrange(1, 4)):
+                mutated[rng.randrange(len(mutated))] ^= \
+                    1 << rng.randrange(8)
+            try:
+                kind, header, blob = decode_frame(bytes(mutated))
+            except ProtocolError:
+                continue
+            # A flip that survives framing must still be a dict header:
+            # the server dispatches on header["op"] via .get, so any
+            # surviving parse is safe to execute.
+            assert isinstance(header, dict)
+
+    def test_random_prefix_splices_never_crash(self, frames):
+        """Splice random bytes into valid prefixes (the highest-value
+        corruption: lengths and kinds) — still only ProtocolError."""
+        rng = random.Random(20130927)
+        corpus = list(frames.values())
+        for trial in range(300):
+            frame = bytearray(rng.choice(corpus))
+            splice_at = rng.randrange(0, PREFIX_LEN)
+            frame[splice_at:splice_at + 2] = bytes(
+                rng.randrange(256) for _ in range(2))
+            try:
+                decode_frame(bytes(frame))
+            except ProtocolError:
+                pass
+
+
 class TestBackoff:
     def test_exponential_growth_capped(self):
         backoff = Backoff(base_s=0.1, cap_s=0.8, jitter=0.0)

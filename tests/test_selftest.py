@@ -12,7 +12,7 @@ class TestRunSelftest:
         results = run_selftest()
         assert [r.name for r in results] == [
             "crypto-kat", "cached-engine", "event-kernel", "vector-flows",
-            "net-queue"]
+            "net-queue", "advise-serve"]
         failures = [r for r in results if not r.ok]
         assert not failures, [f"{r.name}: {r.detail}" for r in failures]
 
@@ -20,6 +20,14 @@ class TestRunSelftest:
         results = run_selftest(["crypto-kat"])
         assert [r.name for r in results] == ["crypto-kat"]
         assert results[0].ok
+
+    def test_advise_serve_check_asserts_memo_hit(self):
+        """The serve check must prove the warm path did zero sweeps."""
+        results = run_selftest(["advise-serve"])
+        assert [r.name for r in results] == ["advise-serve"]
+        assert results[0].ok, results[0].detail
+        assert "memo hit" in results[0].detail
+        assert "1 evaluation" in results[0].detail
 
     def test_unknown_check_rejected(self):
         with pytest.raises(ValueError, match="unknown selftest check"):

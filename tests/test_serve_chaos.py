@@ -1,0 +1,140 @@
+"""Chaos acceptance for `repro serve`: the daemon is SIGKILLed mid-burst
+and restarted on the same port over the same memo cache; hammering
+clients must reconnect through their transport backoff and every answer
+— before the kill, after the restart, cold or memoized — must be
+byte-identical to a cold local `PolicyAdvisor` evaluation.  The memo
+store left behind must pass `repro cache verify`."""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.advisor import encode_choice
+from repro.testbed.advisor_service import (
+    AdvisorClient,
+    ServiceRequest,
+    evaluate_request,
+)
+from repro.testbed.netproto import Backoff
+
+_SRC_ROOT = Path(repro.__file__).resolve().parent.parent
+
+TINY = dict(frames=12, gop=6)
+REQUESTS = [ServiceRequest(seed=seed, **TINY) for seed in (61, 62, 63)]
+
+
+def _child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_SRC_ROOT)] + ([env["PYTHONPATH"]] if "PYTHONPATH" in env
+                            else []))
+    return env
+
+
+def _serve(cache_dir, port):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--cache", str(cache_dir), "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=_child_env())
+    line = proc.stdout.readline()
+    assert "serving advisor on" in line, line
+    bound = int(line.strip().rpartition(":")[2])
+    return proc, bound
+
+
+@pytest.mark.slow
+class TestServeChaos:
+    def test_daemon_kill_restart_answers_stay_byte_identical(self,
+                                                             tmp_path):
+        expected = {request: encode_choice(evaluate_request(request))
+                    for request in REQUESTS}
+        cache_dir = tmp_path / "memo"
+
+        server, port = _serve(cache_dir, 0)
+        answers = []        # (request, source, data), appended under lock
+        errors = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def hammer(worker):
+            try:
+                # generous transport attempts: calls issued while the
+                # daemon is down must survive into the restart
+                with AdvisorClient(
+                        socket_host, port,
+                        attempts=40,
+                        backoff=Backoff(base_s=0.05, cap_s=0.5),
+                        connect_timeout_s=2.0) as client:
+                    i = worker
+                    while not stop.is_set():
+                        request = REQUESTS[i % len(REQUESTS)]
+                        answer = client.recommend(request)
+                        with lock:
+                            answers.append(
+                                (request, answer.source, answer.data))
+                        i += 1
+            except Exception as exc:  # noqa: BLE001 - recorded below
+                errors.append(exc)
+
+        socket_host = "127.0.0.1"
+        threads = [threading.Thread(target=hammer, args=(worker,))
+                   for worker in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+
+            # let the burst land some answers, then murder the daemon
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                with lock:
+                    if len(answers) >= 2:
+                        break
+                time.sleep(0.05)
+            with lock:
+                pre_kill = len(answers)
+            assert pre_kill >= 2, "burst never got going"
+
+            server.kill()
+            server.wait()
+            time.sleep(0.3)  # clients are now retrying into a dead port
+            server, _ = _serve(cache_dir, port)
+
+            # the restarted daemon must serve the reconnecting clients
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                with lock:
+                    if len(answers) >= pre_kill + len(REQUESTS):
+                        break
+                time.sleep(0.05)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            server.kill()
+            server.wait()
+
+        assert not errors, errors
+        with lock:
+            collected = list(answers)
+        assert len(collected) >= pre_kill + len(REQUESTS), \
+            "no answers after the restart"
+
+        # every answer, whatever its era or source, matches the cold
+        # local evaluation byte for byte
+        for request, source, data in collected:
+            assert source in ("cold", "memo")
+            assert data == expected[request], (request.seed, source)
+        # the restarted daemon actually reused the surviving memo store
+        post_restart = collected[pre_kill:]
+        assert any(source == "memo" for _, source, _ in post_restart)
+
+        # and the store the chaos left behind is internally consistent
+        assert main(["cache", "verify", "--dir", str(cache_dir)]) == 0
