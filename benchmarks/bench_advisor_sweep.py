@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Model benchmark: batched vector policy sweeps vs the scalar oracle.
+
+Times one cold advisor recommendation — G-matrix fixed point, waiting-
+time inversion, distortion/PSNR mapping, selection — over growing
+candidate ladders (9 / 27 / 81 policies) on both model backends:
+
+* **scalar** — the per-policy oracle stack (one full solve per lane);
+* **vector** — :mod:`repro.core.vector_models`, every lane in one
+  struct-of-arrays numpy pass.
+
+Each engine is timed in its own phase (interleaving them lets the
+scalar path evict the vector path's working set and inflates its
+times); the reported figure per point is the best of several repeats.
+
+Results merge into the crypto micro-bench report (``BENCH_crypto.json``
+under an ``advisor_sweep`` section) so ``repro bench trend`` gates the
+``*_per_s`` throughput keys against the committed baseline; the
+speedups ride along un-gated.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/crypto_microbench.py
+    PYTHONPATH=src python benchmarks/bench_advisor_sweep.py --check-trend
+
+``--smoke`` is the PR-tier mode: the 9-policy ladder through both
+engines, asserting they select the same policy and agree on every
+sweep scalar to tight tolerance (writes nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import main as repro_main
+from repro.core.advisor import (
+    PolicyAdvisor,
+    choice_payload,
+    default_candidates,
+)
+from repro.testbed.advisor_service import ServiceRequest, build_scenario
+
+DEFAULT_BASELINE = Path("benchmarks/results/bench_baseline.json")
+FRAMES, GOP = 12, 6          # the fast cold path; the model is exact
+SEED0 = 500
+LADDERS = (9, 27, 81)
+SCALAR_REPEATS = 7
+VECTOR_REPEATS = 50
+TARGET_SPEEDUP = 20.0        # acceptance gate, 9-policy ladder
+
+
+def _ladder(size: int):
+    """A candidate ladder of exactly ``size`` policies: the paper's
+    I / I+fraction-of-P / P / all shape with a denser fraction grid."""
+    if size == 9:
+        return default_candidates()
+    fractions = np.linspace(0.01, 0.99, size - 3)
+    return default_candidates(fractions=[float(f) for f in fractions])
+
+
+def _scenario():
+    return build_scenario(ServiceRequest(frames=FRAMES, gop=GOP,
+                                         seed=SEED0))
+
+
+def _time_recommend(scenario, candidates, engine: str,
+                    repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one cold recommendation: a fresh
+    advisor (empty memo) swept over ``candidates`` on ``engine``."""
+    best = float("inf")
+    for _ in range(repeats):
+        advisor = PolicyAdvisor(scenario, engine=engine)
+        start = time.perf_counter()
+        advisor.recommend(candidates=candidates)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _assert_engines_agree(scenario, candidates) -> None:
+    """Same selection, same sweep scalars to float tolerance."""
+    scalar = choice_payload(PolicyAdvisor(scenario, engine="scalar")
+                            .recommend(candidates=candidates))
+    vector = choice_payload(PolicyAdvisor(scenario, engine="vector")
+                            .recommend(candidates=candidates))
+    assert scalar["recommended"] == vector["recommended"], (
+        scalar["recommended"], vector["recommended"])
+    assert scalar["satisfied"] == vector["satisfied"]
+    assert scalar["sweep"].keys() == vector["sweep"].keys()
+    for label, entry in scalar["sweep"].items():
+        other = vector["sweep"][label]
+        assert entry["policy"] == other["policy"], label
+        for key in ("delay_ms", "waiting_ms", "traffic_intensity",
+                    "receiver_psnr_db", "eavesdropper_psnr_db",
+                    "eavesdropper_mos"):
+            reference = entry[key]
+            tolerance = 1e-7 * max(1.0, abs(reference))
+            assert abs(other[key] - reference) <= tolerance, (
+                label, key, other[key], reference)
+
+
+def _smoke() -> None:
+    """PR-tier check: the engines are interchangeable on the default
+    ladder, and the vector pass actually runs batched."""
+    scenario = _scenario()
+    candidates = _ladder(9)
+    _assert_engines_agree(scenario, candidates)
+    advisor = PolicyAdvisor(scenario, engine="vector")
+    advisor.recommend(candidates=candidates)
+    assert advisor.evaluations == len(candidates)
+    # Re-selection over the memo must not re-solve any lane.
+    advisor.recommend(target_psnr_db=25.0, candidates=candidates)
+    assert advisor.evaluations == len(candidates)
+    print(f"smoke: scalar and vector engines agree over"
+          f" {len(candidates)} policies (selection + sweep scalars),"
+          f" memo reused on re-selection")
+
+
+def _bench() -> dict:
+    scenario = _scenario()
+    ladders = {size: _ladder(size) for size in LADDERS}
+    for candidates in ladders.values():
+        _assert_engines_agree(scenario, candidates)
+
+    # Phase-separate the engines: all scalar points, then all vector.
+    scalar_s = {size: _time_recommend(scenario, candidates, "scalar",
+                                      SCALAR_REPEATS)
+                for size, candidates in ladders.items()}
+    vector_s = {size: _time_recommend(scenario, candidates, "vector",
+                                      VECTOR_REPEATS)
+                for size, candidates in ladders.items()}
+
+    section = {"frames": FRAMES, "ladders": {}}
+    for size in LADDERS:
+        section["ladders"][str(size)] = {
+            "policies": size,
+            "scalar_ms": scalar_s[size] * 1e3,
+            "vector_ms": vector_s[size] * 1e3,
+            "scalar_policy_ms": scalar_s[size] * 1e3 / size,
+            "vector_policy_ms": vector_s[size] * 1e3 / size,
+            "vector_recommendations_per_s": 1.0 / vector_s[size],
+            "vector_policies_per_s": size / vector_s[size],
+            "speedup": scalar_s[size] / vector_s[size],
+        }
+    return section
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="PR-tier mode: assert engine agreement on"
+                             " the default ladder; writes no report")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_crypto.json"),
+                        help="report to merge the advisor_sweep section"
+                             " into (default ./BENCH_crypto.json)")
+    parser.add_argument("--check-trend", action="store_true",
+                        help="after writing, run the regression gate"
+                             " against the committed baseline")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline for --check-trend (default"
+                             f" {DEFAULT_BASELINE})")
+    args = parser.parse_args()
+
+    if args.smoke:
+        _smoke()
+        return
+
+    section = _bench()
+    for size, point in section["ladders"].items():
+        print(f"{size:>3} policies: scalar {point['scalar_ms']:8.2f} ms,"
+              f" vector {point['vector_ms']:7.2f} ms"
+              f" ({point['vector_recommendations_per_s']:7.1f} cold"
+              f" rec/s), speedup {point['speedup']:6.1f}x")
+    print(f"target : >= {TARGET_SPEEDUP:.0f}x on the 9-policy ladder")
+
+    report = {}
+    if args.out.exists():
+        report = json.loads(args.out.read_text())
+    report["advisor_sweep"] = section
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[saved to {args.out}]")
+    if args.check_trend:
+        raise SystemExit(repro_main([
+            "bench", "trend", "--current", str(args.out),
+            "--baseline", str(args.baseline),
+        ]))
+
+
+if __name__ == "__main__":
+    main()

@@ -77,9 +77,7 @@ def _time_vector(bitstream, policy, device, n_flows):
     vrun = run_vector_flows(flow_streams, flow_arrivals, service=service,
                             seed=SEED)
     elapsed = time.perf_counter() - start
-    rows = vrun.delay_percentiles_ms()
-    p99 = float(np.mean([row["p99"] for row in rows if row is not None]))
-    return vrun.total_packets, elapsed, p99
+    return vrun, elapsed
 
 
 def _time_kernel(bitstream, policy, device, n_flows):
@@ -92,11 +90,24 @@ def _time_kernel(bitstream, policy, device, n_flows):
 
 
 def _bench_point(bitstream, policy, device, n_flows, kernel_max):
-    total, vector_s, p99 = _time_vector(bitstream, policy, device, n_flows)
+    vrun, vector_s = _time_vector(bitstream, policy, device, n_flows)
+    total = vrun.total_packets
+    # Saturated points (the queue grows for the whole run) have no
+    # steady-state latency: report stable=false and an explicit inf
+    # instead of an astronomical backlog artifact.
+    stable = not vrun.saturated
+    if stable:
+        rows = vrun.delay_percentiles_ms()
+        p99 = float(np.mean([row["p99"] for row in rows
+                             if row is not None]))
+    else:
+        p99 = float("inf")
     point = {
         "total_packets": total,
         "vector_packets_per_s": total / vector_s,
         "vector_wall_s": vector_s,
+        "stable": stable,
+        "drain_factor": vrun.drain_factor,
         "p99_delay_ms": p99,
     }
     if n_flows <= kernel_max:
@@ -179,9 +190,11 @@ def main() -> None:
         point = _bench_point(bitstream, policy, device, n_flows,
                              args.kernel_max)
         curve[str(n_flows)] = point
+        p99_text = (f"{point['p99_delay_ms']:10.2f} ms"
+                    if point["stable"] else "       inf (saturated)")
         line = (f"{n_flows:6d} flows: vector"
                 f" {point['vector_packets_per_s'] / 1e3:9.1f} kpkt/s,"
-                f" p99 {point['p99_delay_ms']:10.2f} ms")
+                f" p99 {p99_text}")
         if "speedup" in point:
             line += (f", kernel"
                      f" {point['kernel_packets_per_s'] / 1e3:7.1f} kpkt/s,"

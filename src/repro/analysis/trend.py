@@ -29,6 +29,7 @@ about the hosts, not the code).
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -131,7 +132,12 @@ def compare_reports(current: Dict, baseline: Dict,
         if cur is None:
             rows.append(TrendRow(metric, base, None, None, "missing"))
             continue
-        delta = (cur - base) / base if base else None
+        # Saturated-queue markers (p99 = inf) and other non-finite
+        # leaves carry no meaningful delta; they ride as context rows.
+        if base and math.isfinite(base) and math.isfinite(cur):
+            delta = (cur - base) / base
+        else:
+            delta = None
         if not _is_gated(metric):
             rows.append(TrendRow(metric, base, cur, delta, "info"))
             continue
@@ -148,6 +154,8 @@ def compare_reports(current: Dict, baseline: Dict,
 def _fmt_value(value: Union[float, None]) -> str:
     if value is None:
         return "-"
+    if not math.isfinite(value):
+        return str(value)  # "inf": a saturated-queue marker, not a number
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return f"{value:.4g}"

@@ -194,7 +194,8 @@ def cmd_serve(args) -> int:
     try:
         server = AdvisorServer(
             _open_cache(args.cache), host=args.host, port=args.port,
-            ap_capacity=args.ap_capacity, workers=args.workers)
+            ap_capacity=args.ap_capacity, engine=args.engine,
+            workers=args.workers)
     except ValueError as exc:
         raise SystemExit(str(exc))
 
@@ -670,7 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", action="append", metavar="CHECK",
         help="run only this check (repeatable):"
              " crypto-kat/cached-engine/event-kernel/vector-flows/"
-             "net-queue/advise-serve",
+             "vector-models/net-queue/advise-serve",
     )
     p_selftest.set_defaults(func=cmd_selftest)
 
@@ -797,10 +798,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=0,
                          help="bind port (default 0 = pick a free one,"
                               " printed on startup)")
-    p_serve.add_argument("--ap-capacity", type=int, default=4,
+    p_serve.add_argument("--ap-capacity", type=int, default=None,
                          help="max cold evaluations in flight per"
                               " simulated AP before sessions get a busy"
-                              " response (default 4)")
+                              " response (default: derived from the DCF"
+                              " contention model)")
+    p_serve.add_argument("--engine", choices=("scalar", "vector"),
+                         default="vector",
+                         help="model backend for cold evaluations:"
+                              " batched numpy sweep (vector, default) or"
+                              " the per-policy oracle (scalar)")
     p_serve.add_argument("--workers", type=int, default=2,
                          help="thread-pool size for cold evaluations"
                               " (default 2)")

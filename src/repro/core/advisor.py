@@ -106,10 +106,21 @@ def select_cheapest(predictions: Sequence[PolicyPrediction],
 
 
 class PolicyAdvisor:
-    """Sweep candidate policies and pick the cheapest confidential one."""
+    """Sweep candidate policies and pick the cheapest confidential one.
 
-    def __init__(self, scenario: Scenario) -> None:
+    ``engine`` selects the model backend: ``"scalar"`` (the per-policy
+    oracle stack) or ``"vector"`` (one batched numpy pass over every
+    not-yet-memoized candidate, :mod:`repro.core.vector_models`).  The
+    memo and every payload are engine-agnostic — the engines agree
+    within floating-point tolerance and always select the same policy.
+    """
+
+    def __init__(self, scenario: Scenario, *,
+                 engine: str = "scalar") -> None:
+        if engine not in ("scalar", "vector"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.model = FrameworkModel(scenario)
+        self.engine = engine
         self._predictions: Dict[EncryptionPolicy, PolicyPrediction] = {}
 
     @property
@@ -123,6 +134,19 @@ class PolicyAdvisor:
             prediction = self.model.predict(policy)
             self._predictions[policy] = prediction
         return prediction
+
+    def _sweep(self, candidates: Sequence[EncryptionPolicy]
+               ) -> Dict[str, PolicyPrediction]:
+        if self.engine == "vector":
+            missing = [policy for policy in candidates
+                       if policy not in self._predictions]
+            if missing:
+                self._predictions.update(
+                    zip(missing, self.model.predict_batch(missing)))
+            return {policy.label: self._predictions[policy]
+                    for policy in candidates}
+        return {policy.label: self._predict(policy)
+                for policy in candidates}
 
     def recommend(
         self,
@@ -139,8 +163,7 @@ class PolicyAdvisor:
         candidates = list(candidates) if candidates is not None else (
             default_candidates()
         )
-        sweep = {policy.label: self._predict(policy)
-                 for policy in candidates}
+        sweep = self._sweep(candidates)
         return AdvisorChoice(
             recommended=select_cheapest(list(sweep.values()),
                                         target_psnr_db),

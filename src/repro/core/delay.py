@@ -9,12 +9,15 @@ the PSNR at the legitimate receiver and at an eavesdropper (Section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from .distortion import DistortionEstimate
 from .policies import EncryptionPolicy
 from .queueing import QueueSolution, solve_mmpp_g1
 from .scenario import Scenario
+from . import vector_models
 
 __all__ = ["PolicyPrediction", "FrameworkModel"]
 
@@ -77,7 +80,63 @@ class FrameworkModel:
             eavesdropper=self.distortion(policy, eavesdropper=True),
         )
 
-    def predict_many(self, policies: Dict[str, EncryptionPolicy]
+    def predict_batch(self, policies: Sequence[EncryptionPolicy]
+                      ) -> List[PolicyPrediction]:
+        """One batched numpy pass over every policy (the vector engine).
+
+        Queue, frame-success, and distortion lanes are stacked along a
+        leading policy axis and solved together; the receiver and the
+        eavesdropper ride as a second block of lanes in the same
+        frame-success/distortion call.  Matches :meth:`predict` within
+        floating-point tolerance (the scalar path stays the oracle).
+        """
+        policies = list(policies)
+        count = len(policies)
+        if count == 0:
+            return []
+        services = [self.scenario.service_model(p) for p in policies]
+        batch = vector_models.ServiceBatch.from_models(services)
+        solution = vector_models.batch_solve_mmpp_g1(
+            self.scenario.mmpp, batch)
+        if not solution.stable.all():
+            index = int(np.flatnonzero(~solution.stable)[0])
+            raise ValueError(
+                "unstable queue (rho ="
+                f" {solution.traffic_intensity[index]:.3f})")
+
+        success = self._frame_success
+        q_i = np.array([p.q_i for p in policies])
+        q_p = np.array([p.q_p for p in policies])
+        receiver_rate = np.full(count, success.p_s)
+        p_d_i = np.concatenate([receiver_rate, (1.0 - q_i) * success.p_s])
+        p_d_p = np.concatenate([receiver_rate, (1.0 - q_p) * success.p_s])
+        p_i = vector_models.batch_frame_success(
+            success.n_i, success._sensitivity(success.n_i), p_d_i)
+        p_p = vector_models.batch_frame_success(
+            success.n_p, success._sensitivity(success.n_p), p_d_p)
+        distortion = vector_models.batch_distortion(
+            self._distortion_model, p_i, p_p,
+            baseline_distortion=self.scenario.baseline_distortion)
+
+        return [
+            PolicyPrediction(
+                policy=policy,
+                queue=solution.solution(i),
+                receiver=distortion.estimate(i),
+                eavesdropper=distortion.estimate(count + i),
+            )
+            for i, policy in enumerate(policies)
+        ]
+
+    def predict_many(self, policies: Dict[str, EncryptionPolicy],
+                     *, engine: str = "scalar"
                      ) -> Dict[str, PolicyPrediction]:
+        if engine == "vector":
+            names = list(policies)
+            predictions = self.predict_batch(
+                [policies[name] for name in names])
+            return dict(zip(names, predictions))
+        if engine != "scalar":
+            raise ValueError(f"unknown engine {engine!r}")
         return {name: self.predict(policy)
                 for name, policy in policies.items()}

@@ -1,0 +1,1032 @@
+"""Struct-of-arrays fast path over the analytic model stack.
+
+The scalar modules (:mod:`service`, :mod:`queueing`,
+:mod:`waiting_distribution`, :mod:`distortion`) solve one policy at a
+time: a scipy ``expm`` per G-matrix iteration, a Python complex loop per
+Euler-inversion term, a 200+80-step bracket/bisection per quantile, and
+a dict-based age dynamic program per distortion estimate.  The advisor
+sweeps the whole candidate ladder through that stack on every cold
+recommendation, which is what caps ``repro serve`` at a handful of cold
+requests per second.
+
+This module is the batched twin, built exactly like the crypto and
+flow-kernel fast paths (scalar oracle + differentially tested numpy
+lanes): per-policy ``ServiceTimeModel`` parameters are stacked along a
+leading *lane* axis (:class:`ServiceBatch`), the G-matrix fixed point
+iterates every lane at once with per-lane convergence masks
+(:func:`batch_g_matrix`), eq. (19) is evaluated with closed-form 2x2
+inverses and stationary vectors (:func:`batch_solve_mmpp_g1`), the
+complex waiting-time LST is evaluated as ``(lanes, terms)`` matrices so
+Euler inversion and the quantile bracket run simultaneously over every
+lane (:class:`BatchWaitingDistribution`), and the frame-success →
+distortion → PSNR → MOS mapping is one array pass
+(:func:`batch_frame_success` / :func:`batch_distortion`).
+
+The batch also handles a grid of *scenario cells*: pass one
+:class:`~repro.core.mmpp.MMPP2` to broadcast it across lanes, or a
+sequence of them to give each lane its own arrival process.
+
+Saturated lanes (utilization >= 1) are never silently solved: they are
+excluded from the fixed point and come back flagged ``stable == False``
+with infinite waiting times, so a sweep over a grid that crosses the
+stability boundary reports the crossing instead of astronomical floats.
+
+Everything here stays in arrays; the project linter bans per-policy
+Python loops from this file the same way it bans per-packet loops from
+``vector_flows.py``.  Object assembly (policies to lanes, lanes back to
+:class:`~repro.core.queueing.QueueSolution` /
+:class:`~repro.core.distortion.DistortionEstimate`) belongs to the
+facade in :mod:`repro.core.delay`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from .distortion import DistortionEstimate, DistortionModel
+from .mmpp import MMPP2
+from .queueing import QueueSolution
+from .service import ServiceTimeModel
+from ..video.quality import MAX_PSNR_DB
+
+__all__ = [
+    "expm2",
+    "inv2",
+    "ServiceBatch",
+    "BatchQueueSolution",
+    "batch_g_matrix",
+    "batch_solve_mmpp_g1",
+    "BatchWaitingDistribution",
+    "batch_waiting_distribution",
+    "batch_frame_success",
+    "BatchDistortion",
+    "batch_distortion",
+    "batch_psnr_from_distortion",
+    "batch_mos_from_psnr",
+]
+
+_EYE2 = np.eye(2)
+
+
+# -- closed-form batched 2x2 linear algebra -----------------------------------
+
+
+def expm2(m: np.ndarray) -> np.ndarray:
+    """Matrix exponential of a ``(..., 2, 2)`` stack, in closed form.
+
+    Every 2x2 matrix satisfies ``expm(M) = e^{tr/2} (cosh(q) I +
+    sinhc(q) (M - (tr/2) I))`` with ``q = sqrt((tr/2)^2 - det)``; the
+    ``q -> 0`` limit uses the ``sinh(q)/q`` series.  Equivalent to
+    ``scipy.linalg.expm`` per slice, minus the per-call overhead that
+    dominates the scalar G-matrix iteration.
+    """
+    m = np.asarray(m)
+    half_trace = 0.5 * (m[..., 0, 0] + m[..., 1, 1])
+    det = (m[..., 0, 0] * m[..., 1, 1] - m[..., 0, 1] * m[..., 1, 0])
+    disc = (half_trace * half_trace - det).astype(complex)
+    q = np.sqrt(disc)
+    small = np.abs(q) < 1e-6
+    q_safe = np.where(small, 1.0, q)
+    sinhc = np.where(small, 1.0 + disc / 6.0, np.sinh(q_safe) / q_safe)
+    deviation = m - half_trace[..., None, None] * _EYE2
+    out = np.exp(half_trace)[..., None, None] * (
+        np.cosh(q)[..., None, None] * _EYE2
+        + sinhc[..., None, None] * deviation
+    )
+    if np.isrealobj(m):
+        return out.real
+    return out
+
+
+def inv2(m: np.ndarray) -> np.ndarray:
+    """Inverse of a ``(..., 2, 2)`` stack via the adjugate formula."""
+    det = (m[..., 0, 0] * m[..., 1, 1] - m[..., 0, 1] * m[..., 1, 0])
+    out = np.empty_like(m)
+    out[..., 0, 0] = m[..., 1, 1]
+    out[..., 1, 1] = m[..., 0, 0]
+    out[..., 0, 1] = -m[..., 0, 1]
+    out[..., 1, 0] = -m[..., 1, 0]
+    return out / det[..., None, None]
+
+
+def _stationary2(chain: np.ndarray) -> np.ndarray:
+    """Left stationary vector of ``(..., 2, 2)`` stochastic matrices.
+
+    Detailed balance of a 2-state chain gives ``alpha = (K_21, K_12) /
+    (K_12 + K_21)``; a (numerically impossible for our chains) identity
+    chain falls back to ``e_1``, matching the scalar eigensolver's pick.
+    """
+    up = chain[..., 0, 1]
+    down = chain[..., 1, 0]
+    total = up + down
+    safe = np.where(total > 0.0, total, 1.0)
+    first = np.where(total > 0.0, down / safe, 1.0)
+    second = np.where(total > 0.0, up / safe, 0.0)
+    return np.stack([first, second], axis=-1)
+
+
+# -- the service-time batch ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceBatch:
+    """Per-lane ``ServiceTimeModel`` parameters stacked along axis 0.
+
+    One row per lane; every closed form of :mod:`repro.core.service`
+    (moments, complex scalar LST, 2x2 matrix LST) evaluates across all
+    rows in one numpy expression.
+    """
+
+    enc_q_i: np.ndarray        # effective I-packet selection probability
+    enc_q_p: np.ndarray        # effective P-packet selection probability
+    enc_mu_i: np.ndarray
+    enc_sigma_i: np.ndarray
+    enc_mu_p: np.ndarray
+    enc_sigma_p: np.ndarray
+    backoff_p_s: np.ndarray
+    backoff_lambda_b: np.ndarray
+    tx_p_i: np.ndarray
+    tx_mu_i: np.ndarray
+    tx_sigma_i: np.ndarray
+    tx_mu_p: np.ndarray
+    tx_sigma_p: np.ndarray
+
+    @classmethod
+    def from_models(cls, models: Sequence[ServiceTimeModel]
+                    ) -> "ServiceBatch":
+        """Stack the parameters of the given scalar service models."""
+        if len(models) == 0:
+            raise ValueError("need at least one service model")
+
+        def column(getter) -> np.ndarray:
+            return np.array([getter(m) for m in models], dtype=float)
+
+        return cls(
+            enc_q_i=column(lambda m: m.encryption.q_i_effective),
+            enc_q_p=column(lambda m: m.encryption.q_p_effective),
+            enc_mu_i=column(lambda m: m.encryption.atom_i.mu),
+            enc_sigma_i=column(lambda m: m.encryption.atom_i.sigma),
+            enc_mu_p=column(lambda m: m.encryption.atom_p.mu),
+            enc_sigma_p=column(lambda m: m.encryption.atom_p.sigma),
+            backoff_p_s=column(lambda m: m.backoff.p_s),
+            backoff_lambda_b=column(lambda m: m.backoff.lambda_b),
+            tx_p_i=column(lambda m: m.transmission.p_i),
+            tx_mu_i=column(lambda m: m.transmission.atom_i.mu),
+            tx_sigma_i=column(lambda m: m.transmission.atom_i.sigma),
+            tx_mu_p=column(lambda m: m.transmission.atom_p.mu),
+            tx_sigma_p=column(lambda m: m.transmission.atom_p.sigma),
+        )
+
+    def __len__(self) -> int:
+        return self.enc_q_i.shape[0]
+
+    def __getitem__(self, index) -> "ServiceBatch":
+        """A sub-batch over the given lane indices / boolean mask."""
+        return ServiceBatch(*(getattr(self, field.name)[index]
+                              for field in fields(self)))
+
+    # -- moments (same closed forms as the scalar components) -----------------
+
+    @property
+    def mean(self) -> np.ndarray:
+        enc = self.enc_q_i * self.enc_mu_i + self.enc_q_p * self.enc_mu_p
+        backoff = ((1.0 - self.backoff_p_s)
+                   / (self.backoff_p_s * self.backoff_lambda_b))
+        tx = (self.tx_p_i * self.tx_mu_i
+              + (1.0 - self.tx_p_i) * self.tx_mu_p)
+        return enc + backoff + tx
+
+    @property
+    def second_moment(self) -> np.ndarray:
+        enc_mean = self.enc_q_i * self.enc_mu_i + self.enc_q_p * self.enc_mu_p
+        enc_m2 = (self.enc_q_i * (self.enc_mu_i ** 2 + self.enc_sigma_i ** 2)
+                  + self.enc_q_p * (self.enc_mu_p ** 2
+                                    + self.enc_sigma_p ** 2))
+        p = self.backoff_p_s
+        ek = (1.0 - p) / p
+        ek2 = (1.0 - p) * (2.0 - p) / (p * p)
+        backoff_mean = ek / self.backoff_lambda_b
+        backoff_m2 = (ek2 + ek) / self.backoff_lambda_b ** 2
+        tx_mean = (self.tx_p_i * self.tx_mu_i
+                   + (1.0 - self.tx_p_i) * self.tx_mu_p)
+        tx_m2 = (self.tx_p_i * (self.tx_mu_i ** 2 + self.tx_sigma_i ** 2)
+                 + (1.0 - self.tx_p_i) * (self.tx_mu_p ** 2
+                                          + self.tx_sigma_p ** 2))
+        total = enc_m2 + backoff_m2 + tx_m2
+        total += 2.0 * (enc_mean * backoff_mean + enc_mean * tx_mean
+                        + backoff_mean * tx_mean)
+        return total
+
+    # -- transforms ------------------------------------------------------------
+
+    def _per_lane(self, values: np.ndarray, ndim: int) -> np.ndarray:
+        """Reshape a lane column to broadcast against an (L, ...) grid."""
+        return values.reshape(values.shape + (1,) * (ndim - 1))
+
+    def lst(self, s: np.ndarray) -> np.ndarray:
+        """``H(s)`` (eq. 10) on a complex grid with lanes along axis 0."""
+        s = np.asarray(s)
+        col = lambda values: self._per_lane(values, s.ndim)  # noqa: E731
+
+        def atom(mu, sigma):
+            return np.exp(-col(mu) * s + 0.5 * (col(sigma) * s) ** 2)
+
+        q_i, q_p = col(self.enc_q_i), col(self.enc_q_p)
+        h_e = ((1.0 - q_i - q_p)
+               + q_i * atom(self.enc_mu_i, self.enc_sigma_i)
+               + q_p * atom(self.enc_mu_p, self.enc_sigma_p))
+        p_s, lam_b = col(self.backoff_p_s), col(self.backoff_lambda_b)
+        h_b = p_s * (lam_b + s) / (s + p_s * lam_b)
+        p_i = col(self.tx_p_i)
+        h_t = (p_i * atom(self.tx_mu_i, self.tx_sigma_i)
+               + (1.0 - p_i) * atom(self.tx_mu_p, self.tx_sigma_p))
+        return h_e * h_b * h_t
+
+    def matrix_lst(self, m: np.ndarray) -> np.ndarray:
+        """``E[e^{MT}]`` per lane over an ``(L, 2, 2)`` matrix stack."""
+        mm = m @ m
+        col = lambda values: values[:, None, None]  # noqa: E731
+
+        def atom(mu, sigma):
+            return expm2(col(mu) * m + 0.5 * col(sigma) ** 2 * mm)
+
+        q_i, q_p = col(self.enc_q_i), col(self.enc_q_p)
+        h_e = ((1.0 - q_i - q_p) * _EYE2
+               + q_i * atom(self.enc_mu_i, self.enc_sigma_i)
+               + q_p * atom(self.enc_mu_p, self.enc_sigma_p))
+        p_s, lam_b = col(self.backoff_p_s), col(self.backoff_lambda_b)
+        h_b = p_s * ((lam_b * _EYE2 - m) @ inv2(p_s * lam_b * _EYE2 - m))
+        p_i = col(self.tx_p_i)
+        h_t = (p_i * atom(self.tx_mu_i, self.tx_sigma_i)
+               + (1.0 - p_i) * atom(self.tx_mu_p, self.tx_sigma_p))
+        return h_e @ h_b @ h_t
+
+
+# -- the batched 2-MMPP/G/1 solver ---------------------------------------------
+
+
+MmppSpec = Union[MMPP2, Sequence[MMPP2]]
+
+
+def _mmpp_matrices(mmpp: MmppSpec, lanes: int):
+    """``(L, 2, 2)`` generator and rate-matrix stacks (broadcasting a
+    single MMPP across every lane)."""
+    if isinstance(mmpp, MMPP2):
+        generators = np.broadcast_to(mmpp.generator, (lanes, 2, 2))
+        rates = np.broadcast_to(mmpp.rate_matrix, (lanes, 2, 2))
+        return generators, rates
+    processes = list(mmpp)
+    if len(processes) != lanes:
+        raise ValueError(
+            f"{len(processes)} arrival processes do not match"
+            f" {lanes} service lanes")
+    generators = np.stack([p.generator for p in processes])
+    rates = np.stack([p.rate_matrix for p in processes])
+    return generators, rates
+
+
+class _LaneKernel:
+    """The fused fixed-point step ``F(G) = Omega(D0 + Lambda G)``.
+
+    The step matrix ``m = D0 + Lambda G`` has non-negative off-diagonal
+    entries, so its discriminant ``((a - d)/2)^2 + bc`` is non-negative
+    and its eigenvalues are real.  By Cayley-Hamilton every matrix
+    function of a 2x2 matrix is ``beta m + alpha I``, and the eigenvalue
+    map of ``Omega(m) = E[e^{mT}]`` is the scalar service LST at ``-l``:
+    one batched evaluation of ``H`` at the two eigenvalues of every lane
+    replaces the four matrix exponentials of :meth:`ServiceBatch.
+    matrix_lst` per step.  Lanes whose eigenvalues nearly coincide (the
+    divided difference would cancel catastrophically) fall back to the
+    exact ``expm``-based form, which is confluent-safe.
+
+    All lane constants are hoisted out of the iteration; ``step`` is a
+    fixed, short sequence of whole-batch array operations.
+    """
+
+    def __init__(self, generators: np.ndarray, rates: np.ndarray,
+                 batch: ServiceBatch) -> None:
+        self.batch = batch
+        self.d0 = generators - rates
+        # Lambda is diagonal, so `Lambda @ G` is a broadcast multiply.
+        self.lam_col = np.ascontiguousarray(
+            np.diagonal(rates, axis1=1, axis2=2))[:, :, None]
+        col = lambda v: v[:, None]  # noqa: E731
+        self.neg_mu4 = -np.stack([batch.enc_mu_i, batch.enc_mu_p,
+                                  batch.tx_mu_i, batch.tx_mu_p])[:, :, None]
+        self.halfsig4 = 0.5 * np.stack(
+            [batch.enc_sigma_i, batch.enc_sigma_p,
+             batch.tx_sigma_i, batch.tx_sigma_p])[:, :, None] ** 2
+        self.q0 = col(1.0 - batch.enc_q_i - batch.enc_q_p)
+        self.qi = col(batch.enc_q_i)
+        self.qp = col(batch.enc_q_p)
+        self.pti = col(batch.tx_p_i)
+        self.ptp = col(1.0 - batch.tx_p_i)
+        self.p_s = col(batch.backoff_p_s)
+        self.lam_b = col(batch.backoff_lambda_b)
+        self.pslam = self.p_s * self.lam_b
+        # Constants of the stochastic parameterization used by
+        # `off_diagonal`: with G = [[1-x, x], [y, 1-y]], the entries of
+        # m = D0 + Lambda G are affine in (x, y).
+        lam0 = self.lam_col[:, 0, 0]
+        lam1 = self.lam_col[:, 1, 0]
+        self.lam0, self.lam1 = lam0, lam1
+        self.c01 = self.d0[:, 0, 1]
+        self.c10 = self.d0[:, 1, 0]
+        self.k00 = self.d0[:, 0, 0] + lam0
+        self.k11 = self.d0[:, 1, 1] + lam1
+
+    def step(self, g: np.ndarray) -> np.ndarray:
+        m = self.d0 + self.lam_col * g
+        half_trace = 0.5 * (m[:, 0, 0] + m[:, 1, 1])
+        half_gap = 0.5 * (m[:, 0, 0] - m[:, 1, 1])
+        q = np.sqrt(np.maximum(half_gap * half_gap
+                               + m[:, 0, 1] * m[:, 1, 0], 0.0))
+        top = half_trace + q
+        s = np.stack([-top, q - half_trace], axis=1)   # (L, 2): -l1, -l2
+        atoms = np.exp(self.neg_mu4 * s + self.halfsig4 * (s * s))
+        values = ((self.q0 + self.qi * atoms[0] + self.qp * atoms[1])
+                  * (self.p_s * (self.lam_b + s) / (s + self.pslam))
+                  * (self.pti * atoms[2] + self.ptp * atoms[3]))
+        gap = 2.0 * q
+        # Divided-difference cancellation grows as 1/gap; hand lanes
+        # with (nearly) confluent eigenvalues to the exact matrix form.
+        tight = gap < 1e-4 * (np.abs(half_trace) + 1.0)
+        safe_gap = np.where(tight, 1.0, gap)
+        beta = (values[:, 0] - values[:, 1]) / safe_gap
+        alpha = values[:, 0] - beta * top
+        out = beta[:, None, None] * m + alpha[:, None, None] * _EYE2
+        if tight.any():
+            idx = np.flatnonzero(tight)
+            out[idx] = self.batch[idx].matrix_lst(m[idx])
+        return out
+
+    def off_diagonal(self, x: np.ndarray, y: np.ndarray
+                     ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """``(F(G)_12, F(G)_21)`` for stochastic ``G`` parameterized by
+        its off-diagonals — the Newton residual evaluation.
+
+        ``x``/``y`` may carry extra leading axes over the lane axis
+        (Newton stacks the base point and both finite-difference
+        perturbations as one ``(3, L)`` call); the lane constants
+        broadcast from the right.  Skips the diagonal/identity assembly
+        of :meth:`step`; returns ``None`` when any lane is
+        near-confluent (the caller falls back to the exact iteration).
+        """
+        a = self.lam0 * x
+        b = self.lam1 * y
+        m01 = self.c01 + a
+        m10 = self.c10 + b
+        half_trace = 0.5 * ((self.k00 + self.k11) - (a + b))
+        half_gap = 0.5 * ((self.k00 - self.k11) - (a - b))
+        q = np.sqrt(np.maximum(half_gap * half_gap + m01 * m10, 0.0))
+        s = np.stack([-(half_trace + q), q - half_trace], axis=-1)
+        atoms = np.exp(self.neg_mu4[:, None] * s
+                       + self.halfsig4[:, None] * (s * s))
+        values = ((self.q0 + self.qi * atoms[0] + self.qp * atoms[1])
+                  * (self.p_s * (self.lam_b + s) / (s + self.pslam))
+                  * (self.pti * atoms[2] + self.ptp * atoms[3]))
+        gap = 2.0 * q
+        if np.any(gap < 1e-4 * (np.abs(half_trace) + 1.0)):
+            return None
+        beta = (values[..., 0] - values[..., 1]) / gap
+        return beta * m01, beta * m10
+
+
+def _iterate_g(generators: np.ndarray, rates: np.ndarray,
+               batch: ServiceBatch, *, tolerance: float,
+               max_iterations: int, active: np.ndarray) -> np.ndarray:
+    """The fixed point ``G = Omega(R - Lambda + Lambda G)`` on every
+    active lane at once, with per-lane convergence masks.
+
+    The iteration is adaptively over-relaxed: the per-lane contraction
+    ratio estimated from successive residuals extrapolates the dominant
+    error mode away (``omega = 1 / (1 - mu)``, as in the damped Bianchi
+    solver of :mod:`repro.wifi.dcf` but in the accelerating direction),
+    which cuts the step count by roughly a quarter without changing the
+    fixed point.  A lane retires the moment its residual
+    ``|F(G) - G|_inf`` drops below ``tolerance`` — exactly the scalar
+    solver's stopping rule — and freezes at its ``F``-image.
+    """
+    lanes = len(batch)
+    g = np.zeros((lanes, 2, 2))
+    if not active.any():
+        return g
+    idx = np.flatnonzero(active)
+    sub = batch[idx] if idx.size < lanes else batch
+    kernel = _LaneKernel(generators[idx], rates[idx], sub)
+    work = np.zeros((idx.size, 2, 2))
+    pending = np.ones(idx.size, dtype=bool)
+    prev_delta = np.full(idx.size, np.inf)
+    for _ in range(max_iterations):
+        image = kernel.step(work)
+        residual = image - work
+        delta = np.max(np.abs(residual), axis=(1, 2))
+        newly_done = pending & (delta < tolerance)
+        pending &= ~newly_done
+        work = np.where(newly_done[:, None, None], image, work)
+        if not pending.any():
+            g[idx] = work
+            return g
+        # Accelerate only while the residual is shrinking; a lane whose
+        # residual grew takes a plain (omega = 1) step.
+        ratio = np.minimum(delta / prev_delta, 0.4)
+        omega = np.where(delta < prev_delta, 1.0 / (1.0 - ratio), 1.0)
+        advance = pending[:, None, None]
+        work = np.where(advance, work + omega[:, None, None] * residual,
+                        work)
+        prev_delta = np.maximum(delta, 1e-300)
+    raise RuntimeError(
+        "G-matrix iteration did not converge on"
+        f" {int(pending.sum())} lane(s); the queue may be unstable"
+        f" (first stuck lane {int(np.flatnonzero(pending)[0])})")
+
+
+def _newton_g(generators: np.ndarray, rates: np.ndarray,
+              batch: ServiceBatch, *, tolerance: float,
+              active: np.ndarray) -> "np.ndarray | None":
+    """Newton fast path for the G fixed point; ``None`` when it fails.
+
+    G is stochastic, so each lane has only two unknowns ``u = (G_12,
+    G_21)``.  The residual ``F(u) - u`` is driven to zero by Newton
+    steps whose 2x2 Jacobians come from finite differences — the base
+    point and both perturbations evaluate as one stacked (3L-lane)
+    fused step, so a Newton step costs one :meth:`_LaneKernel.step`
+    call and converges in ~4 evaluations where the fixed point needs
+    ~13-17.  Stops at the scalar solver's criterion (residual below
+    ``tolerance``, return the F-image); any non-finite intermediate or
+    slow progress abandons the attempt and the caller falls back to the
+    globally convergent masked iteration.
+    """
+    lanes = len(batch)
+    g = np.zeros((lanes, 2, 2))
+    if not active.any():
+        return g
+    idx = np.flatnonzero(active)
+    if idx.size < lanes:
+        kernel = _LaneKernel(generators[idx], rates[idx], batch[idx])
+    else:
+        kernel = _LaneKernel(generators, rates, batch)
+    n = idx.size
+    ux = np.full(n, 0.5)
+    uy = np.full(n, 0.5)
+    eps = 1e-7
+    # Base point and both finite-difference perturbations evaluate as a
+    # single (3, n)-shaped kernel call per Newton iteration.
+    off_x = np.array([[0.0], [eps], [0.0]])
+    off_y = np.array([[0.0], [0.0], [eps]])
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for _ in range(25):
+            result = kernel.off_diagonal(ux + off_x, uy + off_y)
+            if result is None:
+                return None
+            fx, fy = result
+            rx = fx[0] - ux
+            ry = fy[0] - uy
+            if max(np.max(np.abs(rx)), np.max(np.abs(ry))) < tolerance:
+                g[idx, 0, 1] = fx[0]
+                g[idx, 0, 0] = 1.0 - fx[0]
+                g[idx, 1, 0] = fy[0]
+                g[idx, 1, 1] = 1.0 - fy[0]
+                return g
+            # Jacobian columns d/dx and d/dy from the perturbed rows; a
+            # singular or diverging step surfaces as a non-finite u and
+            # abandons the attempt.
+            j11 = (fx[1] - fx[0]) / eps - 1.0
+            j21 = (fy[1] - fy[0]) / eps
+            j12 = (fx[2] - fx[0]) / eps
+            j22 = (fy[2] - fy[0]) / eps - 1.0
+            det = j11 * j22 - j12 * j21
+            ux = ux - (j22 * rx - j12 * ry) / det
+            uy = uy - (j11 * ry - j21 * rx) / det
+            if not (np.all(np.isfinite(ux)) and np.all(np.isfinite(uy))):
+                return None
+            np.clip(ux, 0.0, 1.0, out=ux)
+            np.clip(uy, 0.0, 1.0, out=uy)
+    return None
+
+
+def batch_g_matrix(mmpp: MmppSpec, batch: ServiceBatch, *,
+                   tolerance: float = 1e-12,
+                   max_iterations: int = 20_000) -> np.ndarray:
+    """Per-lane fundamental-period matrices, ``(L, 2, 2)``.
+
+    The batched twin of :func:`repro.core.queueing.compute_g_matrix`:
+    identical fixed point, identical tolerance, but a single numpy
+    expression advances every lane per iteration and converged lanes
+    drop out of the working set.
+    """
+    generators, rates = _mmpp_matrices(mmpp, len(batch))
+    return _iterate_g(generators, rates, batch, tolerance=tolerance,
+                      max_iterations=max_iterations,
+                      active=np.ones(len(batch), dtype=bool))
+
+
+@dataclass(frozen=True)
+class BatchQueueSolution:
+    """Per-lane eq. (19) solutions with an explicit stability mask.
+
+    Saturated lanes (``traffic_intensity >= 1``) are *flagged*, not
+    solved: their waiting times are ``inf`` and their G/idle internals
+    ``NaN``.  The scalar solver raises for them; a batch spanning a
+    parameter grid instead reports exactly which cells crossed the
+    stability boundary.
+    """
+
+    mean_waiting_time_s: np.ndarray
+    mean_virtual_waiting_time_s: np.ndarray
+    mean_sojourn_time_s: np.ndarray
+    traffic_intensity: np.ndarray
+    mean_service_time_s: np.ndarray
+    service_second_moment: np.ndarray
+    g_matrix: np.ndarray           # (L, 2, 2), NaN on unstable lanes
+    idle_phase_vector: np.ndarray  # (L, 2), NaN on unstable lanes
+    stable: np.ndarray             # bool (L,): utilization < 1
+
+    def __len__(self) -> int:
+        return self.mean_waiting_time_s.shape[0]
+
+    def solution(self, index: int) -> QueueSolution:
+        """One lane as a scalar :class:`QueueSolution` (raises for a
+        saturated lane, exactly like the scalar solver)."""
+        if not self.stable[index]:
+            rho = float(self.traffic_intensity[index])
+            raise ValueError(f"unstable queue (rho = {rho:.3f})")
+        return QueueSolution(
+            mean_waiting_time_s=float(self.mean_waiting_time_s[index]),
+            mean_virtual_waiting_time_s=float(
+                self.mean_virtual_waiting_time_s[index]),
+            mean_sojourn_time_s=float(self.mean_sojourn_time_s[index]),
+            traffic_intensity=float(self.traffic_intensity[index]),
+            mean_service_time_s=float(self.mean_service_time_s[index]),
+            service_second_moment=float(self.service_second_moment[index]),
+            g_matrix=self.g_matrix[index].copy(),
+            idle_phase_vector=self.idle_phase_vector[index].copy(),
+        )
+
+
+def batch_solve_mmpp_g1(mmpp: MmppSpec, batch: ServiceBatch, *,
+                        tolerance: float = 1e-12,
+                        max_iterations: int = 20_000
+                        ) -> BatchQueueSolution:
+    """Eq. (19) and its per-packet counterpart on every lane at once."""
+    lanes = len(batch)
+    generators, rates = _mmpp_matrices(mmpp, lanes)
+    lam_vec = np.diagonal(rates, axis1=1, axis2=2)          # (L, 2)
+    flip_up = generators[:, 0, 1]                            # p1
+    flip_down = generators[:, 1, 0]                          # p2
+    pi = np.stack([flip_down, flip_up], axis=-1)
+    pi = pi / pi.sum(axis=-1, keepdims=True)                 # (L, 2)
+    lam_bar = (pi * lam_vec).sum(axis=1)
+    mu1 = batch.mean
+    mu2 = batch.second_moment
+    rho = lam_bar * mu1
+    stable = rho < 1.0
+
+    g = _newton_g(generators, rates, batch, tolerance=tolerance,
+                  active=stable)
+    if g is None:
+        g = _iterate_g(generators, rates, batch, tolerance=tolerance,
+                       max_iterations=max_iterations, active=stable)
+
+    all_stable = bool(stable.all())
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        neg_d0_inv = inv2(rates - generators)
+        lam_col = lam_vec[:, :, None]
+        emptying = neg_d0_inv @ (lam_col * g)
+        alpha = _stationary2(emptying)
+        occupancy = (alpha[:, :, None] * neg_d0_inv).sum(axis=1)
+        idle = ((1.0 - rho)[:, None] * occupancy
+                / occupancy.sum(axis=-1, keepdims=True))
+
+        outer_e_pi = np.broadcast_to(pi[:, None, :], (lanes, 2, 2))
+        correction = inv2(generators + outer_e_pi)
+        row = idle + (mu1[:, None] * pi) * lam_vec
+        # Both eq. (19) quadratic forms share the vector (R + e pi)^-1 l.
+        corrected_rates = (correction @ lam_col)[:, :, 0]
+        bracket = (2.0 * rho + lam_bar * mu2
+                   - 2.0 * mu1 * (row * corrected_rates).sum(axis=1))
+        virtual = bracket / (2.0 * (1.0 - rho))
+        s_term = ((row - pi) * corrected_rates).sum(axis=1)
+        per_packet = virtual - s_term / lam_bar
+
+    if not all_stable:
+        per_packet = np.where(stable, per_packet, np.inf)
+        virtual = np.where(stable, virtual, np.inf)
+        g = np.where(stable[:, None, None], g, np.nan)
+        idle = np.where(stable[:, None], idle, np.nan)
+    return BatchQueueSolution(
+        mean_waiting_time_s=per_packet,
+        mean_virtual_waiting_time_s=virtual,
+        mean_sojourn_time_s=per_packet + mu1,
+        traffic_intensity=rho,
+        mean_service_time_s=mu1,
+        service_second_moment=mu2,
+        g_matrix=g,
+        idle_phase_vector=idle,
+        stable=stable,
+    )
+
+
+# -- the batched waiting-time distribution -------------------------------------
+
+
+# Classical central finite-difference weights on the symmetric 5-point
+# stencil, shared with the scalar module.
+_CENTRAL_WEIGHTS = {
+    1: np.array([1.0, -8.0, 0.0, 8.0, -1.0]) / 12.0,
+    2: np.array([-1.0, 16.0, -30.0, 16.0, -1.0]) / 12.0,
+    3: np.array([-1.0, 2.0, 0.0, -2.0, 1.0]) / 2.0,
+    4: np.array([1.0, -4.0, 6.0, -4.0, 1.0]),
+}
+
+
+@dataclass(frozen=True)
+class BatchWaitingDistribution:
+    """Per-lane waiting-time transforms inverted simultaneously.
+
+    The scalar :class:`~repro.core.waiting_distribution.
+    WaitingTimeDistribution` evaluates one complex transform point per
+    Python call; here :meth:`transform` takes a ``(lanes, points)``
+    complex grid, so one Euler inversion (and one quantile bracket
+    sweep) covers every lane at once.
+    """
+
+    generators: np.ndarray    # (L, 2, 2)
+    rates: np.ndarray         # (L, 2, 2)
+    batch: ServiceBatch
+    idle_vector: np.ndarray   # (L, 2)
+
+    def __len__(self) -> int:
+        return self.idle_vector.shape[0]
+
+    def __getitem__(self, index) -> "BatchWaitingDistribution":
+        return BatchWaitingDistribution(
+            generators=self.generators[index],
+            rates=self.rates[index],
+            batch=self.batch[index],
+            idle_vector=self.idle_vector[index],
+        )
+
+    @property
+    def _rate_vector(self) -> np.ndarray:
+        return np.diagonal(self.rates, axis1=1, axis2=2)
+
+    @property
+    def _mean_rate(self) -> np.ndarray:
+        flip_up = self.generators[:, 0, 1]
+        flip_down = self.generators[:, 1, 0]
+        pi = np.stack([flip_down, flip_up], axis=-1)
+        pi = pi / pi.sum(axis=-1, keepdims=True)
+        return np.einsum("li,li->l", pi, self._rate_vector)
+
+    def transform(self, s: np.ndarray) -> np.ndarray:
+        """``E[e^{-sW}]`` on a complex grid with lanes along axis 0."""
+        s = np.asarray(s, dtype=complex)
+        zero = s == 0
+        s_safe = np.where(zero, 1.0, s)
+        h = self.batch.lst(s_safe)
+        expand = (slice(None),) + (None,) * (s.ndim - 1)
+        d0 = (self.generators - self.rates)[expand]
+        d1 = self.rates[expand]
+        matrix = (s_safe[..., None, None] * _EYE2
+                  + d0 + d1 * h[..., None, None])
+        idle = self.idle_vector.astype(complex)[expand]
+        workload = s_safe[..., None] * np.einsum(
+            "...i,...ij->...j", idle, inv2(matrix))
+        lam_vec = self._rate_vector[expand]
+        lam_bar = self._mean_rate.reshape(
+            self._mean_rate.shape + (1,) * (s.ndim - 1))
+        out = np.einsum("...j,...j->...", workload, lam_vec) / lam_bar
+        return np.where(zero, 1.0, out)
+
+    def mass_at_zero(self) -> np.ndarray:
+        """P(W = 0) per lane: arrival-biased empty-system probability."""
+        return (np.einsum("li,li->l", self.idle_vector, self._rate_vector)
+                / self._mean_rate)
+
+    def survival(self, t: np.ndarray, *, terms: int = 40,
+                 euler_terms: int = 12) -> np.ndarray:
+        """P(W > t) per lane by one batched Abate-Whitt Euler inversion.
+
+        ``t`` is per-lane, shape ``(L,)``; same ``a = 18.4``
+        discretisation and binomial averaging as the scalar module, but
+        the ``(lanes, terms)`` transform grid replaces the per-k loop.
+        """
+        t = np.asarray(t, dtype=float)
+        if np.any(t < 0):
+            raise ValueError("time must be non-negative")
+        positive = t > 0
+        t_safe = np.where(positive, t, 1.0)
+
+        a = 18.4  # controls the discretisation error (~1e-8)
+        x = a / (2.0 * t_safe)
+        step = math.pi / t_safe
+        k = np.arange(terms + euler_terms + 1)
+        s = x[:, None] + 1j * (k[None, :] * step[:, None])
+        values = ((1.0 - self.transform(s)) / s).real
+        signs = np.where(k % 2 == 0, 1.0, -1.0)
+        series = values * signs[None, :]
+        series[:, 0] *= 0.5
+        partial_sums = np.cumsum(series, axis=1)[:, terms:]
+        weights = np.array([math.comb(euler_terms, j)
+                            for j in range(euler_terms + 1)])
+        averaged = partial_sums @ weights / 2.0 ** euler_terms
+        result = np.clip((np.exp(a / 2.0) / t_safe) * averaged, 0.0, 1.0)
+        return np.where(positive, result, 1.0 - self.mass_at_zero())
+
+    def cdf(self, t: np.ndarray, **kwargs) -> np.ndarray:
+        """P(W <= t) per lane."""
+        return 1.0 - self.survival(t, **kwargs)
+
+    def moment(self, order: int) -> np.ndarray:
+        """Per-lane n-th moment via the same 5-point stencil as the
+        scalar module (orders 1-4)."""
+        if not 1 <= order <= 4:
+            raise ValueError("moments implemented for orders 1-4")
+        scale = np.maximum(self.batch.mean, 1e-9)
+        h = 1e-3 / scale
+        offsets = np.arange(-2, 3)
+        s = (offsets[None, :] * h[:, None]).astype(complex)
+        values = self.transform(s).real
+        derivative = values @ _CENTRAL_WEIGHTS[order] / h ** order
+        return ((-1.0) ** order) * derivative
+
+    def mean(self) -> np.ndarray:
+        return self.moment(1)
+
+    def quantile(self, probability: float, *,
+                 upper_bound_factor: float = 200.0) -> np.ndarray:
+        """Per-lane quantiles with one simultaneous bracket/bisection.
+
+        The scalar path runs up to 200 doubling steps plus 80 bisection
+        steps *per policy per level*; here each step is one batched
+        ``cdf`` over every still-active lane.
+        """
+        if not 0.0 < probability < 1.0:
+            raise ValueError("probability must be in (0, 1)")
+        lanes = len(self)
+        out = np.zeros(lanes)
+        at_zero = self.cdf(np.zeros(lanes)) >= probability
+        idx = np.flatnonzero(~at_zero)
+        if idx.size == 0:
+            return out
+        sub = self[idx]
+        low = np.zeros(idx.size)
+        high = upper_bound_factor * np.maximum(sub.batch.mean, 1e-9)
+        for _ in range(200):
+            need = sub.cdf(high) < probability
+            if not need.any():
+                break
+            high = np.where(need, high * 2.0, high)
+        for _ in range(80):
+            mid = 0.5 * (low + high)
+            above = sub.cdf(mid) >= probability
+            high = np.where(above, mid, high)
+            low = np.where(above, low, mid)
+        out[idx] = high
+        return out
+
+
+def batch_waiting_distribution(mmpp: MmppSpec, batch: ServiceBatch, *,
+                               solution: "BatchQueueSolution" = None
+                               ) -> BatchWaitingDistribution:
+    """Build the batched distribution (raises if any lane is saturated,
+    matching the scalar constructor; pass a precomputed ``solution`` to
+    reuse its G matrices and idle vectors)."""
+    if solution is None:
+        solution = batch_solve_mmpp_g1(mmpp, batch)
+    if not bool(np.all(solution.stable)):
+        lane = int(np.flatnonzero(~solution.stable)[0])
+        rho = float(solution.traffic_intensity[lane])
+        raise ValueError(f"unstable queue (rho = {rho:.3f})")
+    generators, rates = _mmpp_matrices(mmpp, len(batch))
+    return BatchWaitingDistribution(
+        generators=np.array(generators),
+        rates=np.array(rates),
+        batch=batch,
+        idle_vector=solution.idle_phase_vector,
+    )
+
+
+# -- batched frame success and distortion --------------------------------------
+
+
+_BINOMIAL_TAILS: dict = {}
+
+
+def batch_frame_success(n_packets: int, sensitivity: int,
+                        p_d: np.ndarray) -> np.ndarray:
+    """Eq. (20) evaluated over a lane vector of decryption rates."""
+    if n_packets < 1:
+        raise ValueError("a frame has at least one packet")
+    if not 0 <= sensitivity <= max(n_packets - 1, 0):
+        raise ValueError(
+            f"sensitivity must be in [0, {n_packets - 1}],"
+            f" got {sensitivity}")
+    p_d = np.asarray(p_d, dtype=float)
+    if np.any((p_d < 0.0) | (p_d > 1.0)):
+        raise ValueError("p_d must be in [0, 1]")
+    rest = n_packets - 1
+    cached = _BINOMIAL_TAILS.get((rest, sensitivity))
+    if cached is None:
+        j = np.arange(sensitivity, rest + 1)
+        coefficients = np.array([math.comb(rest, int(jj)) for jj in j],
+                                dtype=float)
+        cached = _BINOMIAL_TAILS[(rest, sensitivity)] = (j, coefficients)
+    j, coefficients = cached
+    tail = np.einsum(
+        "j,lj->l", coefficients,
+        p_d[:, None] ** j[None, :]
+        * (1.0 - p_d)[:, None] ** (rest - j)[None, :])
+    return p_d * tail
+
+
+def batch_psnr_from_distortion(distortion: np.ndarray) -> np.ndarray:
+    """Eq. (28) over an array (zero distortion maps to the PSNR cap)."""
+    distortion = np.asarray(distortion, dtype=float)
+    if np.any(distortion < 0):
+        raise ValueError("distortion must be non-negative")
+    # Flooring the MSE keeps the log finite; any distortion small enough
+    # to hit the floor maps above MAX_PSNR_DB and is capped anyway,
+    # which is exactly the scalar zero-distortion convention.
+    raw = 20.0 * np.log10(255.0 / np.sqrt(np.maximum(distortion, 1e-300)))
+    return np.minimum(raw, MAX_PSNR_DB)
+
+
+def batch_mos_from_psnr(psnr_db: np.ndarray) -> np.ndarray:
+    """EvalVid's PSNR-to-MOS bucket map over an array."""
+    psnr_db = np.asarray(psnr_db, dtype=float)
+    return (1 + (psnr_db > 20.0).astype(int) + (psnr_db > 25.0)
+            + (psnr_db > 31.0) + (psnr_db > 37.0))
+
+
+@dataclass(frozen=True)
+class BatchDistortion:
+    """Per-lane distortion estimates (the arrays behind
+    :class:`~repro.core.distortion.DistortionEstimate`)."""
+
+    average_distortion: np.ndarray   # (L,)
+    psnr_db: np.ndarray              # (L,)
+    p_i_success: np.ndarray          # (L,)
+    p_p_success: np.ndarray          # (L,)
+    per_gop_distortion: np.ndarray   # (L, n_gops)
+
+    def __len__(self) -> int:
+        return self.average_distortion.shape[0]
+
+    def estimate(self, index: int) -> DistortionEstimate:
+        return DistortionEstimate(
+            average_distortion=float(self.average_distortion[index]),
+            psnr_db=float(self.psnr_db[index]),
+            p_i_success=float(self.p_i_success[index]),
+            p_p_success=float(self.p_p_success[index]),
+            per_gop_distortion=tuple(self.per_gop_distortion[index].tolist()),
+        )
+
+
+def _polynomial_table(model: DistortionModel, max_distance: int
+                      ) -> np.ndarray:
+    """``D(d)`` for integer distances 0..max_distance (0 maps to 0)."""
+    distances = np.arange(max_distance + 1, dtype=float)
+    values = np.zeros_like(distances)
+    power = np.ones_like(distances)
+    for coefficient in model.polynomial.coefficients:
+        values += coefficient * power
+        power *= distances
+    values = np.clip(values, 0.0, model.polynomial.cap)
+    values[0] = 0.0
+    return values
+
+
+_DISTORTION_TABLES: dict = {}
+
+
+def _distortion_tables(model: DistortionModel) -> dict:
+    """The lane-independent pieces of the age DP, cached module-wide.
+
+    Everything here depends only on the GOP geometry and the motion
+    polynomial — not on the lanes and not on ``n_gops`` — so every
+    advisor sharing a motion class pays the table construction once,
+    even though each one builds its own :class:`DistortionModel`.
+    """
+    key = (model.gop_size, model.max_reference_age, model.polynomial)
+    cached = _DISTORTION_TABLES.get(key)
+    if cached is not None:
+        return cached
+    size = model.gop_size
+    oldest = model.max_reference_age
+    table = _polynomial_table(model, oldest + size)
+    prefix = np.concatenate([[0.0], np.cumsum(table)])  # prefix[i] = sum <i
+    k_idx = np.arange(1, size)
+    ages = np.arange(oldest + 1)
+    intra_ages = np.minimum(size - (k_idx - 1), oldest)
+    # One-hot scatter replacing np.add.at: column j of `scatter` collects
+    # the intra-loss states whose new reference age is j.
+    scatter = np.zeros((size - 1, oldest + 1))
+    scatter[np.arange(size - 1), intra_ages] = 1.0
+    case2_tail = prefix[ages + size] - prefix[ages + 1]
+    tables = {
+        "table": table,
+        "intra_tail": prefix[size - k_idx + 1] - prefix[2],
+        # Contiguous age-1.. slices: the per-step case-2 contraction is
+        # two matvecs against these instead of a dense (L, ages) build.
+        "table_age1": np.ascontiguousarray(table[1:oldest + 1]),
+        "case2_tail1": np.ascontiguousarray(case2_tail[1:]),
+        "k_idx": k_idx,
+        "scatter": scatter,
+    }
+    _DISTORTION_TABLES[key] = tables
+    return tables
+
+
+def batch_distortion(model: DistortionModel, p_i: np.ndarray,
+                     p_p: np.ndarray, *,
+                     baseline_distortion: float = 0.0) -> BatchDistortion:
+    """Eqs. (21)-(28) over lane vectors of frame success probabilities.
+
+    The exact age dynamic program of
+    :meth:`DistortionModel.expected`, with the age distribution held as
+    an ``(L, max_reference_age + 1)`` array instead of per-lane dicts
+    and the per-age distortion sums taken from a prefix-sum table of the
+    motion polynomial.
+    """
+    p_i = np.asarray(p_i, dtype=float)
+    p_p = np.asarray(p_p, dtype=float)
+    if p_i.shape != p_p.shape:
+        raise ValueError("p_i and p_p must have matching shapes")
+    lanes = p_i.shape[0]
+    size = model.gop_size
+    oldest = model.max_reference_age
+    tables = _distortion_tables(model)
+    table = tables["table"]
+    k_idx = tables["k_idx"]
+
+    if model.recovery_fraction is None:
+        factor = np.ones(lanes)
+    else:
+        factor = 1.0 - p_p * (1.0 - model.recovery_fraction)
+
+    # Case 1 (intra-GOP loss at k): (D(1) + factor * sum_{d=2}^{G-k} D(d)) / G
+    intra = (table[1] + factor[:, None] * tables["intra_tail"][None, :]) / size
+
+    # Case 2 (I-loss at reference age a): (D(a) + factor *
+    # sum_{j=1}^{G-1} D(a+j)) / G.  Its contraction against the age
+    # distribution separates into two fixed matvecs, so the dense
+    # (L, ages) table is never materialized.
+    table_age1 = tables["table_age1"]
+    case2_tail1 = tables["case2_tail1"]
+
+    # Case 3 (no reference ever): the cap everywhere.
+    cap = model.polynomial.cap
+    case3 = (cap + (size - 1) * factor * cap) / size
+
+    # GOP state probabilities (eq. 24) per lane.
+    states = np.empty((lanes, size + 1))
+    states[:, 0] = 1.0 - p_i
+    states[:, 1:size] = (p_i[:, None]
+                         * p_p[:, None] ** (k_idx - 1)[None, :]
+                         * (1.0 - p_p)[:, None])
+    states[:, size] = p_i * p_p ** (size - 1)
+
+    state_zero = states[:, 0]
+    state_clean = states[:, size]
+    intra_mass = states[:, 1:size]
+    intra_mean = np.einsum("lk,lk->l", intra_mass, intra)
+
+    prob = np.zeros((lanes, oldest + 1))
+    prob[:, 0] = 1.0
+    per_gop = np.empty((lanes, model.n_gops))
+    scatter = tables["scatter"]
+    shift_start = oldest - size + 1  # first age that clamps to `oldest`
+    for step in range(model.n_gops):
+        total = prob.sum(axis=1)
+        aged = prob[:, 1:]
+        case2_mean = (aged @ table_age1
+                      + factor * (aged @ case2_tail1)) / size
+        per_gop[:, step] = (
+            state_zero * (prob[:, 0] * case3 + case2_mean)
+            + total * intra_mean)
+
+        advanced = (total[:, None] * intra_mass) @ scatter
+        advanced[:, 0] += prob[:, 0] * state_zero
+        if shift_start > 1:
+            advanced[:, size + 1:] += (prob[:, 1:shift_start]
+                                       * state_zero[:, None])
+        tail_from = max(shift_start, 1)
+        advanced[:, oldest] += (prob[:, tail_from:].sum(axis=1)
+                                * state_zero)
+        advanced[:, min(1, oldest)] += total * state_clean
+        prob = advanced
+
+    average = per_gop.mean(axis=1) + baseline_distortion
+    return BatchDistortion(
+        average_distortion=average,
+        psnr_db=batch_psnr_from_distortion(average),
+        p_i_success=p_i,
+        p_p_success=p_p,
+        per_gop_distortion=per_gop,
+    )

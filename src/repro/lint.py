@@ -16,6 +16,11 @@ so this module enforces the three rules that protect it:
   per-flow state stays in arrays; looping over packets there silently
   reintroduces the coroutine kernel's costs.  Per-packet work belongs
   in ``flow_sampling.py``.
+- per-policy Python ``for`` loops are banned inside the batched model
+  solver (``vector_models.py``) for the same reason: candidate lanes
+  stay on numpy's leading axis; looping over them reintroduces the
+  scalar stack's per-policy cost.  Object assembly (policies in, lane
+  results out) belongs in ``delay.py`` / ``advisor.py``.
 - blocking calls (``socket.*``, ``time.sleep(...)``) are banned inside
   the asyncio cache/queue server (``server.py``): one stalled handler
   would freeze every connected worker's RPCs.  Connection I/O must go
@@ -51,6 +56,12 @@ _WALL_CLOCK = re.compile(r"time\.time\s*\(\s*\)")
 # contain.
 _PACKET_LOOP = re.compile(
     r"\bfor\b(?=[^#]*\bin\b)[^#]*(\bpacket\w*|\bpkts?\b)")
+# A ``for`` loop whose target or iterable is policy/candidate/lane-named
+# — the loop shape the batched model solver must never contain: lanes
+# live on numpy's leading axis, and a Python loop over them silently
+# reintroduces the scalar stack's per-policy cost.
+_POLICY_LOOP = re.compile(
+    r"\bfor\b(?=[^#]*\bin\b)[^#]*(\bpolic\w*|\bcandidate\w*|\blanes?\b)")
 # Blocking primitives inside the asyncio server module: raw socket use
 # or time.sleep() would stall the single event loop that serializes
 # every client's RPCs.
@@ -94,6 +105,7 @@ def lint_file(path: Path) -> List[LintError]:
         return [LintError(str(path), 0, "unreadable", str(exc), "")]
     is_events = path.name == "events.py"
     is_vector = path.name == "vector_flows.py"
+    is_models = path.name == "vector_models.py"
     is_server = path.name == "server.py"
     for number, raw in enumerate(text.splitlines(), start=1):
         if ALLOW_MARKER in raw:
@@ -122,6 +134,12 @@ def lint_file(path: Path) -> List[LintError]:
                 "per-packet Python loop in the vectorized scheduler:"
                 " keep per-flow state in arrays (per-packet work lives"
                 " in flow_sampling.py)", raw.strip()))
+        if is_models and _POLICY_LOOP.search(line):
+            errors.append(LintError(
+                str(path), number, "policy-loop-in-vector-models",
+                "per-policy Python loop in the batched model solver:"
+                " keep policy lanes on numpy's leading axis (object"
+                " assembly belongs in delay.py/advisor.py)", raw.strip()))
         if is_server and _BLOCKING_NET.search(line):
             errors.append(LintError(
                 str(path), number, "blocking-call-in-server",

@@ -19,6 +19,11 @@ subsystem:
   coroutine kernel on the same tiny grid: oracle sampling must match
   the kernel trace-for-trace, and batch sampling must produce a sane
   delay profile (the property the 10^4-flow story rests on);
+- **models** — the batched analytic-model engine
+  (:mod:`repro.core.vector_models`) swept against the scalar oracle on
+  a tiny calibrated scenario: same recommended policy, every sweep
+  scalar within tight float tolerance (the property the cold-advisor
+  speedup rests on);
 - **net** — a loopback ``repro cached serve`` instance driven through
   the ``tcp:`` queue and cache clients: submit/claim/renew/complete
   plus a cache write/read round-trip, all over the framed wire
@@ -180,6 +185,48 @@ def _check_vector_flows() -> str:
             f" batch mean delay {mean:.2f}ms")
 
 
+def _check_vector_models() -> str:
+    from .core import calibrate_scenario, default_candidates
+    from .core.advisor import PolicyAdvisor, choice_payload
+    from .core.distortion import DistortionPolynomial
+    from .crypto.timing import reference_cipher_cost
+
+    _, bitstream = _tiny_scenario()
+    scenario = calibrate_scenario(
+        bitstream,
+        cipher_costs={name: reference_cipher_cost(name)
+                      for name in ("AES128", "AES256", "3DES")},
+        polynomial=DistortionPolynomial(coefficients=(0.0, 40.0, 4.0),
+                                        cap=8000.0),
+        sensitivity_fraction=0.55, recovery_fraction=0.9,
+        baseline_distortion=6.0)
+    candidates = default_candidates()
+    scalar = choice_payload(PolicyAdvisor(scenario, engine="scalar")
+                            .recommend(candidates=candidates))
+    vector = choice_payload(PolicyAdvisor(scenario, engine="vector")
+                            .recommend(candidates=candidates))
+    if scalar["recommended"] != vector["recommended"]:
+        raise AssertionError(
+            f"engines disagree on the selection: scalar"
+            f" {scalar['recommended']!r}, vector"
+            f" {vector['recommended']!r}")
+    worst = 0.0
+    for label, entry in scalar["sweep"].items():
+        other = vector["sweep"][label]
+        for key in ("delay_ms", "waiting_ms", "traffic_intensity",
+                    "receiver_psnr_db", "eavesdropper_psnr_db"):
+            error = abs(other[key] - entry[key]) / max(1.0,
+                                                       abs(entry[key]))
+            worst = max(worst, error)
+            if error > 1e-7:
+                raise AssertionError(
+                    f"vector engine diverged from the scalar oracle:"
+                    f" {label} {key} off by {error:.2e}")
+    return (f"scalar==vector over {len(candidates)} policies,"
+            f" max rel err {worst:.1e},"
+            f" both recommend {scalar['recommended']}")
+
+
 def _check_net_queue() -> str:
     from .testbed import RemoteWorkQueue, ResultCache
     from .testbed.queue import QueueTask
@@ -254,6 +301,7 @@ _CHECKS: List[tuple] = [
     ("cached-engine", _check_cached_engine),
     ("event-kernel", _check_event_kernel),
     ("vector-flows", _check_vector_flows),
+    ("vector-models", _check_vector_models),
     ("net-queue", _check_net_queue),
     ("advise-serve", _check_advise_serve),
 ]

@@ -299,18 +299,27 @@ def build_scenario(request: ServiceRequest) -> Scenario:
     )
 
 
-def evaluate_request(request: ServiceRequest) -> AdvisorChoice:
-    """The full cold evaluation: scenario + sweep + selection."""
-    advisor = PolicyAdvisor(build_scenario(request))
+def evaluate_request(request: ServiceRequest, *,
+                     engine: str = "vector") -> AdvisorChoice:
+    """The full cold evaluation: scenario + sweep + selection.
+
+    ``engine`` picks the model backend (``"vector"`` by default — one
+    batched numpy pass over the candidate ladder; ``"scalar"`` is the
+    per-policy oracle).  The answer is engine-agnostic: both backends
+    agree within floating-point tolerance and select the same policy,
+    so the memo key deliberately carries no engine field.
+    """
+    advisor = PolicyAdvisor(build_scenario(request), engine=engine)
     return advisor.recommend(
         target_psnr_db=request.resolved_target_psnr_db,
         candidates=request.candidate_policies(),
     )
 
 
-def evaluate_payload(request: ServiceRequest) -> Dict[str, Any]:
+def evaluate_payload(request: ServiceRequest, *,
+                     engine: str = "vector") -> Dict[str, Any]:
     """What the server computes on a memo miss (and what it memoizes)."""
-    return choice_payload(evaluate_request(request))
+    return choice_payload(evaluate_request(request, engine=engine))
 
 
 # -- the memo layer ------------------------------------------------------------
@@ -324,14 +333,15 @@ def advisor_fingerprint() -> str:
     from ..analysis import regression
     from ..core import (adaptive, advisor, calibration, delay, distortion,
                         frame_success, mmpp, policies, queueing, scenario,
-                        service, waiting_distribution)
+                        service, vector_models, waiting_distribution)
     from ..video import codec, concealment, gop, motion, quality, synth, yuv
     from ..wifi import dcf, phy
     from . import devices
 
     modules = (advisor, adaptive, calibration, delay, distortion,
                frame_success, mmpp, policies, queueing, scenario, service,
-               waiting_distribution, regression, codec, concealment, gop,
+               vector_models, waiting_distribution, regression, codec,
+               concealment, gop,
                motion, quality, synth, yuv, dcf, phy, devices)
     digest = hashlib.sha256()
     for module in modules:

@@ -42,10 +42,11 @@ import inspect
 import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Deque, Dict, Optional, Sequence, Tuple, Union
 
 from .backends import IndexEntry
 from .cache import ResultCache
@@ -60,11 +61,19 @@ from .netproto import (
 )
 from .queue import QueueTask, WorkQueue
 from . import advisor_service
+from ..wifi.dcf import admission_capacity
 
 __all__ = ["FramedServer", "CacheQueueServer", "AdvisorServer",
            "ServerThread"]
 
 _Reply = Tuple[Dict[str, Any], bytes]
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample (fraction in [0,1])."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
 
 
 class FramedServer:
@@ -388,20 +397,37 @@ class AdvisorServer(FramedServer):
         Max cold evaluations in flight per simulated AP.  A request
         whose AP is at capacity gets a ``{"busy": true}`` response (a
         normal ``KIND_RESPONSE``, so :class:`NetClient` does not treat
-        it as an error) and the client retries with backoff.
+        it as an error) and the client retries with backoff.  ``None``
+        (the default) derives the cap from the Section 4.1 DCF
+        contention model (:func:`repro.wifi.dcf.admission_capacity`):
+        admit contenders while the modelled packet success rate holds
+        the admission floor.  Passing an integer overrides the model.
+    engine:
+        Model backend for cold evaluations: ``"vector"`` (default, one
+        batched numpy sweep) or ``"scalar"`` (the per-policy oracle).
+        Answers and memo keys are engine-agnostic.
     workers:
         Thread-pool size for cold evaluations.  The model sweep is pure
         CPU over numpy, and the pool keeps the event loop free to answer
         warm requests and ``stats`` while sweeps run.
     """
 
+    # Ring size for per-engine cold solve latencies backing the
+    # ``advise.stats`` percentiles; old samples age out.
+    SOLVE_WINDOW = 4096
+
     def __init__(self, cache: Union[ResultCache, str, Path], *,
                  host: str = "127.0.0.1", port: int = 0,
-                 ap_capacity: int = 4, workers: int = 2) -> None:
+                 ap_capacity: Optional[int] = None,
+                 engine: str = "vector", workers: int = 2) -> None:
         super().__init__(host=host, port=port)
-        if ap_capacity < 1:
+        if ap_capacity is None:
+            ap_capacity = admission_capacity()
+        elif ap_capacity < 1:
             raise ValueError(
                 f"ap_capacity must be >= 1, got {ap_capacity}")
+        if engine not in ("scalar", "vector"):
+            raise ValueError(f"unknown engine {engine!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if not isinstance(cache, ResultCache):
@@ -409,8 +435,13 @@ class AdvisorServer(FramedServer):
         self.cache = cache
         self.memo = advisor_service.AdvisorMemo(cache)
         self.ap_capacity = ap_capacity
+        self.engine = engine
         self.evaluations = 0
         self._aps: Dict[str, Dict[str, int]] = {}
+        self._solve_ms: Dict[str, Deque[float]] = {
+            "scalar": deque(maxlen=self.SOLVE_WINDOW),
+            "vector": deque(maxlen=self.SOLVE_WINDOW),
+        }
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-advise")
         self._started_monotonic = time.monotonic()
@@ -456,14 +487,35 @@ class AdvisorServer(FramedServer):
                                      load["in_flight"])
         try:
             loop = asyncio.get_running_loop()
-            payload = await loop.run_in_executor(
-                self._executor, advisor_service.evaluate_payload, request)
+            payload, elapsed_ms = await loop.run_in_executor(
+                self._executor, self._timed_evaluate, request)
         finally:
             load["in_flight"] -= 1
         self.evaluations += 1
+        self._solve_ms[self.engine].append(elapsed_ms)
         self.memo.put(key, request, payload)
         return ({"source": "cold", "key": key, "ap": request.ap},
                 advisor_service.encode_payload(payload))
+
+    def _timed_evaluate(self, request) -> Tuple[Dict[str, Any], float]:
+        """Run one cold evaluation on the pool, returning its wall time
+        so ``advise.stats`` can report per-engine solve percentiles."""
+        started = time.perf_counter()
+        payload = advisor_service.evaluate_payload(
+            request, engine=self.engine)
+        return payload, (time.perf_counter() - started) * 1e3
+
+    def _solve_latency_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-engine cold-solve latency percentiles over the sample
+        ring (``None`` percentiles until that engine has samples)."""
+        stats: Dict[str, Dict[str, Any]] = {}
+        for engine, samples in self._solve_ms.items():
+            stats[engine] = {
+                "count": len(samples),
+                "p50_ms": _percentile(samples, 0.50) if samples else None,
+                "p99_ms": _percentile(samples, 0.99) if samples else None,
+            }
+        return stats
 
     def _op_advise_stats(self, header, blob) -> _Reply:
         lookups = self.memo.hits + self.memo.misses
@@ -472,6 +524,8 @@ class AdvisorServer(FramedServer):
             "uptime_s": time.monotonic() - self._started_monotonic,
             "requests_served": self.requests_served,
             "evaluations": self.evaluations,
+            "engine": self.engine,
+            "solve_ms": self._solve_latency_stats(),
             "memo": {
                 "hits": self.memo.hits,
                 "misses": self.memo.misses,

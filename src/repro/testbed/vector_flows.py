@@ -62,10 +62,17 @@ from .flow_sampling import (
 from .simulator import PacketService
 
 __all__ = ["FlowTables", "VectorFlowRun", "run_vector_flows",
-           "SAMPLING_MODES", "SCHEDULERS"]
+           "SAMPLING_MODES", "SCHEDULERS", "SATURATION_DRAIN_FACTOR"]
 
 SAMPLING_MODES = ("batch", "oracle")
 SCHEDULERS = ("batch", "exact")
+
+# A run whose makespan exceeds this multiple of its offered-arrival
+# window is saturated: the medium cannot drain traffic as fast as it
+# arrives (utilization at or above one), so its delay percentiles are
+# backlog artifacts, not steady-state predictions.  Stable runs sit
+# just above 1 (the drain tail after the last arrival).
+SATURATION_DRAIN_FACTOR = 2.0
 
 
 @dataclass
@@ -326,6 +333,32 @@ class VectorFlowRun:
                 " any packets")
         return float(np.max(np.where(self.tables.valid_mask(),
                                      self.depart_s, -np.inf)))
+
+    @property
+    def drain_factor(self) -> float:
+        """Makespan over the offered-arrival window: ~1 when the medium
+        drains packets as they arrive, ``>> 1`` when the backlog grows
+        for the whole run (utilization at or above one).  ``inf`` for a
+        single-instant burst the medium could not absorb instantly."""
+        mask = self.tables.valid_mask()
+        if self.total_packets == 0:
+            raise ValueError(
+                "drain_factor is undefined: no flow in this run carried"
+                " any packets")
+        arrivals = np.where(mask, self.tables.arrival_s, np.nan)
+        first = float(np.nanmin(arrivals))
+        window = float(np.nanmax(arrivals)) - first
+        busy = self.makespan_s - first
+        if window <= 0.0:
+            return float("inf") if busy > 0.0 else 1.0
+        return busy / window
+
+    @property
+    def saturated(self) -> bool:
+        """True when the run overran :data:`SATURATION_DRAIN_FACTOR` —
+        its delay percentiles describe an unbounded backlog and should
+        be reported as unstable (p99 = inf), not as finite latencies."""
+        return self.drain_factor >= SATURATION_DRAIN_FACTOR
 
     def to_multiflow_run(self):
         """Materialize per-packet traces into a ``MultiFlowRun`` (the

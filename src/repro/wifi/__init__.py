@@ -3,7 +3,8 @@ Section 4.1 (packet success rate, backoff parameters), and loss channels.
 """
 
 from .channel import GilbertElliottChannel, IidLossChannel, LossChannel
-from .dcf import DcfParameters, DcfSolution, solve_dcf
+from .dcf import (DEFAULT_ADMISSION_SUCCESS_RATE, DcfParameters,
+                  DcfSolution, admission_capacity, solve_dcf)
 from .phy import DEFAULT_PHY, Phy80211g
 
 __all__ = [
@@ -13,6 +14,8 @@ __all__ = [
     "DcfParameters",
     "DcfSolution",
     "solve_dcf",
+    "admission_capacity",
+    "DEFAULT_ADMISSION_SUCCESS_RATE",
     "DEFAULT_PHY",
     "Phy80211g",
 ]

@@ -27,12 +27,19 @@ model's eq. (7) needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .phy import DEFAULT_PHY, Phy80211g
 
-__all__ = ["DcfParameters", "DcfSolution", "solve_dcf"]
+__all__ = ["DcfParameters", "DcfSolution", "solve_dcf",
+           "admission_capacity", "DEFAULT_ADMISSION_SUCCESS_RATE"]
+
+# Admission floor for :func:`admission_capacity`: the packet success rate
+# an AP must sustain for every admitted contender.  With default DCF
+# parameters this admits 4 stations (p_s(4) ~= 0.77, p_s(5) ~= 0.73) —
+# the per-AP concurrency the advisor service has always defaulted to.
+DEFAULT_ADMISSION_SUCCESS_RATE = 0.75
 
 
 @dataclass(frozen=True)
@@ -133,3 +140,31 @@ def solve_dcf(params: DcfParameters, *, tolerance: float = 1e-12,
         mean_backoff_slots=mean_backoff_slots,
         backoff_rate_per_s=backoff_rate,
     )
+
+
+def admission_capacity(
+    params: Optional[DcfParameters] = None, *,
+    min_success_rate: float = DEFAULT_ADMISSION_SUCCESS_RATE,
+    max_stations: int = 64,
+) -> int:
+    """Largest contender count the DCF model admits at a success floor.
+
+    The per-AP admission cap of the advisor service, derived from the
+    same Section 4.1 contention model the delay predictions use: admit
+    stations while the saturated-DCF packet success rate stays at or
+    above ``min_success_rate``.  ``params.n_stations`` is ignored — the
+    sweep varies it.  Always admits at least one station (a lone sender
+    never collides), and gives up at ``max_stations``.
+    """
+    if not 0.0 < min_success_rate <= 1.0:
+        raise ValueError(
+            f"min_success_rate must be in (0, 1], got {min_success_rate}")
+    if params is None:
+        params = DcfParameters()
+    capacity = 1
+    for n in range(2, max_stations + 1):
+        solution = solve_dcf(replace(params, n_stations=n))
+        if solution.packet_success_rate < min_success_rate:
+            break
+        capacity = n
+    return capacity

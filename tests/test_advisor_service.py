@@ -201,6 +201,21 @@ class TestServedRecommendations:
                              "peak_in_flight"}
         assert load["in_flight"] == 0  # all sessions drained
 
+    def test_stats_report_engine_and_solve_latency(self, served):
+        """Cold evaluations must feed the per-engine solve-latency
+        percentiles; the idle engine's slot stays empty, not fake."""
+        with AdvisorClient(served.host, served.port) as client:
+            client.recommend(ServiceRequest(seed=35, **TINY))
+            stats = client.stats()
+        assert stats["engine"] == "vector"
+        solve = stats["solve_ms"]
+        assert set(solve) == {"scalar", "vector"}
+        vector = solve["vector"]
+        assert vector["count"] >= 1
+        assert 0.0 < vector["p50_ms"] <= vector["p99_ms"]
+        scalar = solve["scalar"]
+        assert scalar == {"count": 0, "p50_ms": None, "p99_ms": None}
+
     @pytest.mark.parametrize("request_obj", [
         None,
         "not a dict",
@@ -247,6 +262,36 @@ class TestServedRecommendations:
             assert client.ping()["pong"] is True
 
 
+class TestServerConfig:
+    def test_capacity_derived_from_dcf_model(self, tmp_path):
+        """Without --ap-capacity the cap falls out of the contention
+        model, matching the historical hand-set default of 4."""
+        from repro.wifi.dcf import admission_capacity
+
+        server = AdvisorServer(tmp_path / "memo")
+        try:
+            assert server.ap_capacity == admission_capacity() == 4
+        finally:
+            server.cache.close()
+            server._executor.shutdown(wait=False)
+
+    def test_explicit_capacity_overrides_model(self, tmp_path):
+        server = AdvisorServer(tmp_path / "memo", ap_capacity=9)
+        try:
+            assert server.ap_capacity == 9
+        finally:
+            server.cache.close()
+            server._executor.shutdown(wait=False)
+
+    def test_zero_capacity_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="ap_capacity"):
+            AdvisorServer(tmp_path / "memo", ap_capacity=0)
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="engine"):
+            AdvisorServer(tmp_path / "memo", engine="simd")
+
+
 class TestAdmissionControl:
     """Per-AP caps under a hammering client pool, with the model sweep
     stubbed so cold evaluations take a deterministic ~50 ms."""
@@ -262,7 +307,7 @@ class TestAdmissionControl:
 
     def test_cap_holds_and_rejected_sessions_eventually_complete(
             self, tmp_path, monkeypatch):
-        def slow_evaluate(request):
+        def slow_evaluate(request, **kwargs):
             time.sleep(0.05)
             return dict(self.CANNED)
 
@@ -320,7 +365,7 @@ class TestAdmissionControl:
         out of the way."""
         release = threading.Event()
 
-        def blocking_evaluate(request):
+        def blocking_evaluate(request, **kwargs):
             release.wait(timeout=30.0)
             return dict(self.CANNED)
 

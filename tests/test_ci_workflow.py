@@ -87,6 +87,14 @@ class TestCommands:
         runs = _run_lines(workflow, "tier-1")
         assert any("bench_serve.py --smoke" in line for line in runs)
 
+    def test_tier1_runs_advisor_sweep_smoke(self, workflow):
+        """The PR job must also pin the model engines to each other:
+        a scalar and a vector sweep over the default ladder must select
+        the same policy and agree on every sweep scalar."""
+        runs = _run_lines(workflow, "tier-1")
+        assert any("bench_advisor_sweep.py --smoke" in line
+                   for line in runs)
+
     def test_bench_gate_checks_trend(self, workflow):
         runs = _run_lines(workflow, "bench-gate")
         assert any("crypto_microbench.py" in line for line in runs)
@@ -98,16 +106,19 @@ class TestCommands:
 
     def test_bench_gate_merges_before_gating(self, workflow):
         """crypto_microbench rewrites BENCH_crypto.json from scratch, so
-        it must run first; the serve bench merges its section in next,
-        and the flows bench (the last writer) carries --check-trend."""
+        it must run first; the serve and advisor-sweep benches merge
+        their sections in next, and the flows bench (the last writer)
+        carries --check-trend."""
         runs = _run_lines(workflow, "bench-gate")
         crypto = next(i for i, line in enumerate(runs)
                       if "crypto_microbench.py" in line)
         serve = next(i for i, line in enumerate(runs)
                      if "bench_serve.py" in line)
+        sweep = next(i for i, line in enumerate(runs)
+                     if "bench_advisor_sweep.py" in line)
         flows = next(i for i, line in enumerate(runs)
                      if "bench_ext_flows_scale.py" in line)
-        assert crypto < serve < flows
+        assert crypto < serve < sweep < flows
 
     def test_static_checks_compile_and_lint(self, workflow):
         runs = _run_lines(workflow, "static-checks")

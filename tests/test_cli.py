@@ -106,7 +106,9 @@ class TestAdviseServeArgs:
         args = build_parser().parse_args(["serve"])
         assert args.port == 0
         assert args.host == "127.0.0.1"
-        assert args.ap_capacity == 4
+        # None = derive the cap from the DCF contention model at startup.
+        assert args.ap_capacity is None
+        assert args.engine == "vector"
         assert args.workers == 2
 
     def test_advise_rejects_both_targets(self):

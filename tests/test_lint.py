@@ -80,6 +80,28 @@ class TestRules:
                         "    pass")
         assert lint_file(vector) == []
 
+    def test_policy_loop_only_banned_in_vector_models(self, tmp_path):
+        loop = "for policy in candidates:"
+        elsewhere = _write(tmp_path, "mod.py", loop, "    pass")
+        assert lint_file(elsewhere) == []
+        models = _write(tmp_path, "vector_models.py", loop, "    pass")
+        assert [e.rule for e in lint_file(models)] == \
+            ["policy-loop-in-vector-models"]
+        assert "leading axis" in lint_file(models)[0].message
+
+    def test_policy_loop_variants_flagged(self, tmp_path):
+        for line in ("for i, policy in enumerate(ladder):",
+                     "for lane in range(batch_size):",
+                     "for c in candidates:"):
+            models = _write(tmp_path, "vector_models.py", line, "    pass")
+            assert [e.rule for e in lint_file(models)] == \
+                ["policy-loop-in-vector-models"], line
+
+    def test_model_stacking_loop_allowed_in_vector_models(self, tmp_path):
+        models = _write(tmp_path, "vector_models.py",
+                        "values = np.array([getter(m) for m in models])")
+        assert lint_file(models) == []
+
     def test_blocking_calls_only_banned_in_server_module(self, tmp_path):
         for line in (RAW_SOCKET, BLOCKING_SLEEP):
             elsewhere = _write(tmp_path, "mod.py", line)

@@ -12,7 +12,7 @@ class TestRunSelftest:
         results = run_selftest()
         assert [r.name for r in results] == [
             "crypto-kat", "cached-engine", "event-kernel", "vector-flows",
-            "net-queue", "advise-serve"]
+            "vector-models", "net-queue", "advise-serve"]
         failures = [r for r in results if not r.ok]
         assert not failures, [f"{r.name}: {r.detail}" for r in failures]
 

@@ -110,6 +110,23 @@ class TestGatePolicy:
         assert not failed_default
         assert failed_tight
 
+    def test_saturation_markers_ride_ungated(self):
+        """p99 = inf (the saturated-queue marker from flows-scale) must
+        render as 'inf' with no delta, never crash the formatter — and
+        a finite->inf flip on an ungated leaf stays informational."""
+        current = json.loads(json.dumps(BASELINE))
+        baseline = json.loads(json.dumps(BASELINE))
+        baseline["cache"]["len_s"] = float("inf")
+        current["cache"]["len_s"] = float("inf")
+        current["cache"]["stats_s"] = float("inf")  # finite -> inf
+        rows, failed = trend_gate(current, baseline)
+        assert not failed
+        by = _by_metric(rows)
+        assert by["cache.len_s"].delta_fraction is None
+        assert by["cache.stats_s"].delta_fraction is None
+        text = render_trend(rows, threshold=DEFAULT_THRESHOLD)
+        assert "inf" in text
+
     def test_render_lists_gated_rows_first(self):
         rows, _ = trend_gate(BASELINE, BASELINE)
         text = render_trend(rows, threshold=DEFAULT_THRESHOLD)

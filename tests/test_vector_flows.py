@@ -31,11 +31,14 @@ from repro.testbed.simulator import LinkConfig, SimulationRun
 from repro.testbed.tracing import TraceLog
 from repro.testbed.transport import HTTP_TCP, UDP_RTP
 from repro.testbed.vector_flows import (
+    SATURATION_DRAIN_FACTOR,
     _schedule_batch,
     _schedule_exact,
     build_tables,
     run_vector_flows,
 )
+
+SEED_GUARD = 2013
 from repro.video import CodecConfig, encode_sequence, generate_clip
 from repro.wifi.channel import GilbertElliottChannel
 
@@ -318,6 +321,35 @@ class TestMultiFlowRunEmptyFlows:
             empty.mean_delay_ms
         with pytest.raises(ValueError, match="no flow"):
             empty.makespan_s
+
+
+class TestSaturationGuard:
+    """Satellite regression: saturated grids must be flagged, not
+    reported as astronomical-but-finite latency percentiles (the 10k-
+    flow flows_scale point used to publish a p99 of ~8.2e14 ms)."""
+
+    def _run(self, bitstream, n_flows):
+        link = contention_link(n_flows)
+        service = _service_for(standard_policies("AES256")["I"],
+                               GALAXY_S2, link, UDP_RTP)
+        flow_streams, flow_arrivals = _packetize_flows(
+            [bitstream] * n_flows, mtu=1460,
+            disk_read_rate_pkts_per_s=600.0, stagger_s=0.0)
+        return run_vector_flows(flow_streams, flow_arrivals,
+                                service=service, seed=SEED_GUARD)
+
+    def test_light_grid_is_stable(self, tiny_bitstream):
+        vrun = self._run(tiny_bitstream, 4)
+        assert not vrun.saturated
+        assert 1.0 <= vrun.drain_factor < SATURATION_DRAIN_FACTOR
+
+    def test_overloaded_grid_is_flagged(self, tiny_bitstream):
+        """Enough contenders that the backlog grows for the whole run:
+        the drain factor blows past the threshold and the run must be
+        reported unstable (the bench then emits p99 = inf)."""
+        vrun = self._run(tiny_bitstream, 150)
+        assert vrun.saturated
+        assert vrun.drain_factor > SATURATION_DRAIN_FACTOR
 
 
 class TestValidation:

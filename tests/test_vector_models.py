@@ -1,0 +1,220 @@
+"""The batched model stack vs the scalar oracle, differentially.
+
+:mod:`repro.core.vector_models` re-derives the whole analytic pipeline
+(G-matrix fixed point, eq. 19, Euler waiting-time inversion, frame
+success, distortion/PSNR/MOS) in struct-of-arrays form.  Its contract
+mirrors the crypto and flow fast paths: the scalar stack stays the
+oracle, and hypothesis sweeps MMPP parameters, policy ladders and
+quantile levels through both, pinning every scalar the advisor serves
+to tight float tolerance — and the *selection* to byte identity.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PolicyAdvisor,
+    calibrate_scenario,
+    default_candidates,
+)
+from repro.core import vector_models as vm
+from repro.core.advisor import choice_payload, encode_payload
+from repro.core.distortion import DistortionPolynomial
+from repro.core.queueing import compute_g_matrix, solve_mmpp_g1
+from repro.core.waiting_distribution import waiting_time_distribution
+from repro.crypto.timing import reference_cipher_cost
+
+COSTS = {name: reference_cipher_cost(name)
+         for name in ("AES128", "AES256", "3DES")}
+POLY = DistortionPolynomial(coefficients=(0.0, 40.0, 4.0), cap=8000.0)
+
+# A 4-lane slice of the default ladder keeps the scalar oracle passes
+# (the expensive side of every differential) fast.
+LANE_POLICIES = (0, 3, 7, 8)
+
+
+@pytest.fixture(scope="module")
+def scenario(slow_bitstream):
+    return calibrate_scenario(
+        slow_bitstream, cipher_costs=COSTS, polynomial=POLY,
+        sensitivity_fraction=0.55, recovery_fraction=0.9,
+        baseline_distortion=6.0,
+    )
+
+
+def _lanes(scenario):
+    ladder = default_candidates()
+    policies = [ladder[i] for i in LANE_POLICIES]
+    services = [scenario.service_model(p) for p in policies]
+    return services, vm.ServiceBatch.from_models(services)
+
+
+def _mmpp(scenario, p1, p2, scale):
+    return replace(scenario.mmpp, p1=p1, p2=p2,
+                   lambda1=scenario.mmpp.lambda1 * scale,
+                   lambda2=scenario.mmpp.lambda2 * scale)
+
+
+mmpp_params = given(
+    p1=st.floats(0.05, 0.95),
+    p2=st.floats(0.05, 0.95),
+    scale=st.floats(0.2, 1.0),
+)
+
+
+class TestQueueDifferential:
+    @settings(max_examples=10, deadline=None)
+    @mmpp_params
+    def test_g_matrix_matches_scalar(self, scenario, p1, p2, scale):
+        services, batch = _lanes(scenario)
+        mmpp = _mmpp(scenario, p1, p2, scale)
+        assume(all(mmpp.mean_rate * s.mean < 0.9 for s in services))
+        gs = vm.batch_g_matrix(mmpp, batch)
+        for i, service in enumerate(services):
+            reference = compute_g_matrix(mmpp, service)
+            assert np.max(np.abs(gs[i] - reference)) < 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @mmpp_params
+    def test_solve_matches_scalar(self, scenario, p1, p2, scale):
+        services, batch = _lanes(scenario)
+        mmpp = _mmpp(scenario, p1, p2, scale)
+        assume(all(mmpp.mean_rate * s.mean < 0.9 for s in services))
+        solution = vm.batch_solve_mmpp_g1(mmpp, batch)
+        assert solution.stable.all()
+        for i, service in enumerate(services):
+            reference = solve_mmpp_g1(mmpp, service)
+            lane = solution.solution(i)
+            # Both stacks stop the G iteration at step < 1e-12, but the
+            # scalar oracle's stopping rule leaves it ~tol/(1-rho) from
+            # the true fixed point while the vector Newton path lands on
+            # it; the propagated disagreement is O(1e-10), so the bound
+            # here is 1e-9 (still 100x tighter than the 1e-7 serving
+            # tolerance).
+            for field in ("mean_waiting_time_s",
+                          "mean_virtual_waiting_time_s",
+                          "mean_sojourn_time_s", "traffic_intensity",
+                          "mean_service_time_s",
+                          "service_second_moment"):
+                got = getattr(lane, field)
+                want = getattr(reference, field)
+                assert abs(got - want) <= 1e-9 * max(1.0, abs(want)), (
+                    field, got, want)
+            assert np.allclose(lane.idle_phase_vector,
+                               reference.idle_phase_vector, atol=1e-10)
+
+
+class TestWaitingDifferential:
+    @settings(max_examples=6, deadline=None)
+    @given(scale=st.floats(0.3, 1.0),
+           level=st.floats(0.05, 0.99))
+    def test_survival_cdf_quantile_mean(self, scenario, scale, level):
+        services, batch = _lanes(scenario)
+        mmpp = _mmpp(scenario, scenario.mmpp.p1, scenario.mmpp.p2, scale)
+        assume(all(mmpp.mean_rate * s.mean < 0.9 for s in services))
+        wd = vm.batch_waiting_distribution(mmpp, batch)
+        refs = [waiting_time_distribution(mmpp, s) for s in services]
+
+        mass = wd.mass_at_zero()
+        means = wd.mean()
+        quantiles = wd.quantile(level)
+        t = np.array([r.quantile(0.5) for r in refs])
+        survival = wd.survival(t)
+        cdf = wd.cdf(t)
+        # Tolerances leave headroom for the scalar G iteration's
+        # stopping-rule offset (see TestQueueDifferential) propagated
+        # through the Euler inversion.
+        for i, reference in enumerate(refs):
+            assert abs(mass[i] - reference._mass_at_zero()) < 1e-10
+            want_mean = reference.mean()
+            assert abs(means[i] - want_mean) <= \
+                1e-9 * max(1.0, abs(want_mean))
+            t_i = float(t[i])
+            assert abs(survival[i] - reference.survival(t_i)) < 1e-9
+            assert abs(cdf[i] - reference.cdf(t_i)) < 1e-9
+            want_q = reference.quantile(level)
+            assert abs(quantiles[i] - want_q) <= \
+                1e-10 + 1e-8 * max(1.0, want_q)
+
+
+class TestAdvisorParity:
+    @settings(max_examples=8, deadline=None)
+    @given(target=st.floats(10.0, 40.0))
+    def test_selection_byte_identical(self, scenario, target):
+        """Both engines must serve the *same bytes* for the selection
+        head of the payload — the part admission and clients key on."""
+        ladder = default_candidates()
+        scalar = choice_payload(
+            PolicyAdvisor(scenario, engine="scalar").recommend(
+                target_psnr_db=target, candidates=ladder))
+        vector = choice_payload(
+            PolicyAdvisor(scenario, engine="vector").recommend(
+                target_psnr_db=target, candidates=ladder))
+        scalar_head = {key: scalar[key]
+                       for key in ("recommended", "satisfied",
+                                   "target_psnr_db")}
+        vector_head = {key: vector[key]
+                       for key in ("recommended", "satisfied",
+                                   "target_psnr_db")}
+        assert encode_payload(scalar_head) == encode_payload(vector_head)
+        for label, entry in scalar["sweep"].items():
+            other = vector["sweep"][label]
+            for key in ("delay_ms", "waiting_ms", "traffic_intensity",
+                        "receiver_psnr_db", "eavesdropper_psnr_db",
+                        "eavesdropper_mos"):
+                assert abs(other[key] - entry[key]) <= \
+                    1e-7 * max(1.0, abs(entry[key])), (label, key)
+
+    def test_wide_ladder_agrees(self, scenario):
+        """One 27-policy pass: the lane count must not change the
+        agreement (regression for lane-axis broadcasting bugs)."""
+        fractions = [float(f) for f in np.linspace(0.02, 0.98, 24)]
+        ladder = default_candidates(fractions=fractions)
+        scalar = PolicyAdvisor(scenario, engine="scalar").recommend(
+            candidates=ladder)
+        vector = PolicyAdvisor(scenario, engine="vector").recommend(
+            candidates=ladder)
+        assert scalar.recommended.policy == vector.recommended.policy
+        for label, entry in scalar.sweep.items():
+            assert abs(vector.sweep[label].delay_ms - entry.delay_ms) <= \
+                1e-7 * max(1.0, entry.delay_ms)
+
+    def test_memo_entries_engine_agnostic(self, scenario):
+        """A vector advisor must reuse scalar-computed memo entries
+        verbatim — the memo key carries no engine field."""
+        advisor = PolicyAdvisor(scenario, engine="vector")
+        ladder = default_candidates()
+        scalar_prediction = advisor.model.predict(ladder[0])
+        advisor._predictions[ladder[0]] = scalar_prediction
+        choice = advisor.recommend(candidates=ladder)
+        assert choice.sweep[ladder[0].label] is scalar_prediction
+        assert advisor.evaluations == len(ladder)
+
+
+class TestSaturationFlag:
+    def test_unstable_lane_flagged_not_astronomical(self, scenario):
+        """Pushing a lane past rho = 1 must yield stable=False and inf
+        waiting times, and the scalar-view accessor must raise exactly
+        like the scalar solver — never emit astronomical floats."""
+        services, batch = _lanes(scenario)
+        heaviest = max(range(len(services)),
+                       key=lambda i: services[i].mean)
+        scale = 1.2 / (scenario.mmpp.mean_rate
+                       * services[heaviest].mean)
+        mmpp = _mmpp(scenario, scenario.mmpp.p1, scenario.mmpp.p2,
+                     scale)
+        solution = vm.batch_solve_mmpp_g1(mmpp, batch)
+        assert not solution.stable[heaviest]
+        assert np.isinf(solution.mean_waiting_time_s[heaviest])
+        assert np.isinf(solution.mean_sojourn_time_s[heaviest])
+        with pytest.raises(ValueError, match="unstable"):
+            solution.solution(heaviest)
+        with pytest.raises(ValueError, match="unstable"):
+            vm.batch_waiting_distribution(mmpp, batch)
+        for index in np.flatnonzero(solution.stable):
+            lane = solution.solution(int(index))
+            assert np.isfinite(lane.mean_waiting_time_s)

@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.wifi import (
+    DEFAULT_ADMISSION_SUCCESS_RATE,
     DcfParameters,
     GilbertElliottChannel,
     IidLossChannel,
     Phy80211g,
+    admission_capacity,
     solve_dcf,
 )
 
@@ -53,6 +55,28 @@ class TestDcf:
         solution = solve_dcf(DcfParameters(n_stations=3))
         assert solution.backoff_rate_per_s > 0
         assert solution.mean_backoff_slots > 0
+
+    def test_admission_capacity_default_is_four(self):
+        """The advisor service's historical per-AP cap of 4 must fall
+        out of the contention model at the default admission floor."""
+        capacity = admission_capacity()
+        assert capacity == 4
+        at_cap = solve_dcf(DcfParameters(n_stations=capacity))
+        over = solve_dcf(DcfParameters(n_stations=capacity + 1))
+        assert at_cap.packet_success_rate >= \
+            DEFAULT_ADMISSION_SUCCESS_RATE > over.packet_success_rate
+
+    def test_admission_capacity_monotone_in_floor(self):
+        capacities = [admission_capacity(min_success_rate=floor)
+                      for floor in (0.95, 0.75, 0.6)]
+        assert capacities == sorted(capacities)
+        assert admission_capacity(min_success_rate=1.0) == 1
+
+    def test_admission_capacity_rejects_bad_floor(self):
+        with pytest.raises(ValueError, match="min_success_rate"):
+            admission_capacity(min_success_rate=0.0)
+        with pytest.raises(ValueError, match="min_success_rate"):
+            admission_capacity(min_success_rate=1.5)
 
     @pytest.mark.parametrize("kwargs", [
         {"n_stations": 0}, {"cw_min": 1},
