@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Mobility benchmark: the AP-handoff frontier through the cached engine.
+
+Sweeps the mobility profiles (parked / pedestrian / vehicular /
+waypoint) against the AP-selection policies (strongest / hysteresis /
+history) and reports, per point, the received MOS, mean power, mean
+delay, and the handoff loss (gap fraction of the trace plus the
+packets that arrived inside connectivity gaps).  Every cell runs
+through the cached :class:`~repro.testbed.engine.ExperimentEngine`
+twice over a fresh cache: the cold pass must simulate, the warm pass
+must replay byte-identical summaries with zero simulations — the same
+replay contract the static grid pins, now covering mobility cells and
+their v3 cache keys.
+
+Results merge into the crypto micro-bench report (``BENCH_crypto.json``
+under a ``mobility`` section) so ``repro bench trend`` gates the
+``cold_cells_per_s`` / ``warm_cells_per_s`` throughput keys against the
+committed baseline; the frontier metrics ride along un-gated.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/crypto_microbench.py
+    PYTHONPATH=src python benchmarks/bench_ext_mobility.py --check-trend
+
+``--smoke`` is the PR-tier mode: an exact kernel-vs-vector handoff
+differential, the parked-equals-static byte-identity, and a gap-drop
+sanity check (writes nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.core import standard_policies
+from repro.mobility import (
+    build_scenario,
+    default_field,
+    linear_trace,
+    run_mobility,
+)
+from repro.testbed import (
+    DEVICES,
+    ExperimentConfig,
+    ExperimentEngine,
+    GridCell,
+    ResultCache,
+)
+from repro.testbed.multiflow import run_multiflow
+from repro.video import CodecConfig, encode_sequence, generate_clip
+
+# parked is selection-invariant (one AP, zero handoffs): one point
+# anchors the frontier, the moving profiles sweep the selection axis.
+FRONTIER = ("parked:strongest",) + tuple(
+    f"{profile}:{selection}"
+    for profile in ("pedestrian", "vehicular", "waypoint")
+    for selection in ("strongest", "hysteresis", "history"))
+DEFAULT_FRAMES = 24
+DEFAULT_REPEATS = 2
+DEFAULT_BASELINE = Path("benchmarks/results/bench_baseline.json")
+SEED = 2013
+MASTER_SEED = 7
+
+
+def _scenario(frames: int):
+    clip = generate_clip("slow", frames, seed=1)
+    bitstream = encode_sequence(clip, CodecConfig(gop_size=6, quantizer=8))
+    policy = standard_policies("AES256")["I"]
+    device = DEVICES["samsung-s2"]
+    return clip, bitstream, policy, device
+
+
+def _trace_rows(result):
+    return [
+        (t.sequence_number, t.enqueue_time_s, t.service_start_s,
+         t.encryption_time_s, t.transmit_time_s, t.departure_time_s,
+         t.encrypted, t.delivered, t.attempts)
+        for run in result.flows for t in run.trace]
+
+
+def _smoke(frames: int) -> None:
+    """PR-tier check: handoff differential + parked byte-identity."""
+    _, bitstream, policy, device = _scenario(frames)
+    kwargs = dict(flows=2, policy=policy, device=device, seed=SEED)
+
+    # 1. Kernel vs vector (oracle sampling) across real handoffs.
+    scenario = build_scenario(
+        linear_trace(25.0, 4.0, timestep_s=0.1),
+        default_field(6, spacing_m=15.0),
+        handoff_gap_s=0.15, n_stations=3)
+    assert scenario.handoffs >= 2, "smoke scenario must hand off"
+    kernel = run_mobility(bitstream, mobility=scenario, **kwargs)
+    vector = run_mobility(bitstream, mobility=scenario, engine="vector",
+                          sampling="oracle", **kwargs)
+    assert _trace_rows(kernel.flows_run) == _trace_rows(vector.flows_run), \
+        "mobile vector engine diverged from the kernel"
+    assert kernel.gap_packets == vector.gap_packets, "gap accounting split"
+    print(f"smoke: oracle==kernel over"
+          f" {len(_trace_rows(kernel.flows_run))} traces,"
+          f" {scenario.handoffs} handoffs,"
+          f" {kernel.gap_packets} gap packets agree")
+
+    # 2. Parked mobility is byte-identical to the static simulator: the
+    # retune process spawns no RNG and a single segment never fires.
+    parked = run_mobility(bitstream, mobility="parked", **kwargs)
+    static = run_multiflow(bitstream, **kwargs)
+    assert _trace_rows(parked.flows_run) == _trace_rows(static), \
+        "parked mobility diverged from the static multiflow run"
+    print(f"smoke: parked==static over"
+          f" {len(_trace_rows(static))} traces")
+
+    # 3. Handoff gaps must cost delivery, never help it: the dense
+    # corridor run from (1) forces arrivals inside gaps.
+    assert kernel.gap_packets > 0, "smoke scenario saw no gap packets"
+    assert kernel.delivered_fraction <= parked.delivered_fraction, (
+        f"handoffs improved delivery: {kernel.delivered_fraction} >"
+        f" {parked.delivered_fraction}")
+    print(f"smoke: corridor run drops {kernel.gap_packets} gap packets,"
+          f" delivery {kernel.delivered_fraction:.3f} <="
+          f" parked {parked.delivered_fraction:.3f}")
+
+
+def _frontier_cells(repeats: int):
+    device = DEVICES["samsung-s2"]
+    policy = standard_policies("AES256")["I"]
+    return [
+        GridCell(
+            "mobility", ExperimentConfig(
+                policy=policy, device=device, sensitivity_fraction=0.55,
+                flows=1, decode_video=True, engine="events",
+                mobility=spec),
+            repeats)
+        for spec in FRONTIER
+    ]
+
+
+def _run_grid(cache, clip, bitstream, cells):
+    engine = ExperimentEngine(cache=cache, workers=1,
+                              master_seed=MASTER_SEED)
+    engine.add_scenario("mobility", clip, bitstream)
+    start = time.perf_counter()
+    summaries = engine.run_grid(cells)
+    elapsed = time.perf_counter() - start
+    return summaries, elapsed, engine.simulations_run
+
+
+PACED_READ_RATE_PKTS_PER_S = 4.0
+
+
+def _handoff_stats(bitstream, policy, device):
+    """Per-spec handoff accounting from one paced vector run each.
+
+    The engine cells burst the clip at the disk rate (everything is on
+    the air before the first handoff), so the loss axis comes from a
+    run paced slowly enough that the transfer spans the trace and
+    arrivals land inside the connectivity gaps.
+    """
+    stats = {}
+    for spec in FRONTIER:
+        run = run_mobility(
+            bitstream, mobility=spec, flows=1, policy=policy,
+            device=device, seed=SEED, engine="vector",
+            disk_read_rate_pkts_per_s=PACED_READ_RATE_PKTS_PER_S)
+        stats[spec] = {
+            "handoffs": run.handoffs,
+            "gap_fraction": run.scenario.gap_fraction,
+            "gap_packets": run.gap_packets,
+            "delivered_fraction": run.delivered_fraction,
+        }
+    return stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES,
+                        help=f"clip length in frames (default"
+                             f" {DEFAULT_FRAMES})")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help=f"repeats per frontier cell (default"
+                             f" {DEFAULT_REPEATS})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="PR-tier mode: handoff differential, parked"
+                             " byte-identity, gap-drop sanity; writes no"
+                             " report")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_crypto.json"),
+                        help="report to merge the mobility section into"
+                             " (default ./BENCH_crypto.json)")
+    parser.add_argument("--check-trend", action="store_true",
+                        help="after writing, run the regression gate"
+                             " against the committed baseline")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline for --check-trend (default"
+                             f" {DEFAULT_BASELINE})")
+    args = parser.parse_args()
+    if args.frames < 6:
+        parser.error("--frames must be at least 6")
+    if args.repeats < 1:
+        parser.error("--repeats must be positive")
+
+    if args.smoke:
+        _smoke(args.frames)
+        return
+
+    clip, bitstream, policy, device = _scenario(args.frames)
+    cells = _frontier_cells(args.repeats)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-mob-") as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        try:
+            cold, cold_s, cold_sims = _run_grid(cache, clip, bitstream,
+                                                cells)
+            warm, warm_s, warm_sims = _run_grid(cache, clip, bitstream,
+                                                cells)
+        finally:
+            cache.close()
+    expected = len(cells) * args.repeats
+    assert cold_sims == expected, (
+        f"cold pass ran {cold_sims} simulations, expected {expected}")
+    assert warm_sims == 0, (
+        f"warm pass ran {warm_sims} simulations, expected a replay")
+    assert cold == warm, "warm replay diverged from the cold run"
+    assert all(summary.from_cache for summary in warm), \
+        "warm summaries not marked from_cache"
+
+    handoffs = _handoff_stats(bitstream, policy, device)
+    frontier = {}
+    for spec, summary in zip(FRONTIER, cold):
+        point = dict(handoffs[spec])
+        point.update({
+            "mos": summary.receiver_mos.mean,
+            "receiver_psnr_db": summary.receiver_psnr_db.mean,
+            "power_w": summary.power_w.mean,
+            "delay_ms": summary.delay_ms.mean,
+        })
+        frontier[spec] = point
+        print(f"{spec:22s} MOS {point['mos']:4.2f}"
+              f"  power {point['power_w']:5.3f} W"
+              f"  delay {point['delay_ms']:6.2f} ms"
+              f"  handoffs {point['handoffs']:3d}"
+              f"  gap {point['gap_fraction'] * 100:5.2f}%"
+              f"  delivered {point['delivered_fraction'] * 100:6.2f}%")
+    print(f"cold: {len(cells) / cold_s:6.2f} cells/s"
+          f" ({cold_sims} sims), warm: {len(cells) / warm_s:6.2f}"
+          f" cells/s (0 sims, byte-identical)")
+
+    report = {}
+    if args.out.exists():
+        report = json.loads(args.out.read_text())
+    report["mobility"] = {
+        "frames": args.frames,
+        "repeats": args.repeats,
+        "cells": len(cells),
+        "cold_cells_per_s": len(cells) / cold_s,
+        "warm_cells_per_s": len(cells) / warm_s,
+        "warm_byte_identical": True,
+        "frontier": frontier,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[saved to {args.out}]")
+    if args.check_trend:
+        raise SystemExit(repro_main([
+            "bench", "trend", "--current", str(args.out),
+            "--baseline", str(args.baseline),
+        ]))
+
+
+if __name__ == "__main__":
+    main()

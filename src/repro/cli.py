@@ -36,6 +36,7 @@ from .analysis.trend import (
 )
 from .core import EncryptionPolicy
 from .lint import DEFAULT_ROOTS, lint_paths
+from .mobility import MOBILITY_PROFILES, SELECTION_POLICIES
 from .selftest import run_selftest
 from .testbed import (
     AdvisorClient,
@@ -139,6 +140,7 @@ def _advise_request(args) -> ServiceRequest:
             flows=args.flows, algorithm=args.algorithm,
             target_psnr_db=target_psnr, target_mos=args.target_mos,
             candidates=candidates, ap=args.ap,
+            mobility=args.mobility,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -275,6 +277,55 @@ def cmd_multiflow(args) -> int:
     ))
     print(f"all-flow mean delay: {result.mean_delay_ms:.2f} ms over"
           f" {result.makespan_s:.2f} s")
+    return 0
+
+
+def cmd_mobility(args) -> int:
+    from .mobility import run_mobility
+
+    if args.flows < 1:
+        raise SystemExit(f"--flows must be >= 1, got {args.flows}")
+    _clip, bitstream = _clip_and_bitstream(args)
+    device = DEVICES[args.device]
+    policy = _policy_from_name(args.policy, args.algorithm)
+    spec = args.profile if args.selection is None \
+        else f"{args.profile}:{args.selection}"
+    try:
+        result = run_mobility(
+            bitstream,
+            mobility=spec,
+            flows=args.flows,
+            policy=policy,
+            device=device,
+            seed=args.seed,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    mrun = result.flows_run
+    rows = []
+    for flow_id, (run, row) in enumerate(
+            zip(mrun.flows, mrun.delay_percentiles_ms())):
+        if row is None:  # zero-packet flow: no delay statistics exist
+            rows.append([flow_id, 0, "-", "-", "-", "-"])
+            continue
+        delivered = sum(run.usable_by_receiver) / len(run.packets)
+        rows.append([
+            flow_id, len(run.packets), f"{delivered * 100:.1f}",
+            f"{row['mean']:.2f}", f"{row['p50']:.2f}",
+            f"{row['p99']:.2f}",
+        ])
+    print(render_table(
+        ["flow", "packets", "delivered %", "mean delay (ms)",
+         "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=f"{args.flows} mobile {args.motion}-motion flows on"
+              f" {device.name} ({policy.label}, {spec})",
+    ))
+    summary = result.describe()
+    detail_rows = [[key, str(summary[key])] for key in sorted(summary)]
+    print(render_table(["property", "value"], detail_rows,
+                       title=f"mobility run ({result.engine} engine)"))
     return 0
 
 
@@ -557,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_advise.add_argument("--ap", default="default",
                           help="simulated access point the session rides"
                                " (scopes server-side admission control)")
+    p_advise.add_argument("--mobility", default=None, metavar="SPEC",
+                          help="mobility profile spec"
+                               " (profile[:selection], e.g."
+                               " vehicular:hysteresis); folds handoff"
+                               " gaps and the roamed links into the"
+                               " advised channel")
     p_advise.set_defaults(func=cmd_advise)
 
     p_exp = sub.add_parser("experiment",
@@ -596,6 +653,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_multiflow.add_argument("--stagger-ms", type=float, default=0.0,
                              help="offset flow i's producer by i*stagger")
     p_multiflow.set_defaults(func=cmd_multiflow)
+
+    p_mobility = sub.add_parser(
+        "mobility",
+        help="N mobile senders roaming an AP corridor with handoffs",
+        description="Runs N concurrent flows along a mobility profile:"
+                    " the client walks/drives a trace through a field of"
+                    " APs, an AP-selection policy picks the serving AP,"
+                    " and every handoff opens a connectivity gap."
+                    "  Packets latch the link that was live at their"
+                    " arrival instant, so the event kernel and the"
+                    " vectorized engine agree exactly.",
+    )
+    common(p_mobility)
+    p_mobility.add_argument("--flows", type=int, default=2,
+                            help="number of contending mobile senders")
+    p_mobility.add_argument("--device", choices=sorted(DEVICES),
+                            default="samsung-s2")
+    p_mobility.add_argument("--policy", default="I",
+                            help="none/I/P/all or I+<percent>%%P")
+    p_mobility.add_argument("--algorithm",
+                            choices=("AES128", "AES256", "3DES"),
+                            default="AES256")
+    p_mobility.add_argument("--profile", choices=sorted(MOBILITY_PROFILES),
+                            default="pedestrian",
+                            help="trace shape: parked, pedestrian,"
+                                 " vehicular, or waypoint")
+    p_mobility.add_argument("--selection", choices=SELECTION_POLICIES,
+                            default=None,
+                            help="AP selection policy (default:"
+                                 " strongest RSSI)")
+    p_mobility.add_argument("--engine", choices=MULTIFLOW_ENGINES,
+                            default="events",
+                            help="contention engine: the coroutine event"
+                                 " kernel or the vectorized fast path")
+    p_mobility.set_defaults(func=cmd_mobility)
 
     p_cache = sub.add_parser(
         "cache",
@@ -671,7 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", action="append", metavar="CHECK",
         help="run only this check (repeatable):"
              " crypto-kat/cached-engine/event-kernel/vector-flows/"
-             "vector-models/net-queue/advise-serve",
+             "vector-models/mobility/net-queue/advise-serve",
     )
     p_selftest.set_defaults(func=cmd_selftest)
 

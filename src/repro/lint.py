@@ -25,6 +25,17 @@ so this module enforces the three rules that protect it:
   the asyncio cache/queue server (``server.py``): one stalled handler
   would freeze every connected worker's RPCs.  Connection I/O must go
   through asyncio streams; delays through the event loop.
+- per-timestep/per-segment/per-packet Python ``for`` loops are banned
+  inside the mobile vector path (``mobility/vector.py``): the arrival
+  latch is one ``searchsorted`` and every parameter a fancy index, so
+  any loop walking trace time there silently reintroduces the
+  coroutine kernel's costs.  Per-packet/per-segment Python work
+  belongs in ``mobility/sampling.py``.
+- wall-clock and global-seed calls (``time.time()``,
+  ``np.random.seed(...)``) are banned anywhere under ``mobility/``:
+  traces are simulated time seeded through ``SeedSequence``; a wall
+  clock or global seed would break the byte-identical warm-cache
+  replay the mobility bench asserts.
 
 A line may opt out with a trailing ``# lint: allow`` comment (used by
 code that mentions the patterns in strings, e.g. this linter's tests).
@@ -67,6 +78,17 @@ _POLICY_LOOP = re.compile(
 # every client's RPCs.
 _BLOCKING_NET = re.compile(
     r"(?<![\w.])socket\.\w+|(?<![\w.])time\.sleep\s*\(")
+# A ``for`` loop whose target or iterable walks trace time — steps,
+# timesteps, segments, waypoints, samples, or packets — the loop shapes
+# the mobile vector path must never contain (flow-indexed assembly
+# loops are fine; per-segment/per-packet work lives in sampling.py).
+_TIMESTEP_LOOP = re.compile(
+    r"\bfor\b(?=[^#]*\bin\b)[^#]*(\bpacket\w*|\bpkts?\b|\bsteps?\b"
+    r"|\btimestep\w*|\bsegment\w*|\bsegs?\b|\bwaypoint\w*|\bsamples?\b)")
+# Wall-clock or global-seed calls anywhere in the mobility layer: both
+# would break deterministic trace replay.
+_MOBILITY_CLOCK_SEED = re.compile(
+    r"time\.time\s*\(\s*\)|np\.random\.seed\s*\(")
 
 
 @dataclass(frozen=True)
@@ -107,6 +129,8 @@ def lint_file(path: Path) -> List[LintError]:
     is_vector = path.name == "vector_flows.py"
     is_models = path.name == "vector_models.py"
     is_server = path.name == "server.py"
+    in_mobility = "mobility" in path.parts
+    is_mobile_vector = in_mobility and path.name == "vector.py"
     for number, raw in enumerate(text.splitlines(), start=1):
         if ALLOW_MARKER in raw:
             continue
@@ -146,6 +170,21 @@ def lint_file(path: Path) -> List[LintError]:
                 "blocking socket/sleep call in the asyncio server: use"
                 " asyncio streams and loop-scheduled delays so one"
                 " handler cannot stall every client", raw.strip()))
+        if is_mobile_vector and _TIMESTEP_LOOP.search(line):
+            errors.append(LintError(
+                str(path), number, "timestep-loop-in-mobility-vector",
+                "per-timestep/per-segment Python loop in the mobile"
+                " vector path: latch segments with searchsorted and"
+                " gather parameters with fancy indexing (per-packet/"
+                "per-segment work lives in mobility/sampling.py)",
+                raw.strip()))
+        if in_mobility and _MOBILITY_CLOCK_SEED.search(line):
+            errors.append(LintError(
+                str(path), number, "wall-clock-in-mobility",
+                "time.time()/np.random.seed() in the mobility layer:"
+                " traces run on simulated time and SeedSequence streams,"
+                " or warm-cache replay stops being byte-identical",
+                raw.strip()))
     return errors
 
 

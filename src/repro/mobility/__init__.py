@@ -1,0 +1,61 @@
+"""Mobility + AP-handoff scenario layer.
+
+The paper's advisor picks encryption policies on a *static* open-WiFi
+link; this package opens the ROADMAP's vehicular workload: a client
+moving through a field of APs, per-AP RSSI/datarate varying along a
+deterministic mobility trace, AP-selection policies with handoff gaps,
+and both execution engines (coroutine kernel and struct-of-arrays
+vector path) retuning the flow's PHY/DCF parameters along the way.
+
+Layers, bottom up:
+
+- :mod:`~repro.mobility.trace` — time -> position traces (parked,
+  linear, random-waypoint), ``SeedSequence``-seeded;
+- :mod:`~repro.mobility.field` — AP placements, log-distance path
+  loss, RSSI -> 802.11g rate/residual-error mapping;
+- :mod:`~repro.mobility.selection` — strongest-RSSI / hysteresis /
+  history AP-selection policies;
+- :mod:`~repro.mobility.scenario` — the merged piecewise-constant
+  :class:`LinkSegment` timeline (links, handoffs, connectivity gaps)
+  plus the named profile registry (``"vehicular:hysteresis"`` specs);
+- :mod:`~repro.mobility.process` — the event-kernel integration
+  (:class:`MobilityProcess`, :class:`MobileFlowProcess`) and the
+  :func:`run_mobility` entry point;
+- :mod:`~repro.mobility.sampling` / :mod:`~repro.mobility.vector` —
+  pre-sampling and the vectorized fast path (kernel stays the
+  differential oracle, exactly like the static engines).
+"""
+
+from .field import AccessPoint, ApField, default_field
+from .scenario import (
+    LinkSegment,
+    MOBILITY_PROFILES,
+    MobilityScenario,
+    build_profile,
+    build_scenario,
+    parse_mobility_spec,
+)
+from .selection import SELECTION_POLICIES, select_aps
+from .trace import MobilityTrace, linear_trace, parked_trace, waypoint_trace
+from .process import MobilityProcess, MobilityRun, run_mobility
+
+__all__ = [
+    "AccessPoint",
+    "ApField",
+    "LinkSegment",
+    "MOBILITY_PROFILES",
+    "MobilityProcess",
+    "MobilityRun",
+    "MobilityScenario",
+    "MobilityTrace",
+    "SELECTION_POLICIES",
+    "build_profile",
+    "build_scenario",
+    "default_field",
+    "linear_trace",
+    "parked_trace",
+    "parse_mobility_spec",
+    "run_mobility",
+    "select_aps",
+    "waypoint_trace",
+]

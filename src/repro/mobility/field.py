@@ -1,0 +1,166 @@
+"""AP fields: placements, path loss, and the RSSI -> rate/error map.
+
+The static engines reduce the channel to one Bianchi fixed point; under
+mobility the client's distance to each AP sets a received signal level,
+which picks an 802.11g modulation rate and a residual channel error
+rate — the two knobs the existing models already expose
+(:class:`~repro.wifi.phy.Phy80211g` carries the rate,
+:class:`~repro.wifi.dcf.DcfParameters.channel_error_rate` the loss the
+MAC retries see).
+
+Propagation is the standard log-distance model,
+
+    RSSI(d) = P_tx - PL(d0) - 10 n log10(d / d0),
+
+the deterministic mean path the i.i.d. loss channel in
+:mod:`repro.wifi.channel` rides on (shadowing/fading shows up as the
+residual error rate, not as RSSI noise — traces must stay
+deterministic).  The rate ladder maps RSSI to the *highest* 802.11g
+rate whose receiver sensitivity is met; the margin above that
+sensitivity sets the residual packet error rate, floored to integer dB
+so the distinct ``(rate, error)`` pairs — and hence the DCF fixed
+points solved per scenario — stay countable and memoizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..wifi.dcf import DcfParameters, solve_dcf
+from ..wifi.phy import Phy80211g
+from ..testbed.simulator import LinkConfig
+
+__all__ = ["AccessPoint", "ApField", "RATE_SENSITIVITY_DBM",
+           "default_field", "error_rate_for_margin", "link_for",
+           "rates_and_errors"]
+
+# 802.11g receiver sensitivities (dBm) per modulation rate, typical
+# commodity-chipset values; descending rate order.  The set of rates
+# must match Phy80211g's validation ladder.
+RATE_SENSITIVITY_DBM: Tuple[Tuple[float, float], ...] = (
+    (54.0, -65.0),
+    (48.0, -68.0),
+    (36.0, -73.0),
+    (24.0, -78.0),
+    (18.0, -81.0),
+    (12.0, -84.0),
+    (9.0, -87.0),
+    (6.0, -90.0),
+)
+
+_SENS_ASC = np.array([s for _, s in reversed(RATE_SENSITIVITY_DBM)])
+_RATES_ASC = np.array([r for r, _ in reversed(RATE_SENSITIVITY_DBM)])
+
+# Above this margin (dB over sensitivity) the residual error rate is
+# exactly 0.0 — which is what makes a parked client beside its AP
+# reproduce the static engines' error-free link byte-for-byte.
+CLEAN_MARGIN_DB = 30.0
+# Cap: at zero margin the link is barely decodable, not dead — the MAC
+# retry fold still delivers most packets.
+MAX_ERROR_RATE = 0.25
+
+
+def error_rate_for_margin(margin_db: Union[float, np.ndarray]
+                          ) -> np.ndarray:
+    """Residual channel error rate from the dB margin over sensitivity.
+
+    A smooth log-linear roll-off, quantized on integer-dB margins:
+    0.25 at zero margin, one decade per 10 dB, exactly 0.0 from
+    :data:`CLEAN_MARGIN_DB` up.
+    """
+    margin = np.floor(np.atleast_1d(np.asarray(margin_db, dtype=float)))
+    error = np.minimum(MAX_ERROR_RATE, 0.25 * 10.0 ** (-margin / 10.0))
+    return np.where(margin >= CLEAN_MARGIN_DB, 0.0, np.round(error, 6))
+
+
+def rates_and_errors(rssi_dbm: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Map RSSI samples to (rate Mb/s, residual error rate).
+
+    Rate 0.0 marks out-of-range samples (below the 6 Mb/s
+    sensitivity) — a coverage hole the scenario layer turns into a
+    connectivity gap.
+    """
+    rssi = np.asarray(rssi_dbm, dtype=float)
+    index = np.searchsorted(_SENS_ASC, rssi, side="right") - 1
+    in_range = index >= 0
+    clamped = np.maximum(index, 0)
+    rate = np.where(in_range, _RATES_ASC[clamped], 0.0)
+    margin = rssi - _SENS_ASC[clamped]
+    error = np.where(in_range, error_rate_for_margin(margin), 0.0)
+    return rate, error
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One AP: a name and a 2D position."""
+
+    name: str
+    position_m: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ApField:
+    """A set of APs plus the propagation constants they share."""
+
+    aps: Tuple[AccessPoint, ...]
+    tx_power_dbm: float = 20.0
+    reference_loss_db: float = 40.0   # free-space PL at d0 = 1 m, 2.4 GHz
+    path_loss_exponent: float = 3.0   # open outdoor with clutter
+    min_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.aps:
+            raise ValueError("a field needs at least one AP")
+        if self.path_loss_exponent <= 0.0:
+            raise ValueError("path loss exponent must be positive")
+        if self.min_distance_m <= 0.0:
+            raise ValueError("minimum distance must be positive")
+        object.__setattr__(self, "aps", tuple(self.aps))
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.aps)
+
+    def positions(self) -> np.ndarray:
+        return np.array([ap.position_m for ap in self.aps], dtype=float)
+
+    def rssi_dbm(self, positions_m: np.ndarray) -> np.ndarray:
+        """Log-distance RSSI, shape ``(T, n_aps)``."""
+        client = np.atleast_2d(np.asarray(positions_m, dtype=float))
+        ap_pos = self.positions()
+        distance = np.linalg.norm(
+            client[:, np.newaxis, :] - ap_pos[np.newaxis, :, :], axis=-1)
+        distance = np.maximum(distance, self.min_distance_m)
+        return (self.tx_power_dbm - self.reference_loss_db
+                - 10.0 * self.path_loss_exponent * np.log10(distance))
+
+
+def default_field(n_aps: int = 4, *, spacing_m: float = 40.0,
+                  first_at_m: Tuple[float, float] = (0.0, 0.0)
+                  ) -> ApField:
+    """A corridor of APs along the +x axis (the drive-by geometry)."""
+    if n_aps < 1:
+        raise ValueError("need at least one AP")
+    x0, y0 = first_at_m
+    aps = tuple(
+        AccessPoint(name=f"ap-{index}",
+                    position_m=(x0 + index * spacing_m, y0))
+        for index in range(n_aps))
+    return ApField(aps=aps)
+
+
+@lru_cache(maxsize=None)
+def link_for(rate_mbps: float, error_rate: float, n_stations: int,
+             retry_limit: int = 7) -> LinkConfig:
+    """The DCF fixed point for one (rate, residual error) operating
+    point — memoized, since a scenario revisits few distinct points."""
+    phy = Phy80211g(data_rate_bps=rate_mbps * 1e6)
+    params = DcfParameters(n_stations=n_stations,
+                           channel_error_rate=error_rate, phy=phy)
+    return LinkConfig(phy=phy, dcf=solve_dcf(params),
+                      retry_limit=retry_limit)

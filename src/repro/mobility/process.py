@@ -1,0 +1,361 @@
+"""Event-kernel integration: mobile flows on the coroutine engine.
+
+Two processes extend the static contention machinery:
+
+- :class:`MobilityProcess` — one per kernel: sleeps until each segment
+  boundary (``WaitUntil``), advances the shared :class:`MobileLink`
+  cursor, and counts retunes/handoffs as simulation facts.  It spawns
+  **no** RNG, so adding it leaves every flow's ``SeedSequence`` spawn
+  order — and therefore every sampled draw — untouched: a zero-speed
+  scenario (one segment, no boundaries) is byte-identical to the
+  static :func:`~repro.testbed.multiflow.run_multiflow` path.
+- :class:`MobileFlowProcess` — the Fig. 3 sender pipeline with one
+  twist: each packet latches the :class:`LinkSegment` active at its
+  *arrival* instant and draws backoff/delivery/airtime from that
+  segment's link (delivery rate 0 inside handoff gaps).  The per-packet
+  draw order — encryption, backoff, delivery, transmission — and every
+  float operation mirror :class:`~repro.testbed.multiflow.FlowProcess`
+  exactly; that is the contract the vector engine's oracle sampler
+  replays.
+
+:func:`run_mobility` wires N mobile flows plus the mobility process
+into a kernel (or routes to the vector fast path) and returns a
+:class:`MobilityRun`: the familiar ``MultiFlowRun`` plus handoff/gap
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.policies import EncryptionPolicy
+from ..video.gop import Bitstream
+from ..video.packetizer import DEFAULT_MTU, Packet
+from ..testbed.devices import DeviceProfile
+from ..testbed.events import (
+    EventKernel,
+    Request,
+    Resource,
+    Timeout,
+    WaitUntil,
+)
+from ..testbed.multiflow import (
+    MULTIFLOW_ENGINES,
+    MultiFlowRun,
+    _packetize_flows,
+    _service_for,
+)
+from ..testbed.simulator import PacketService, sample_backoff_time
+from ..testbed.tracing import PacketTrace, TraceLog
+from ..testbed.transport import (
+    UDP_RTP,
+    TransportConfig,
+    delivery_outcome,
+)
+from .scenario import MobilityScenario, build_profile
+
+__all__ = ["MobileLink", "MobilityProcess", "MobileFlowProcess",
+           "MobilityRun", "run_mobility"]
+
+
+class MobileLink:
+    """Shared view of the scenario's segment timeline.
+
+    ``segment_at`` is a pure time lookup (flows latch their packet's
+    segment by arrival instant, wherever the schedule has drifted);
+    ``cursor`` is the *kernel-time* segment index the
+    :class:`MobilityProcess` advances — the "currently tuned" state
+    the retune/handoff counters derive from.
+    """
+
+    def __init__(self, scenario: MobilityScenario) -> None:
+        self.scenario = scenario
+        self.segments = scenario.segments
+        self.cursor = 0
+        self.retunes = 0
+        self.handoffs_seen = 0
+
+    def segment_at(self, time_s: float):
+        return self.scenario.segment_at(time_s)
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        return self.scenario.segment_starts[1:]
+
+
+class MobilityProcess:
+    """Advance the shared link cursor at every segment boundary."""
+
+    def __init__(self, link: MobileLink) -> None:
+        self.link = link
+
+    def process(self, kernel: EventKernel):
+        previous_ap = self.link.segments[0].ap_index
+        for index, boundary in enumerate(self.link.boundaries, start=1):
+            yield WaitUntil(float(boundary))
+            self.link.cursor = index
+            self.link.retunes += 1
+            segment = self.link.segments[index]
+            if segment.ap_index >= 0 and previous_ap >= 0 \
+                    and segment.ap_index != previous_ap:
+                self.link.handoffs_seen += 1
+            if segment.ap_index >= 0:
+                previous_ap = segment.ap_index
+
+
+class MobileFlowProcess:
+    """One mobile sender flow (FlowProcess with arrival-latched links)."""
+
+    def __init__(self, flow_id: int, packets: Sequence[Packet],
+                 arrivals: np.ndarray, *, medium: Resource,
+                 link: MobileLink, services: Sequence[PacketService],
+                 base_service: PacketService,
+                 rng: np.random.Generator,
+                 start_offset_s: float = 0.0) -> None:
+        if len(packets) != len(arrivals):
+            raise ValueError("one arrival instant per packet required")
+        if start_offset_s < 0:
+            raise ValueError("start offset must be non-negative")
+        self.flow_id = flow_id
+        self.packets = list(packets)
+        self.arrivals = np.asarray(arrivals, dtype=float)
+        self.medium = medium
+        self.link = link
+        self.services = list(services)   # one PacketService per segment
+        self.base_service = base_service
+        self.rng = rng
+        self.start_offset_s = start_offset_s
+        self.traces: List[PacketTrace] = []
+        self.usable_by_receiver: List[bool] = []
+        self.usable_by_eavesdropper: List[bool] = []
+        self.gap_packets = 0
+
+    def process(self, kernel: EventKernel):
+        scenario = self.link.scenario
+        for packet, base_arrival in zip(self.packets, self.arrivals):
+            arrival = float(base_arrival) + self.start_offset_s
+            if kernel.now < arrival:
+                yield WaitUntil(arrival)
+            start = kernel.now  # max(arrival, previous departure)
+
+            # Latch the segment at the arrival instant — the rate the
+            # driver stamped when handing the packet to the MAC queue.
+            index = int(scenario.segment_index_at(arrival)[0])
+            segment = self.link.segments[index]
+            service = self.services[index]
+
+            # CPU work (encryption) is segment-independent and runs
+            # concurrently across flows, exactly as in FlowProcess.
+            encryption = service.encryption_time(packet, self.rng)
+            if encryption > 0.0:
+                yield Timeout(encryption)
+
+            yield Request(self.medium)
+            backoff = sample_backoff_time(service.link.dcf, self.rng)
+            if backoff > 0.0:
+                yield Timeout(backoff)
+            outcome = delivery_outcome(
+                service.transport, segment.delivery_rate, self.rng)
+            if outcome.extra_delay_s > 0.0:
+                yield Timeout(outcome.extra_delay_s)
+            transmit_at = kernel.now
+            transmission = (service.transmission_time(packet, self.rng)
+                            * outcome.attempts)
+            yield Timeout(transmission)
+            departure = kernel.now
+            self.medium.release()
+
+            if segment.in_gap:
+                self.gap_packets += 1
+            encrypted = bool(encryption > 0.0
+                             or service.encrypts(packet))
+            self.traces.append(PacketTrace(
+                sequence_number=packet.sequence_number,
+                frame_index=packet.frame_index,
+                frame_type=packet.frame_type,
+                payload_bytes=packet.payload_size,
+                encrypted=encrypted,
+                enqueue_time_s=arrival,
+                service_start_s=float(start),
+                encryption_time_s=float(encryption),
+                transmit_time_s=float(transmit_at),
+                departure_time_s=float(departure),
+                delivered=outcome.delivered,
+                attempts=outcome.attempts,
+            ))
+            self.usable_by_receiver.append(outcome.delivered)
+            self.usable_by_eavesdropper.append(
+                outcome.delivered and not encrypted)
+
+    def as_run(self):
+        from ..testbed.simulator import SimulationRun
+        if len(self.traces) != len(self.packets):
+            raise RuntimeError(
+                f"flow {self.flow_id} finished {len(self.traces)} of"
+                f" {len(self.packets)} packets; run the kernel to"
+                " completion first")
+        return SimulationRun(
+            trace=TraceLog(self.traces),
+            packets=self.packets,
+            usable_by_receiver=self.usable_by_receiver,
+            usable_by_eavesdropper=self.usable_by_eavesdropper,
+        )
+
+
+@dataclass
+class MobilityRun:
+    """One mobile contention run: flow results + mobility accounting."""
+
+    flows_run: MultiFlowRun
+    scenario: MobilityScenario
+    engine: str
+    retunes: int
+    handoffs: int
+    gap_packets: int
+
+    @property
+    def n_flows(self) -> int:
+        return self.flows_run.n_flows
+
+    @property
+    def delivered_fraction(self) -> float:
+        total = sum(len(run.usable_by_receiver)
+                    for run in self.flows_run.flows)
+        if total == 0:
+            raise ValueError("no packets in this run")
+        good = sum(sum(run.usable_by_receiver)
+                   for run in self.flows_run.flows)
+        return good / total
+
+    def describe(self) -> dict:
+        summary = self.scenario.describe()
+        summary.update({
+            "engine": self.engine,
+            "flows": self.n_flows,
+            "retunes": self.retunes,
+            "handoffs_in_run": self.handoffs,
+            "gap_packets": self.gap_packets,
+            "delivered_fraction": round(self.delivered_fraction, 6),
+        })
+        return summary
+
+
+def segment_services(scenario: MobilityScenario,
+                     base_service: PacketService
+                     ) -> List[PacketService]:
+    """One ``PacketService`` per segment: the base service with the
+    segment's link swapped in (policy/cost/transport unchanged)."""
+    cache = {}
+    services = []
+    for segment in scenario.segments:
+        key = id(segment.link)
+        if key not in cache:
+            cache[key] = replace(base_service, link=segment.link)
+        services.append(cache[key])
+    return services
+
+
+def run_mobility(
+    bitstream: "Union[Bitstream, Sequence[Bitstream]]",
+    *,
+    mobility: "Union[str, MobilityScenario]",
+    flows: Optional[int] = None,
+    policy: EncryptionPolicy,
+    device: DeviceProfile,
+    transport: TransportConfig = UDP_RTP,
+    retry_limit: int = 7,
+    background_stations: int = 1,
+    mtu: int = DEFAULT_MTU,
+    disk_read_rate_pkts_per_s: float = 600.0,
+    stagger_s: float = 0.0,
+    seed: "Optional[int | np.random.SeedSequence]" = None,
+    engine: str = "events",
+    sampling: str = "batch",
+) -> MobilityRun:
+    """Run N contending senders along a mobility scenario.
+
+    ``mobility`` is a profile spec string (``"vehicular:hysteresis"``)
+    or a pre-built :class:`MobilityScenario` (whose station count must
+    match ``flows + background_stations``).  Everything else mirrors
+    :func:`~repro.testbed.multiflow.run_multiflow`, including the
+    engine split: ``"events"`` is the coroutine-kernel oracle,
+    ``"vector"`` the pre-sampled struct-of-arrays fast path
+    (``sampling="oracle"`` replays the kernel's exact streams).
+    """
+    if engine not in MULTIFLOW_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of"
+            f" {MULTIFLOW_ENGINES}")
+    if isinstance(bitstream, Bitstream):
+        n_flows = 2 if flows is None else flows
+        streams: List[Bitstream] = [bitstream] * n_flows
+    else:
+        streams = list(bitstream)
+        if flows is not None and flows != len(streams):
+            raise ValueError(
+                f"flows={flows} but {len(streams)} bitstreams were"
+                " given")
+        n_flows = len(streams)
+    if n_flows < 1:
+        raise ValueError(f"need at least one flow, got {n_flows}")
+    if stagger_s < 0:
+        raise ValueError("stagger must be non-negative")
+
+    n_stations = n_flows + background_stations
+    if isinstance(mobility, MobilityScenario):
+        scenario = mobility
+        if scenario.n_stations != n_stations:
+            raise ValueError(
+                f"scenario was built for {scenario.n_stations} stations"
+                f" but this run has {n_stations} (flows +"
+                " background_stations); rebuild it")
+    else:
+        scenario = build_profile(mobility, n_stations=n_stations,
+                                 retry_limit=retry_limit)
+
+    base_service = _service_for(policy, device, scenario.segments[0].link,
+                                transport)
+    flow_streams, flow_arrivals = _packetize_flows(
+        streams, mtu=mtu,
+        disk_read_rate_pkts_per_s=disk_read_rate_pkts_per_s,
+        stagger_s=stagger_s)
+
+    if engine == "vector":
+        from .vector import run_mobile_vector
+        vrun, gap_packets = run_mobile_vector(
+            flow_streams, flow_arrivals, scenario=scenario,
+            base_service=base_service, seed=seed, sampling=sampling)
+        return MobilityRun(
+            flows_run=vrun.to_multiflow_run(), scenario=scenario,
+            engine="vector", retunes=scenario.n_segments - 1,
+            handoffs=scenario.handoffs, gap_packets=gap_packets)
+
+    kernel = EventKernel(seed=seed)
+    medium = Resource(kernel, capacity=1)
+    link = MobileLink(scenario)
+    services = segment_services(scenario, base_service)
+
+    flow_processes: List[MobileFlowProcess] = []
+    for index in range(n_flows):
+        flow = MobileFlowProcess(
+            index, flow_streams[index], flow_arrivals[index],
+            medium=medium, link=link, services=services,
+            base_service=base_service, rng=kernel.spawn_rng(),
+        )
+        kernel.add_process(flow.process(kernel), name=f"flow-{index}")
+        flow_processes.append(flow)
+    # Added last and RNG-free: the retune process shifts no flow's
+    # stream and a single-segment scenario makes it a no-op.
+    mobility_process = MobilityProcess(link)
+    kernel.add_process(mobility_process.process(kernel), name="mobility")
+
+    kernel.run()
+    return MobilityRun(
+        flows_run=MultiFlowRun(
+            flows=[flow.as_run() for flow in flow_processes]),
+        scenario=scenario, engine="events", retunes=link.retunes,
+        handoffs=link.handoffs_seen,
+        gap_packets=sum(f.gap_packets for f in flow_processes))

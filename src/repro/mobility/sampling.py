@@ -1,0 +1,169 @@
+"""Per-packet sampling for the vectorized mobility engine.
+
+The arrival-latch contract (:mod:`repro.mobility.scenario`) makes a
+packet's segment — and hence every distribution parameter of its
+service draws — a pure function of its arrival instant.  So the static
+engine's pre-sampling argument still holds under mobility: the draws
+can be taken before any scheduling, they just use *per-packet*
+parameter arrays instead of one scalar set.
+
+Two modes, mirroring :mod:`repro.testbed.flow_sampling`:
+
+- :func:`mobile_oracle_sample` — replay
+  :class:`~repro.mobility.process.MobileFlowProcess`'s exact per-packet
+  draw sequence (encryption, backoff, delivery, transmission) against a
+  per-flow spawned stream.  Bit-identical to the kernel.
+- :func:`mobile_batch_sample` — one counter-based stream filling whole
+  matrices; numpy's distribution methods all accept array parameters,
+  so per-packet success rates, backoff rates and airtime means cost no
+  Python loop.  Gap packets (delivery rate exactly 0) need one guard:
+  ``Generator.geometric`` rejects ``p == 0``, so the reliable-transport
+  branch draws with a placeholder rate there and overwrites the result
+  with the deterministic full-loss outcome (``cap + 1`` attempts), the
+  same special case the static ``batch_sample`` applies to dead links.
+
+This module owns the per-packet Python work (oracle replay); the
+matrix assembly and scheduling in :mod:`repro.mobility.vector` must
+stay loop-free (``repro lint`` enforces it there).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..testbed.flow_sampling import FlowSamples
+from ..testbed.simulator import PacketService, sample_backoff_time
+from ..testbed.transport import TransportConfig, delivery_outcome
+from ..video.packetizer import Packet
+from .scenario import MobilityScenario
+
+__all__ = ["mobile_batch_sample", "mobile_oracle_sample",
+           "segment_parameters", "segment_airtime_table"]
+
+
+def segment_parameters(scenario: MobilityScenario
+                       ) -> "dict[str, np.ndarray]":
+    """Per-segment distribution parameters as ``(S,)`` arrays."""
+    segments = scenario.segments
+    return {
+        "p_success": np.array(
+            [s.link.dcf.packet_success_rate for s in segments]),
+        "backoff_rate_per_s": np.array(
+            [s.link.dcf.backoff_rate_per_s for s in segments]),
+        "delivery_rate": np.array(
+            [s.delivery_rate for s in segments]),
+        "in_gap": np.array([s.in_gap for s in segments], dtype=bool),
+    }
+
+
+def segment_airtime_table(scenario: MobilityScenario,
+                          wire_sizes: np.ndarray) -> np.ndarray:
+    """Mean airtime per (segment, distinct wire size): ``(S, U)``.
+
+    Each segment's PHY prices each distinct on-wire packet size once;
+    the vector path then gathers per-packet means with one fancy-index
+    instead of a per-packet Python loop.
+    """
+    sizes = [int(size) for size in np.asarray(wire_sizes).ravel()]
+    table = np.empty((len(scenario.segments), len(sizes)))
+    for row, segment in enumerate(scenario.segments):
+        phy = segment.link.phy
+        table[row, :] = [phy.packet_transmission_time_s(size)
+                         for size in sizes]
+    return table
+
+
+def mobile_oracle_sample(packets: Sequence[Packet],
+                         segment_index: np.ndarray,
+                         services: Sequence[PacketService],
+                         scenario: MobilityScenario,
+                         rng: np.random.Generator) -> FlowSamples:
+    """Replay the mobile kernel's exact draw sequence for one flow.
+
+    Must stay call-for-call identical to
+    :meth:`repro.mobility.process.MobileFlowProcess.process`: per
+    packet — encryption, backoff (from the latched segment's DCF),
+    delivery (against the segment's gap-aware rate), transmission
+    (the segment's PHY airtime) — all from the flow's own stream.
+    """
+    n = len(packets)
+    encryption = np.empty(n)
+    backoff = np.empty(n)
+    extra = np.empty(n)
+    transmission = np.empty(n)
+    attempts = np.empty(n, dtype=np.int64)
+    delivered = np.empty(n, dtype=bool)
+    for index, packet in enumerate(packets):
+        seg = int(segment_index[index])
+        service = services[seg]
+        segment = scenario.segments[seg]
+        encryption[index] = service.encryption_time(packet, rng)
+        backoff[index] = sample_backoff_time(service.link.dcf, rng)
+        outcome = delivery_outcome(service.transport,
+                                   segment.delivery_rate, rng)
+        extra[index] = outcome.extra_delay_s
+        attempts[index] = outcome.attempts
+        delivered[index] = outcome.delivered
+        transmission[index] = (service.transmission_time(packet, rng)
+                               * outcome.attempts)
+    return FlowSamples(
+        encryption_s=encryption, backoff_s=backoff, extra_delay_s=extra,
+        transmission_s=transmission, attempts=attempts,
+        delivered=delivered,
+    )
+
+
+def mobile_batch_sample(enc_mean: np.ndarray, enc_sigma: np.ndarray,
+                        encrypted: np.ndarray,
+                        trans_mean: np.ndarray,
+                        p_success: np.ndarray,
+                        backoff_rate: np.ndarray,
+                        delivery_rate: np.ndarray,
+                        transport: TransportConfig,
+                        rng: np.random.Generator
+                        ) -> "dict[str, np.ndarray]":
+    """Sample service components with per-packet parameter matrices.
+
+    All arguments are ``(F, P)`` matrices (padding slots must carry
+    benign parameters: ``p_success`` and ``backoff_rate`` positive,
+    ``trans_mean``/``delivery_rate`` anything in range).  Matches the
+    static :func:`repro.testbed.flow_sampling.batch_sample`
+    distributions draw-for-draw when every packet shares one segment.
+    """
+    shape = enc_mean.shape
+    encryption = np.where(
+        enc_sigma > 0.0,
+        np.maximum(0.0, rng.normal(enc_mean, enc_sigma)),
+        enc_mean,
+    )
+    encryption = np.where(encrypted, encryption, 0.0)
+
+    collisions = rng.geometric(p_success, size=shape) - 1
+    backoff = rng.standard_gamma(collisions) / backoff_rate
+
+    dead = delivery_rate <= 0.0
+    if transport.reliable:
+        cap = transport.max_retransmissions
+        # geometric rejects p == 0: draw gap slots at a placeholder
+        # rate, then force the deterministic full-loss outcome.
+        safe_rate = np.where(dead, 0.5, delivery_rate)
+        fails = rng.geometric(safe_rate, size=shape) - 1
+        fails = np.where(dead, cap + 1, fails)
+        delivered = fails <= cap
+        attempts = np.minimum(fails + 1, cap + 1)
+        extra = (attempts - 1) * transport.rto_s
+    else:
+        delivered = rng.random(shape) < delivery_rate
+        attempts = np.ones(shape, dtype=np.int64)
+        extra = np.zeros(shape)
+
+    unit = np.maximum(0.0, rng.normal(trans_mean, 0.03 * trans_mean))
+    transmission = unit * attempts
+
+    return {
+        "encryption_s": encryption, "backoff_s": backoff,
+        "extra_delay_s": extra, "transmission_s": transmission,
+        "attempts": attempts, "delivered": delivered,
+    }

@@ -1,0 +1,298 @@
+"""The piecewise-constant link timeline a mobile transfer rides.
+
+Composition point of the package: trace x field x selection policy
+collapse into a sorted tuple of :class:`LinkSegment` — each a
+half-open interval with one DCF fixed point (rate + residual error
+solved through :func:`repro.mobility.field.link_for`), an associated
+AP, and an ``in_gap`` flag for the intervals where nothing is
+deliverable (handoff re-association, coverage holes).
+
+The contract both execution engines share: **a packet's link is the
+segment active at its arrival instant** (real drivers latch the rate
+when the packet is handed to the MAC queue).  That makes the segment
+assignment a pure function of the arrival times — independent of how
+the medium schedule plays out — which is exactly what lets the vector
+engine pre-sample every draw and still match the coroutine kernel
+bit-for-bit.
+
+Gap semantics: a handoff between APs opens a ``handoff_gap_s``-long
+segment in which the delivery rate is 0.0 (UDP packets die, TCP
+packets burn their full retransmission budget) while CPU-side work
+proceeds normally.  A zero-speed parked profile produces exactly one
+error-free 54 Mb/s segment — the static engines' link — so mobility
+with no motion is byte-identical to no mobility at all.
+
+Named profiles keep the wire format simple: ``ExperimentConfig`` and
+the advisor carry a spec string ``"<profile>[:<selection>]"``
+(e.g. ``"vehicular:hysteresis"``), parsed by
+:func:`parse_mobility_spec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..testbed.simulator import LinkConfig
+from .field import ApField, default_field, link_for, rates_and_errors
+from .selection import SELECTION_POLICIES, select_aps
+from .trace import (
+    MobilityTrace,
+    linear_trace,
+    parked_trace,
+    waypoint_trace,
+)
+
+__all__ = ["LinkSegment", "MOBILITY_PROFILES", "MobilityScenario",
+           "build_profile", "build_scenario", "parse_mobility_spec"]
+
+
+@dataclass(frozen=True)
+class LinkSegment:
+    """One constant-link interval ``[start_s, end_s)``.
+
+    ``link`` always holds a solved :class:`LinkConfig` (during gaps:
+    the link being joined, so backoff/airtime draws stay well defined);
+    ``delivery_rate`` is what the transport actually sees — zero while
+    ``in_gap``.
+    """
+
+    start_s: float
+    end_s: float              # math.inf on the final segment
+    link: LinkConfig
+    ap_index: int             # -1 while disconnected
+    rate_mbps: float
+    error_rate: float
+    in_gap: bool
+
+    @property
+    def delivery_rate(self) -> float:
+        return 0.0 if self.in_gap else self.link.delivery_rate
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True, eq=False)
+class MobilityScenario:
+    """A fully resolved mobility timeline for one station count."""
+
+    profile: str
+    selection: str
+    trace: MobilityTrace
+    field: ApField
+    handoff_gap_s: float
+    n_stations: int
+    retry_limit: int
+    segments: Tuple[LinkSegment, ...]
+    handoffs: int
+    gap_time_s: float
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a scenario needs at least one segment")
+        starts = np.array([s.start_s for s in self.segments])
+        if starts[0] != 0.0 or np.any(np.diff(starts) <= 0.0):
+            raise ValueError("segments must start at 0 and be sorted")
+        if not math.isinf(self.segments[-1].end_s):
+            raise ValueError("the final segment must extend to infinity")
+        object.__setattr__(self, "_starts", starts)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def segment_starts(self) -> np.ndarray:
+        return self._starts  # type: ignore[attr-defined]
+
+    def segment_index_at(self, times_s) -> np.ndarray:
+        """Segment index for each (non-negative) instant — the
+        arrival-latch lookup both engines share."""
+        times = np.atleast_1d(np.asarray(times_s, dtype=float))
+        index = np.searchsorted(self.segment_starts, times,
+                                side="right") - 1
+        return np.maximum(index, 0)
+
+    def segment_at(self, time_s: float) -> LinkSegment:
+        return self.segments[int(self.segment_index_at(time_s)[0])]
+
+    @property
+    def gap_fraction(self) -> float:
+        """Fraction of the (finite) trace window spent in gaps."""
+        horizon = self.trace.duration_s
+        if horizon <= 0.0:
+            return 0.0
+        return min(1.0, self.gap_time_s / horizon)
+
+    def describe(self) -> dict:
+        """A small JSON-friendly summary (CLI / bench reporting)."""
+        return {
+            "profile": self.profile,
+            "selection": self.selection,
+            "speed_mps": self.trace.speed_mps,
+            "duration_s": self.trace.duration_s,
+            "n_aps": self.field.n_aps,
+            "segments": self.n_segments,
+            "handoffs": self.handoffs,
+            "gap_time_s": round(self.gap_time_s, 6),
+            "gap_fraction": round(self.gap_fraction, 6),
+        }
+
+
+def build_scenario(trace: MobilityTrace, field: ApField, *,
+                   selection: str = "strongest",
+                   handoff_gap_s: float = 0.0,
+                   n_stations: int = 2,
+                   retry_limit: int = 7,
+                   hysteresis_db: float = 4.0,
+                   history_window: int = 3,
+                   profile: str = "custom") -> MobilityScenario:
+    """Collapse trace + field + selection into merged link segments."""
+    if handoff_gap_s < 0.0:
+        raise ValueError("handoff gap must be non-negative")
+    if n_stations < 1:
+        raise ValueError("need at least one station")
+    rssi = field.rssi_dbm(trace.position_at(trace.times_s))
+    chosen = select_aps(rssi, selection, hysteresis_db=hysteresis_db,
+                        history_window=history_window)
+    chosen_rssi = rssi[np.arange(rssi.shape[0]), chosen]
+    rate, error = rates_and_errors(chosen_rssi)
+
+    # Per-sample connection state; rate 0 marks a coverage hole.
+    states = []
+    for step in range(trace.n_samples):
+        if rate[step] <= 0.0:
+            states.append((-1, 6.0, 0.25))
+        else:
+            states.append((int(chosen[step]), float(rate[step]),
+                           float(error[step])))
+
+    # Merge consecutive identical states into intervals.
+    times = trace.times_s
+    intervals = []  # (start, end, state)
+    run_start = 0.0
+    current = states[0]
+    for step in range(1, trace.n_samples):
+        if states[step] != current:
+            intervals.append((run_start, float(times[step]), current))
+            run_start = float(times[step])
+            current = states[step]
+    intervals.append((run_start, math.inf, current))
+
+    segments = []
+    handoffs = 0
+    gap_time = 0.0
+    previous_ap: Optional[int] = None
+    for start, end, (ap, seg_rate, seg_error) in intervals:
+        link = link_for(seg_rate, seg_error, n_stations, retry_limit)
+        hole = ap < 0
+        joined = not hole and previous_ap is not None and ap != previous_ap
+        if joined:
+            handoffs += 1
+        gap_until = start
+        if joined and handoff_gap_s > 0.0:
+            gap_until = min(end, start + handoff_gap_s)
+        if hole:
+            gap_until = end
+        if gap_until > start:
+            segments.append(LinkSegment(
+                start_s=start, end_s=gap_until, link=link, ap_index=-1,
+                rate_mbps=seg_rate, error_rate=seg_error, in_gap=True))
+            if math.isfinite(gap_until):
+                gap_time += gap_until - start
+        if gap_until < end:
+            segments.append(LinkSegment(
+                start_s=gap_until, end_s=end, link=link, ap_index=ap,
+                rate_mbps=seg_rate, error_rate=seg_error, in_gap=False))
+        if not hole:
+            previous_ap = ap
+
+    # A gap that swallowed its whole interval can leave the last
+    # segment finite; extend it.
+    last = segments[-1]
+    if not math.isinf(last.end_s):
+        segments[-1] = LinkSegment(
+            start_s=last.start_s, end_s=math.inf, link=last.link,
+            ap_index=last.ap_index, rate_mbps=last.rate_mbps,
+            error_rate=last.error_rate, in_gap=last.in_gap)
+
+    return MobilityScenario(
+        profile=profile, selection=selection, trace=trace, field=field,
+        handoff_gap_s=handoff_gap_s, n_stations=n_stations,
+        retry_limit=retry_limit, segments=tuple(segments),
+        handoffs=handoffs, gap_time_s=gap_time)
+
+
+# Named profiles: trace shape + speed + handoff gap + field geometry.
+# Speeds follow the usual mobility-trace conventions (pedestrian
+# ~1.4 m/s, urban vehicular ~14 m/s); AP spacing is the drive-by
+# corridor of default_field.  Timesteps are fine enough that a segment
+# boundary lands within ~0.25 s of the true crossing.
+MOBILITY_PROFILES = {
+    "parked": {"kind": "parked", "speed_mps": 0.0, "gap_s": 0.0,
+               "duration_s": 10.0, "timestep_s": 1.0, "n_aps": 1},
+    "pedestrian": {"kind": "linear", "speed_mps": 1.4, "gap_s": 0.25,
+                   "duration_s": 60.0, "timestep_s": 0.5, "n_aps": 4},
+    "vehicular": {"kind": "linear", "speed_mps": 14.0, "gap_s": 0.35,
+                  "duration_s": 30.0, "timestep_s": 0.25, "n_aps": 12},
+    "waypoint": {"kind": "waypoint", "speed_mps": 8.0, "gap_s": 0.35,
+                 "duration_s": 45.0, "timestep_s": 0.25, "n_aps": 4},
+}
+
+DEFAULT_SELECTION = "strongest"
+
+
+def parse_mobility_spec(spec: str) -> Tuple[str, str]:
+    """``"<profile>[:<selection>]"`` -> validated (profile, selection)."""
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"mobility spec must be a non-empty string,"
+                         f" got {spec!r}")
+    profile, _, selection = spec.partition(":")
+    selection = selection or DEFAULT_SELECTION
+    if profile not in MOBILITY_PROFILES:
+        raise ValueError(
+            f"unknown mobility profile {profile!r}; expected one of"
+            f" {tuple(MOBILITY_PROFILES)}")
+    if selection not in SELECTION_POLICIES:
+        raise ValueError(
+            f"unknown selection policy {selection!r}; expected one of"
+            f" {SELECTION_POLICIES}")
+    return profile, selection
+
+
+def build_profile(spec: str, *, n_stations: int = 2,
+                  retry_limit: int = 7,
+                  seed: int = 2013) -> MobilityScenario:
+    """Build the named scenario a spec string describes.
+
+    Deterministic: equal ``(spec, n_stations, retry_limit, seed)``
+    yield segment-for-segment equal scenarios — the property the
+    selftest pins and the experiment cache key relies on.
+    """
+    profile, selection = parse_mobility_spec(spec)
+    recipe = MOBILITY_PROFILES[profile]
+    kind = recipe["kind"]
+    if kind == "parked":
+        # Beside the first AP: full margin, the static engines' link.
+        trace = parked_trace(recipe["duration_s"],
+                             position_m=(0.0, 2.0),
+                             timestep_s=recipe["timestep_s"])
+    elif kind == "linear":
+        trace = linear_trace(recipe["speed_mps"], recipe["duration_s"],
+                             start_m=(0.0, 2.0),
+                             timestep_s=recipe["timestep_s"])
+    else:
+        trace = waypoint_trace(recipe["speed_mps"], recipe["duration_s"],
+                               area_m=(recipe["n_aps"] * 40.0, 60.0),
+                               seed=seed,
+                               timestep_s=recipe["timestep_s"])
+    field = default_field(recipe["n_aps"], spacing_m=40.0)
+    return build_scenario(
+        trace, field, selection=selection,
+        handoff_gap_s=recipe["gap_s"], n_stations=n_stations,
+        retry_limit=retry_limit, profile=profile)

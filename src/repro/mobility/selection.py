@@ -1,0 +1,83 @@
+"""AP-selection policies over a sampled RSSI matrix.
+
+Input: ``rssi_dbm`` of shape ``(T, n_aps)`` — the field's signal
+levels along the trace.  Output: the associated AP index per sample.
+Three policies, mirroring the ap-selection studies the ROADMAP cites:
+
+- ``"strongest"`` — greedy argmax per sample.  Optimal rate, maximal
+  handoff churn: the client ping-pongs wherever coverage overlaps.
+- ``"hysteresis"`` — switch only when a challenger beats the current
+  AP by ``hysteresis_db``.  The classic flap damper: between two APs
+  of equal strength the client *never* moves (the property the tests
+  pin), at the cost of riding a fading AP a little longer.
+- ``"history"`` — hysteresis applied to a trailing-window mean of the
+  RSSI (the throughput-history estimate of the related work): slower
+  to chase a transient peak, faster to abandon a consistently fading
+  AP.
+
+These run once per scenario build over a (short) trace, so plain
+Python iteration over timesteps is fine *here* — the per-packet hot
+paths in :mod:`repro.mobility.vector` are the loops ``repro lint``
+bans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SELECTION_POLICIES", "handoff_count", "select_aps"]
+
+SELECTION_POLICIES = ("strongest", "hysteresis", "history")
+
+
+def _rolling_mean(rssi: np.ndarray, window: int) -> np.ndarray:
+    """Trailing mean over up to ``window`` samples (shorter at start)."""
+    cumulative = np.cumsum(rssi, axis=0)
+    total = np.empty_like(cumulative)
+    total[:window] = cumulative[:window]
+    total[window:] = cumulative[window:] - cumulative[:-window]
+    counts = np.minimum(np.arange(1, rssi.shape[0] + 1), window)
+    return total / counts[:, np.newaxis]
+
+
+def _with_hysteresis(rssi: np.ndarray, margin_db: float) -> np.ndarray:
+    choice = np.empty(rssi.shape[0], dtype=np.int64)
+    current = int(np.argmax(rssi[0]))
+    choice[0] = current
+    for step in range(1, rssi.shape[0]):
+        row = rssi[step]
+        best = int(np.argmax(row))
+        if best != current and row[best] > row[current] + margin_db:
+            current = best
+        choice[step] = current
+    return choice
+
+
+def select_aps(rssi_dbm: np.ndarray, policy: str, *,
+               hysteresis_db: float = 4.0,
+               history_window: int = 3) -> np.ndarray:
+    """The associated AP index at every trace sample, shape ``(T,)``."""
+    rssi = np.atleast_2d(np.asarray(rssi_dbm, dtype=float))
+    if rssi.ndim != 2 or rssi.shape[0] < 1 or rssi.shape[1] < 1:
+        raise ValueError("rssi must be a (T, n_aps) matrix")
+    if policy not in SELECTION_POLICIES:
+        raise ValueError(
+            f"unknown selection policy {policy!r}; expected one of"
+            f" {SELECTION_POLICIES}")
+    if policy == "strongest":
+        return np.argmax(rssi, axis=1).astype(np.int64)
+    if hysteresis_db <= 0.0:
+        raise ValueError("hysteresis margin must be positive")
+    if policy == "history":
+        if history_window < 1:
+            raise ValueError("history window must be >= 1")
+        rssi = _rolling_mean(rssi, history_window)
+    return _with_hysteresis(rssi, hysteresis_db)
+
+
+def handoff_count(selection: np.ndarray) -> int:
+    """Number of AP changes along a selection sequence."""
+    selection = np.asarray(selection)
+    if selection.size < 2:
+        return 0
+    return int(np.count_nonzero(selection[1:] != selection[:-1]))

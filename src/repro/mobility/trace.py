@@ -1,0 +1,154 @@
+"""Deterministic mobility traces: time -> position.
+
+A :class:`MobilityTrace` is a dense, fixed-timestep sampling of a
+client's 2D position.  Three builders cover the profile shapes the
+scenario layer names:
+
+- :func:`parked_trace` — the zero-speed anchor (one position for the
+  whole run; the byte-identity bridge to the static simulator);
+- :func:`linear_trace` — constant velocity along a heading (the
+  pedestrian/vehicular drive-by shapes);
+- :func:`waypoint_trace` — the classic random-waypoint walk, with
+  waypoints drawn from a ``SeedSequence``-seeded ``default_rng`` so a
+  trace is a pure function of its seed.
+
+Simulated time only: positions are functions of the trace clock, never
+the wall (``repro lint`` bans ``time.time`` under ``repro/mobility/``),
+and nothing here touches global RNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+__all__ = ["MobilityTrace", "linear_trace", "parked_trace",
+           "waypoint_trace"]
+
+
+@dataclass(frozen=True, eq=False)
+class MobilityTrace:
+    """A sampled client path: ``positions_m[i]`` at ``times_s[i]``.
+
+    ``times_s`` starts at 0 and is strictly increasing; positions are
+    metres in a 2D plane.  Between samples the client moves linearly
+    (:meth:`position_at` interpolates).
+    """
+
+    times_s: np.ndarray       # (T,) float, t[0] == 0, strictly increasing
+    positions_m: np.ndarray   # (T, 2) float
+    speed_mps: float          # nominal profile speed (0 when parked)
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times_s, dtype=float)
+        positions = np.asarray(self.positions_m, dtype=float)
+        if times.ndim != 1 or times.size < 1:
+            raise ValueError("a trace needs at least one time sample")
+        if times[0] != 0.0:
+            raise ValueError("traces must start at t = 0")
+        if times.size > 1 and not np.all(np.diff(times) > 0.0):
+            raise ValueError("trace times must be strictly increasing")
+        if positions.shape != (times.size, 2):
+            raise ValueError(
+                f"positions must be ({times.size}, 2),"
+                f" got {positions.shape}")
+        if self.speed_mps < 0.0:
+            raise ValueError("speed must be non-negative")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "positions_m", positions)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times_s.size)
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times_s[-1])
+
+    def position_at(self, times: Union[float, Sequence[float], np.ndarray],
+                    ) -> np.ndarray:
+        """Linearly interpolated positions; clamps outside the trace."""
+        query = np.atleast_1d(np.asarray(times, dtype=float))
+        x = np.interp(query, self.times_s, self.positions_m[:, 0])
+        y = np.interp(query, self.times_s, self.positions_m[:, 1])
+        return np.stack([x, y], axis=-1)
+
+
+def _timeline(duration_s: float, timestep_s: float) -> np.ndarray:
+    if duration_s < 0.0:
+        raise ValueError("duration must be non-negative")
+    if timestep_s <= 0.0:
+        raise ValueError("timestep must be positive")
+    steps = int(np.ceil(duration_s / timestep_s)) if duration_s > 0 else 0
+    return np.arange(steps + 1, dtype=float) * timestep_s
+
+
+def parked_trace(duration_s: float, *,
+                 position_m: Tuple[float, float] = (0.0, 2.0),
+                 timestep_s: float = 1.0) -> MobilityTrace:
+    """A stationary client: one position, zero speed."""
+    times = _timeline(duration_s, timestep_s)
+    positions = np.tile(np.asarray(position_m, dtype=float),
+                        (times.size, 1))
+    return MobilityTrace(times, positions, 0.0)
+
+
+def linear_trace(speed_mps: float, duration_s: float, *,
+                 start_m: Tuple[float, float] = (0.0, 2.0),
+                 heading_deg: float = 0.0,
+                 timestep_s: float = 1.0) -> MobilityTrace:
+    """Constant-velocity motion along ``heading_deg`` (0 = +x)."""
+    if speed_mps < 0.0:
+        raise ValueError("speed must be non-negative")
+    times = _timeline(duration_s, timestep_s)
+    heading = np.deg2rad(heading_deg)
+    velocity = speed_mps * np.array([np.cos(heading), np.sin(heading)])
+    positions = (np.asarray(start_m, dtype=float)[np.newaxis, :]
+                 + times[:, np.newaxis] * velocity[np.newaxis, :])
+    return MobilityTrace(times, positions, float(speed_mps))
+
+
+def waypoint_trace(speed_mps: float, duration_s: float, *,
+                   area_m: Tuple[float, float] = (240.0, 60.0),
+                   start_m: Optional[Tuple[float, float]] = None,
+                   seed: Union[int, SeedSequence, None] = 2013,
+                   timestep_s: float = 1.0) -> MobilityTrace:
+    """Random-waypoint walk inside ``area_m``, seeded deterministically.
+
+    Waypoints are uniform in the area; the client moves toward each at
+    constant ``speed_mps``, with no pause time.  The waypoint stream
+    comes from a ``SeedSequence``-derived generator, so equal seeds
+    yield byte-equal traces.
+    """
+    if speed_mps <= 0.0:
+        raise ValueError("waypoint traces need a positive speed")
+    entropy = seed if isinstance(seed, SeedSequence) else SeedSequence(seed)
+    rng = default_rng(entropy)
+    area = np.asarray(area_m, dtype=float)
+    if area.shape != (2,) or np.any(area <= 0.0):
+        raise ValueError("area must be two positive extents")
+    here = (np.asarray(start_m, dtype=float) if start_m is not None
+            else area / 2.0)
+
+    leg_times = [0.0]
+    leg_positions = [here]
+    elapsed = 0.0
+    while elapsed < duration_s:
+        target = rng.random(2) * area
+        distance = float(np.linalg.norm(target - here))
+        if distance < 1e-9:
+            continue
+        elapsed += distance / speed_mps
+        here = target
+        leg_times.append(elapsed)
+        leg_positions.append(target)
+
+    times = _timeline(duration_s, timestep_s)
+    legs = np.asarray(leg_positions)
+    x = np.interp(times, leg_times, legs[:, 0])
+    y = np.interp(times, leg_times, legs[:, 1])
+    return MobilityTrace(times, np.stack([x, y], axis=-1),
+                         float(speed_mps))

@@ -1,0 +1,197 @@
+"""Struct-of-arrays fast path for mobile contention grids.
+
+Mobility adds one ingredient to the static vector engine
+(:mod:`repro.testbed.vector_flows`): piecewise-constant link segments.
+Because packets latch their segment at the *arrival* instant, the
+whole latch is one ``searchsorted`` of the arrival matrix against the
+segment starts — after which every distribution parameter is a fancy
+index into per-segment arrays and the existing exact/batch Lindley
+schedulers run unchanged.  The coroutine kernel
+(:mod:`repro.mobility.process`) stays the differential oracle.
+
+``repro lint`` bans per-timestep/per-segment Python loops in this
+file: trace time must never be walked step by step here.  Per-packet
+and per-segment Python work (oracle replay, airtime tables) lives in
+:mod:`repro.mobility.sampling`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..testbed.flow_sampling import PacketColumns, packet_columns
+from ..testbed.simulator import PacketService
+from ..testbed.vector_flows import (
+    _SCHEDULE_FNS,
+    SAMPLING_MODES,
+    SCHEDULERS,
+    FlowTables,
+    VectorFlowRun,
+)
+from .process import segment_services
+from .sampling import (
+    mobile_batch_sample,
+    mobile_oracle_sample,
+    segment_airtime_table,
+    segment_parameters,
+)
+from .scenario import MobilityScenario
+
+__all__ = ["build_mobile_tables", "run_mobile_vector"]
+
+
+def build_mobile_tables(flow_streams: "List[Sequence]",
+                        flow_arrivals: List[np.ndarray], *,
+                        scenario: MobilityScenario,
+                        base_service: PacketService,
+                        seed: "Optional[int | np.random.SeedSequence]" = None,
+                        sampling: str = "batch",
+                        ) -> "Tuple[FlowTables, List[PacketColumns], int]":
+    """Latch segments, sample services, assemble padded SoA tables.
+
+    Returns the tables, the shared per-flow columns, and the number of
+    (real) packets that arrived inside connectivity gaps.
+    """
+    if sampling not in SAMPLING_MODES:
+        raise ValueError(
+            f"unknown sampling mode {sampling!r}; expected one of"
+            f" {SAMPLING_MODES}")
+    if len(flow_streams) != len(flow_arrivals):
+        raise ValueError("one arrival array per flow required")
+    n_flows = len(flow_streams)
+    counts = np.array([len(group) for group in flow_streams],
+                      dtype=np.int64)
+    for flow in range(n_flows):
+        if counts[flow] != len(flow_arrivals[flow]):
+            raise ValueError(
+                f"flow {flow}: {counts[flow]} packets but"
+                f" {len(flow_arrivals[flow])} arrival instants")
+    width = int(counts.max()) if n_flows else 0
+
+    columns_by_id = {}
+    flow_columns: List[PacketColumns] = []
+    for flow in range(n_flows):
+        key = id(flow_streams[flow])
+        if key not in columns_by_id:
+            columns_by_id[key] = packet_columns(flow_streams[flow],
+                                                base_service)
+        flow_columns.append(columns_by_id[key])
+
+    arrival = np.full((n_flows, width), np.inf)
+    encrypted = np.zeros((n_flows, width), dtype=bool)
+    enc_mean = np.zeros((n_flows, width))
+    enc_sigma = np.zeros((n_flows, width))
+    wire = np.zeros((n_flows, width), dtype=np.int64)
+    header = base_service.transport.header_bytes
+    for flow in range(n_flows):
+        count = int(counts[flow])
+        cols = flow_columns[flow]
+        arrival[flow, :count] = flow_arrivals[flow]
+        encrypted[flow, :count] = cols.encrypted
+        enc_mean[flow, :count] = cols.enc_mean_s
+        enc_sigma[flow, :count] = cols.enc_sigma_s
+        wire[flow, :count] = cols.payload_bytes + header
+
+    mask = np.arange(width)[np.newaxis, :] < counts[:, np.newaxis]
+
+    # The arrival latch: one searchsorted against the segment starts.
+    # Padding arrivals are +inf and land on the final segment, whose
+    # parameters are valid; the mask zeroes those slots afterwards.
+    finite_arrival = np.where(mask, arrival, 0.0)
+    seg_index = scenario.segment_index_at(finite_arrival.ravel())
+    seg_index = seg_index.reshape(arrival.shape)
+    params = segment_parameters(scenario)
+    gap_packets = int(np.count_nonzero(params["in_gap"][seg_index]
+                                       & mask))
+
+    # Per-packet airtime means: per-(segment, size) table, gathered.
+    unique_sizes = np.unique(wire[mask]) if mask.any() \
+        else np.array([header], dtype=np.int64)
+    airtime = segment_airtime_table(scenario, unique_sizes)
+    size_index = np.searchsorted(unique_sizes,
+                                 np.where(mask, wire, unique_sizes[0]))
+    trans_mean = airtime[seg_index, size_index]
+
+    encryption = np.zeros((n_flows, width))
+    backoff = np.zeros((n_flows, width))
+    extra = np.zeros((n_flows, width))
+    transmission = np.zeros((n_flows, width))
+    attempts = np.ones((n_flows, width), dtype=np.int64)
+    delivered = np.zeros((n_flows, width), dtype=bool)
+
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+
+    if sampling == "oracle":
+        # One spawned child per flow, spawn order = flow order — the
+        # exact streams the mobile kernel coroutines receive.
+        services = segment_services(scenario, base_service)
+        for flow in range(n_flows):
+            rng = np.random.default_rng(root.spawn(1)[0])
+            count = int(counts[flow])
+            samples = mobile_oracle_sample(
+                flow_streams[flow], seg_index[flow, :count], services,
+                scenario, rng)
+            encryption[flow, :count] = samples.encryption_s
+            backoff[flow, :count] = samples.backoff_s
+            extra[flow, :count] = samples.extra_delay_s
+            transmission[flow, :count] = samples.transmission_s
+            attempts[flow, :count] = samples.attempts
+            delivered[flow, :count] = samples.delivered
+    else:
+        rng = np.random.Generator(np.random.Philox(root))
+        drawn = mobile_batch_sample(
+            enc_mean, enc_sigma, encrypted, trans_mean,
+            params["p_success"][seg_index],
+            params["backoff_rate_per_s"][seg_index],
+            params["delivery_rate"][seg_index],
+            base_service.transport, rng)
+        encryption = np.where(mask, drawn["encryption_s"], 0.0)
+        backoff = np.where(mask, drawn["backoff_s"], 0.0)
+        extra = np.where(mask, drawn["extra_delay_s"], 0.0)
+        transmission = np.where(mask, drawn["transmission_s"], 0.0)
+        attempts = np.where(mask, drawn["attempts"], 1)
+        delivered = mask & drawn["delivered"]
+
+    tables = FlowTables(
+        arrival_s=arrival, encryption_s=encryption, backoff_s=backoff,
+        extra_delay_s=extra, transmission_s=transmission,
+        attempts=attempts, delivered=delivered, encrypted=encrypted,
+        n_packets=counts,
+    )
+    return tables, flow_columns, gap_packets
+
+
+def run_mobile_vector(flow_streams: "List[Sequence]",
+                      flow_arrivals: List[np.ndarray], *,
+                      scenario: MobilityScenario,
+                      base_service: PacketService,
+                      seed: "Optional[int | np.random.SeedSequence]" = None,
+                      sampling: str = "batch",
+                      scheduler: Optional[str] = None,
+                      ) -> "Tuple[VectorFlowRun, int]":
+    """Sample and schedule a mobile grid; returns (run, gap packets).
+
+    Scheduler defaults follow the static engine: oracle sampling pairs
+    with the exact (kernel-bit-identical) scheduler, batch with batch.
+    """
+    if scheduler is None:
+        scheduler = "exact" if sampling == "oracle" else "batch"
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of"
+            f" {SCHEDULERS}")
+    tables, flow_columns, gap_packets = build_mobile_tables(
+        flow_streams, flow_arrivals, scenario=scenario,
+        base_service=base_service, seed=seed, sampling=sampling)
+    start, transmit, depart = _SCHEDULE_FNS[scheduler](tables)
+    run = VectorFlowRun(
+        tables=tables, start_s=start, transmit_s=transmit,
+        depart_s=depart, sampling=sampling, scheduler=scheduler,
+        flow_streams=list(flow_streams), flow_columns=flow_columns,
+    )
+    return run, gap_packets

@@ -24,6 +24,11 @@ subsystem:
   a tiny calibrated scenario: same recommended policy, every sweep
   scalar within tight float tolerance (the property the cold-advisor
   speedup rests on);
+- **mobility** — the handoff layer: a profile built twice must yield
+  byte-identical segment timelines (trace determinism), and a
+  handoff-rich custom scenario run through the event kernel and the
+  vectorized fast path (oracle sampling) must agree packet-for-packet
+  (the arrival-latch contract the mobility engine split rests on);
 - **net** — a loopback ``repro cached serve`` instance driven through
   the ``tcp:`` queue and cache clients: submit/claim/renew/complete
   plus a cache write/read round-trip, all over the framed wire
@@ -227,6 +232,63 @@ def _check_vector_models() -> str:
             f" both recommend {scalar['recommended']}")
 
 
+def _check_mobility() -> str:
+    from .core import standard_policies
+    from .mobility import (build_profile, build_scenario, default_field,
+                           linear_trace, run_mobility)
+    from .testbed import DEVICES
+
+    # Trace determinism: two builds of the same profile spec must agree
+    # segment-for-segment (same floats, same AP indices, same gaps).
+    def timeline(scenario):
+        return [(s.start_s, s.end_s, s.ap_index, s.rate_mbps,
+                 s.error_rate, s.in_gap) for s in scenario.segments]
+
+    first = build_profile("vehicular:hysteresis", n_stations=3)
+    again = build_profile("vehicular:hysteresis", n_stations=3)
+    if timeline(first) != timeline(again):
+        raise AssertionError("profile build is not deterministic")
+
+    # Kernel-vs-vector differential on a handoff-rich scenario: a fast
+    # pass down a dense corridor forces frequent retunes and gaps.
+    scenario = build_scenario(
+        linear_trace(25.0, 4.0, timestep_s=0.1),
+        default_field(6, spacing_m=15.0),
+        handoff_gap_s=0.15, n_stations=3)
+    if scenario.handoffs < 2:
+        raise AssertionError(
+            f"selftest scenario only {scenario.handoffs} handoffs;"
+            " differential would not exercise retunes")
+    _, bitstream = _tiny_scenario()
+    kwargs = dict(mobility=scenario, flows=2,
+                  policy=standard_policies("AES256")["I"],
+                  device=DEVICES["samsung-s2"], seed=2013)
+    kernel = run_mobility(bitstream, **kwargs)
+    vector = run_mobility(bitstream, engine="vector", sampling="oracle",
+                          **kwargs)
+
+    def rows(result):
+        return [
+            (t.sequence_number, t.enqueue_time_s, t.service_start_s,
+             t.encryption_time_s, t.transmit_time_s, t.departure_time_s,
+             t.encrypted, t.delivered, t.attempts)
+            for run in result.flows_run.flows for t in run.trace
+        ]
+
+    if rows(kernel) != rows(vector):
+        raise AssertionError(
+            "mobile vector engine (oracle sampling) diverged from the"
+            " event kernel on the selftest scenario")
+    if kernel.gap_packets != vector.gap_packets:
+        raise AssertionError(
+            f"gap accounting split: kernel {kernel.gap_packets},"
+            f" vector {vector.gap_packets}")
+    return (f"deterministic build, oracle==kernel over"
+            f" {len(rows(kernel))} packet traces across"
+            f" {scenario.handoffs} handoffs,"
+            f" {kernel.gap_packets} gap packets agree")
+
+
 def _check_net_queue() -> str:
     from .testbed import RemoteWorkQueue, ResultCache
     from .testbed.queue import QueueTask
@@ -302,6 +364,7 @@ _CHECKS: List[tuple] = [
     ("event-kernel", _check_event_kernel),
     ("vector-flows", _check_vector_flows),
     ("vector-models", _check_vector_models),
+    ("mobility", _check_mobility),
     ("net-queue", _check_net_queue),
     ("advise-serve", _check_advise_serve),
 ]

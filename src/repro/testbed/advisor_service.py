@@ -145,6 +145,7 @@ class ServiceRequest:
     target_mos: Optional[float] = None
     candidates: Optional[Tuple[str, ...]] = None
     ap: str = "default"
+    mobility: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.motion not in _MOTIONS:
@@ -196,6 +197,13 @@ class ServiceRequest:
             raise ValueError(
                 f"ap must be a non-empty string (<= 128 chars),"
                 f" got {self.ap!r}")
+        if self.mobility is not None:
+            if not isinstance(self.mobility, str):
+                raise ValueError(
+                    f"mobility must be a profile spec string,"
+                    f" got {self.mobility!r}")
+            from ..mobility.scenario import parse_mobility_spec
+            parse_mobility_spec(self.mobility)  # validity check
 
     # -- wire form ---------------------------------------------------------
 
@@ -232,6 +240,8 @@ class ServiceRequest:
             header["target_mos"] = self.target_mos
         if self.candidates is not None:
             header["candidates"] = list(self.candidates)
+        if self.mobility is not None:
+            header["mobility"] = self.mobility
         return header
 
     # -- semantics ---------------------------------------------------------
@@ -255,8 +265,11 @@ class ServiceRequest:
     def canonical(self) -> Dict[str, Any]:
         """The fields that determine the answer — ``ap`` excluded (it
         only scopes admission), targets collapsed to the resolved PSNR
-        (so MOS 2 and its equivalent PSNR share one memo entry)."""
-        return {
+        (so MOS 2 and its equivalent PSNR share one memo entry).  The
+        ``mobility`` key is additive — emitted only when set, so every
+        static request keeps the memo key it had before the mobility
+        layer existed."""
+        canonical = {
             "motion": self.motion, "frames": self.frames,
             "gop": self.gop, "quantizer": self.quantizer,
             "seed": self.seed, "device": self.device,
@@ -265,15 +278,62 @@ class ServiceRequest:
             "candidates": (None if self.candidates is None
                            else list(self.candidates)),
         }
+        if self.mobility is not None:
+            canonical["mobility"] = self.mobility
+        return canonical
 
 
 # -- the cold path -------------------------------------------------------------
 
 
+def _mobility_dcf_params(request: ServiceRequest) -> Tuple[
+        DcfParameters, float]:
+    """Collapse a mobility profile into an effective static channel.
+
+    The analytic model prices one stationary link, so the profile's
+    piecewise-constant segments are folded into (a) the PHY rate that
+    carries the most non-gap airtime (ties to the faster rate), (b) the
+    duration-weighted mean channel error over non-gap segments, and
+    (c) the gap fraction, which later scales ``p_delivery`` — packets
+    arriving mid-handoff are lost no matter what the DCF says.
+    """
+    from ..mobility import build_profile
+    from ..wifi.phy import Phy80211g
+
+    profile = build_profile(request.mobility, n_stations=request.flows,
+                            seed=request.seed)
+    duration = profile.trace.duration_s
+    rate_time: Dict[float, float] = {}
+    err_time = 0.0
+    live_time = 0.0
+    for segment in profile.segments:
+        end = min(segment.end_s, duration)
+        span = end - segment.start_s
+        if span <= 0.0 or segment.in_gap:
+            continue
+        rate_time[segment.rate_mbps] = (
+            rate_time.get(segment.rate_mbps, 0.0) + span)
+        err_time += segment.error_rate * span
+        live_time += span
+    if live_time <= 0.0:
+        # Degenerate profile: never associated.  Model the worst
+        # supported link; the gap fraction already zeroes delivery.
+        return DcfParameters(n_stations=request.flows), 1.0
+    modal_rate = max(rate_time, key=lambda rate: (rate_time[rate], rate))
+    phy = Phy80211g(data_rate_bps=modal_rate * 1e6)
+    params = DcfParameters(
+        n_stations=request.flows,
+        channel_error_rate=err_time / live_time,
+        phy=phy,
+    )
+    return params, profile.gap_fraction
+
+
 def build_scenario(request: ServiceRequest) -> Scenario:
     """Generate + encode the clip and calibrate the analytical scenario
     — the same pipeline as ``repro advise``, with the DCF fixed point
-    solved for the request's contender count."""
+    solved for the request's contender count.  A mobility profile is
+    folded into an effective channel by :func:`_mobility_dcf_params`."""
     clip = generate_clip(request.motion, request.frames, seed=request.seed)
     bitstream = encode_sequence(
         clip, CodecConfig(gop_size=request.gop,
@@ -288,15 +348,24 @@ def build_scenario(request: ServiceRequest) -> Scenario:
         clip, gop_size=bitstream.gop_layout.gop_size,
         sensitivity_fraction=sensitivity)
     baseline = sequence_mse(clip, decode_bitstream(bitstream))
-    return calibrate_scenario(
+    dcf_params = DcfParameters(n_stations=request.flows)
+    gap_fraction = 0.0
+    if request.mobility is not None:
+        dcf_params, gap_fraction = _mobility_dcf_params(request)
+    scenario = calibrate_scenario(
         bitstream,
         cipher_costs=device.cipher_costs,
         polynomial=polynomial,
         sensitivity_fraction=sensitivity,
         recovery_fraction=recovery,
         baseline_distortion=baseline,
-        dcf_params=DcfParameters(n_stations=request.flows),
+        dcf_params=dcf_params,
+        phy=dcf_params.phy,
     )
+    if gap_fraction > 0.0:
+        scenario = scenario.with_delivery_rate(
+            scenario.p_delivery * (1.0 - gap_fraction))
+    return scenario
 
 
 def evaluate_request(request: ServiceRequest, *,
@@ -334,6 +403,10 @@ def advisor_fingerprint() -> str:
     from ..core import (adaptive, advisor, calibration, delay, distortion,
                         frame_success, mmpp, policies, queueing, scenario,
                         service, vector_models, waiting_distribution)
+    from ..mobility import field as mobility_field
+    from ..mobility import scenario as mobility_scenario
+    from ..mobility import selection as mobility_selection
+    from ..mobility import trace as mobility_trace
     from ..video import codec, concealment, gop, motion, quality, synth, yuv
     from ..wifi import dcf, phy
     from . import devices
@@ -342,7 +415,9 @@ def advisor_fingerprint() -> str:
                frame_success, mmpp, policies, queueing, scenario, service,
                vector_models, waiting_distribution, regression, codec,
                concealment, gop,
-               motion, quality, synth, yuv, dcf, phy, devices)
+               motion, quality, synth, yuv, dcf, phy, devices,
+               mobility_trace, mobility_field, mobility_selection,
+               mobility_scenario)
     digest = hashlib.sha256()
     for module in modules:
         digest.update(Path(module.__file__).read_bytes())

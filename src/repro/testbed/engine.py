@@ -52,7 +52,11 @@ __all__ = ["CellSummary", "GridCell", "ExperimentEngine",
 # differ from the single-flow/legacy defaults, so every pre-existing
 # cell keeps its v1 seed stream (and therefore its published bench
 # numbers) — see EXPERIMENTS.md "Cache-key versioning".
-ENGINE_SCHEMA_VERSION = 2
+# v3: the optional "mobility" field (a profile spec string such as
+# "vehicular:hysteresis") — emitted only when set, so static cells
+# keep their v2 keys and seed streams; the bump marks that workers
+# older than this schema cannot rebuild mobility cells.
+ENGINE_SCHEMA_VERSION = 3
 
 
 # -- cache-key serialization ---------------------------------------------------

@@ -53,6 +53,14 @@ class ExperimentConfig:
     ``engine="events"`` (contention is only expressible there) and
     ``decode_video=False`` (per-flow delay/power are the multi-flow
     metrics; video reconstruction remains a single-flow concern).
+
+    ``mobility`` runs the transfer along a named mobility profile
+    (``"vehicular:hysteresis"`` — see
+    :func:`repro.mobility.parse_mobility_spec`): the link is derived
+    from the scenario's AP field, so ``link`` must stay ``None`` and
+    the legacy loop cannot express it.  Video decode stays available
+    for single-flow event-kernel cells (the GOP-vs-handoff question
+    needs it).
     """
 
     policy: EncryptionPolicy
@@ -65,6 +73,7 @@ class ExperimentConfig:
     receiver_mode: str = "strict"           # EvalVid's reconstruction policy
     flows: int = 1
     engine: str = "legacy"                  # "legacy" | "events" | "vector"
+    mobility: Optional[str] = None          # profile spec, e.g. "vehicular"
 
     def __post_init__(self) -> None:
         if self.engine not in ("legacy", "events", "vector"):
@@ -92,6 +101,18 @@ class ExperimentConfig:
                     "multi-flow experiments report per-flow delay/power;"
                     " set decode_video=False"
                 )
+        if self.mobility is not None:
+            if self.engine == "legacy":
+                raise ValueError(
+                    "mobility experiments need engine='events' or"
+                    " 'vector' (the legacy loop cannot retune the link)"
+                )
+            if self.link is not None:
+                raise ValueError(
+                    "mobility derives the link from the scenario's AP"
+                    " field; leave link=None")
+            from ..mobility.scenario import parse_mobility_spec
+            parse_mobility_spec(self.mobility)  # raises on a bad spec
 
     # -- wire format ---------------------------------------------------------
     #
@@ -141,6 +162,8 @@ class ExperimentConfig:
             description["flows"] = self.flows
         if self.engine != "legacy":
             description["engine"] = self.engine
+        if self.mobility is not None:
+            description["mobility"] = self.mobility
         return description
 
     @classmethod
@@ -157,7 +180,7 @@ class ExperimentConfig:
             known = {"policy", "device", "transport", "link",
                      "sensitivity_fraction", "decode_video",
                      "eavesdropper_mode", "receiver_mode", "flows",
-                     "engine"}
+                     "engine", "mobility"}
             unknown = set(description) - known
             if unknown:
                 raise ValueError(
@@ -195,6 +218,7 @@ class ExperimentConfig:
                 receiver_mode=description["receiver_mode"],
                 flows=description.get("flows", 1),
                 engine=description.get("engine", "legacy"),
+                mobility=description.get("mobility"),
             )
         except (KeyError, TypeError) as exc:
             raise ValueError(
@@ -241,6 +265,8 @@ def run_experiment(
     simulator: Optional[SenderSimulator] = None,
 ) -> ExperimentResult:
     """Run one transfer and measure everything the paper measures."""
+    if config.mobility is not None:
+        return _run_mobility_experiment(original, bitstream, config, seed)
     if config.flows > 1 or config.engine == "vector":
         return _run_multiflow_experiment(bitstream, config, seed)
     simulator = simulator or SenderSimulator(
@@ -327,6 +353,66 @@ def _run_multiflow_experiment(bitstream: Bitstream, config: ExperimentConfig,
     )
 
 
+def _run_mobility_experiment(original: Sequence420, bitstream: Bitstream,
+                             config: ExperimentConfig,
+                             seed: Optional[Seed]) -> ExperimentResult:
+    """A mobility cell: senders riding the profile's link timeline.
+
+    Aggregation matches :func:`_run_multiflow_experiment`; single-flow
+    event-kernel cells may additionally reconstruct the received video
+    (``decode_video=True``), which is how handoff bursts show up as
+    GOP-correlated PSNR/MOS damage.
+    """
+    from ..mobility import run_mobility  # imports this module's config
+
+    mob = run_mobility(
+        bitstream,
+        mobility=config.mobility,
+        flows=config.flows,
+        policy=config.policy,
+        device=config.device,
+        transport=config.transport,
+        seed=seed,
+        engine="vector" if config.engine == "vector" else "events",
+    )
+    mrun = mob.flows_run
+    traces = [run.trace for run in mrun.flows]
+    delays = [t.sojourn_time_s for trace in traces for t in trace]
+    waits = [t.waiting_time_s for trace in traces for t in trace]
+    energy = average_power_w(
+        config.device,
+        duration_s=mrun.makespan_s,
+        crypto_time_s=float(np.mean(
+            [trace.total_crypto_time_s() for trace in traces])),
+        airtime_s=float(np.mean(
+            [trace.total_airtime_s() for trace in traces])),
+    )
+    result = ExperimentResult(
+        run=mrun.flows[0],
+        mean_delay_ms=float(np.mean(delays)) * 1e3,
+        mean_waiting_ms=float(np.mean(waits)) * 1e3,
+        energy=energy,
+        multiflow=mrun,
+    )
+    if config.decode_video:
+        run = mrun.flows[0]
+        receiver_video = _reconstruct(
+            bitstream, run, run.usable_by_receiver,
+            config.sensitivity_fraction, config.receiver_mode,
+        )
+        eavesdropper_video = _reconstruct(
+            bitstream, run, run.usable_by_eavesdropper,
+            config.sensitivity_fraction, config.eavesdropper_mode,
+        )
+        result.receiver_psnr_db = sequence_psnr(original, receiver_video)
+        result.receiver_mos = sequence_mos(original, receiver_video)
+        result.eavesdropper_psnr_db = sequence_psnr(
+            original, eavesdropper_video)
+        result.eavesdropper_mos = sequence_mos(
+            original, eavesdropper_video)
+    return result
+
+
 @dataclass
 class RepeatedResult:
     """Aggregates over repeated runs (mean +/- 95% CI, Section 6.1)."""
@@ -357,7 +443,8 @@ def run_repeated(
     """
     if repeats < 1:
         raise ValueError("need at least one repetition")
-    simulator = None if config.flows > 1 else SenderSimulator(
+    simulator = None if (config.flows > 1 or config.mobility is not None) \
+        else SenderSimulator(
         bitstream,
         device=config.device,
         link=config.link,

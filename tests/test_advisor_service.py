@@ -92,6 +92,26 @@ class TestServiceRequest:
         with pytest.raises(ValueError, match="unknown request fields"):
             ServiceRequest.from_header({"frames": 12, "warp": 9})
 
+    def test_mobility_spec_round_trips_and_keys_apart(self):
+        mobile = ServiceRequest(mobility="vehicular:hysteresis", **TINY)
+        assert ServiceRequest.from_header(mobile.to_header()) == mobile
+        assert mobile.canonical()["mobility"] == "vehicular:hysteresis"
+        # additive key: static requests keep their pre-mobility
+        # canonical form (and hence their memo keys)
+        static = ServiceRequest(**TINY)
+        assert "mobility" not in static.canonical()
+        assert mobile.canonical() != static.canonical()
+
+    @pytest.mark.parametrize("bad", [
+        {"mobility": "teleport"},
+        {"mobility": "parked:psychic"},
+        {"mobility": ""},
+        {"mobility": 7},
+    ])
+    def test_bad_mobility_spec_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ServiceRequest(**bad)
+
     def test_policy_from_name_matches_cli_grammar(self):
         assert policy_from_name("I").mode == "i_frames"
         assert policy_from_name("I+25%P").fraction == pytest.approx(0.25)
@@ -171,6 +191,31 @@ class TestServedRecommendations:
         assert warm.data == local
         # the warm answer swept nothing
         assert served.server.evaluations == evaluations_before + 1
+
+    def test_mobility_request_over_the_wire(self, served):
+        """The acceptance bar for the mobility bridge: a vehicular
+        request served over TCP answers byte-identically to a cold
+        local evaluation, and the memoized replay sweeps nothing."""
+        request = ServiceRequest(seed=36, mobility="vehicular", **TINY)
+        local = encode_choice(evaluate_request(request))
+        with AdvisorClient(served.host, served.port) as client:
+            evaluations_before = served.server.evaluations
+            cold = client.recommend(request)
+            warm = client.recommend(request)
+        assert cold.source == "cold"
+        assert warm.source == "memo"
+        assert cold.data == local
+        assert warm.data == local
+        assert served.server.evaluations == evaluations_before + 1
+
+    def test_mobility_shares_no_memo_with_static(self, served):
+        static = ServiceRequest(seed=36, **TINY)
+        mobile = ServiceRequest(seed=36, mobility="vehicular", **TINY)
+        with AdvisorClient(served.host, served.port) as client:
+            static_payload = client.recommend(static).payload
+            mobile_payload = client.recommend(mobile).payload
+        # the gap fraction thins delivery, so the swept scalars differ
+        assert static_payload != mobile_payload
 
     def test_candidate_subset_never_invents_labels(self, served):
         request = ServiceRequest(seed=32, candidates=("I", "all"), **TINY)

@@ -55,6 +55,48 @@ class TestStructure:
                         if not line.startswith("python -m pip")]
             assert commands[0] == "python -m repro.cli selftest", job
 
+    def test_superseded_runs_are_cancelled(self, workflow):
+        """Pushing a fixup must not leave the previous run burning
+        matrix minutes: the workflow declares a per-ref concurrency
+        group with cancel-in-progress."""
+        concurrency = workflow["concurrency"]
+        assert concurrency["cancel-in-progress"] is True
+        assert "github.ref" in concurrency["group"]
+
+    def test_every_job_has_a_timeout(self, workflow):
+        """A hung step (deadlocked server, stuck socket) must never pin
+        a runner for the 6-hour default."""
+        for job, spec in workflow["jobs"].items():
+            minutes = spec.get("timeout-minutes")
+            assert isinstance(minutes, int) and 0 < minutes <= 60, \
+                f"{job} needs a sane timeout-minutes, got {minutes!r}"
+
+    def test_pip_cache_keyed_on_pyproject(self, workflow):
+        """Every setup-python step caches pip downloads keyed on
+        pyproject.toml, so dependency bumps invalidate the cache and
+        nothing else does."""
+        for job, spec in workflow["jobs"].items():
+            setups = [step for step in spec["steps"]
+                      if "setup-python" in str(step.get("uses", ""))]
+            assert setups, f"{job} never sets up python"
+            for step in setups:
+                with_block = step["with"]
+                assert with_block["cache"] == "pip", job
+                assert with_block["cache-dependency-path"] == \
+                    "pyproject.toml", job
+
+    def test_tier1_matrix_covers_supported_pythons(self, workflow):
+        """Tier-1 fans out across the supported interpreter range; the
+        step must actually consume the matrix variable."""
+        tier1 = workflow["jobs"]["tier-1"]
+        matrix = tier1["strategy"]["matrix"]["python-version"]
+        assert matrix == ["3.10", "3.11", "3.12"]
+        assert tier1["strategy"]["fail-fast"] is False
+        setup = next(step for step in tier1["steps"]
+                     if "setup-python" in str(step.get("uses", "")))
+        assert setup["with"]["python-version"] == \
+            "${{ matrix.python-version }}"
+
 
 class TestCommands:
     def test_tier1_deselects_slow(self, workflow):
@@ -71,6 +113,14 @@ class TestCommands:
         path's core equivalence claim on every PR."""
         runs = _run_lines(workflow, "tier-1")
         assert any("bench_ext_flows_scale.py --smoke" in line
+                   for line in runs)
+
+    def test_tier1_runs_mobility_smoke(self, workflow):
+        """The PR job must differential-check the mobile vector path
+        against the kernel across real handoffs, and pin the parked
+        profile to the static simulator byte-for-byte."""
+        runs = _run_lines(workflow, "tier-1")
+        assert any("bench_ext_mobility.py --smoke" in line
                    for line in runs)
 
     def test_tier1_runs_net_grid_smoke(self, workflow):
@@ -106,9 +156,10 @@ class TestCommands:
 
     def test_bench_gate_merges_before_gating(self, workflow):
         """crypto_microbench rewrites BENCH_crypto.json from scratch, so
-        it must run first; the serve and advisor-sweep benches merge
-        their sections in next, and the flows bench (the last writer)
-        carries --check-trend."""
+        it must run first; the serve, advisor-sweep and mobility benches
+        merge their sections in next, and the flows bench (the last
+        writer) carries --check-trend — so the gate sees the mobility
+        throughput keys too."""
         runs = _run_lines(workflow, "bench-gate")
         crypto = next(i for i, line in enumerate(runs)
                       if "crypto_microbench.py" in line)
@@ -116,9 +167,11 @@ class TestCommands:
                      if "bench_serve.py" in line)
         sweep = next(i for i, line in enumerate(runs)
                      if "bench_advisor_sweep.py" in line)
+        mobility = next(i for i, line in enumerate(runs)
+                        if "bench_ext_mobility.py" in line)
         flows = next(i for i, line in enumerate(runs)
                      if "bench_ext_flows_scale.py" in line)
-        assert crypto < serve < sweep < flows
+        assert crypto < serve < sweep < mobility < flows
 
     def test_static_checks_compile_and_lint(self, workflow):
         runs = _run_lines(workflow, "static-checks")

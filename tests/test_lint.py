@@ -119,6 +119,57 @@ class TestRules:
                         "s = my.socket.thing")
         assert lint_file(server) == []
 
+    def test_timestep_loop_only_banned_in_mobility_vector(self, tmp_path):
+        loop = "for segment in scenario.segments:"
+        elsewhere = _write(tmp_path, "mod.py", loop, "    pass")
+        assert lint_file(elsewhere) == []
+        # a file named vector.py outside a mobility/ directory is fine
+        other_vector = _write(tmp_path, "vector.py", loop, "    pass")
+        assert lint_file(other_vector) == []
+        (tmp_path / "mobility").mkdir()
+        mobile = _write(tmp_path / "mobility", "vector.py",
+                        loop, "    pass")
+        assert [e.rule for e in lint_file(mobile)] == \
+            ["timestep-loop-in-mobility-vector"]
+        assert "searchsorted" in lint_file(mobile)[0].message
+
+    def test_timestep_loop_variants_flagged(self, tmp_path):
+        (tmp_path / "mobility").mkdir()
+        for line in ("for step in range(n_steps):",
+                     "for t, timestep in enumerate(trace):",
+                     "for seg in segments:",
+                     "for packet in packets:",
+                     "for waypoint in leg_waypoints:"):
+            mobile = _write(tmp_path / "mobility", "vector.py",
+                            line, "    pass")
+            assert [e.rule for e in lint_file(mobile)] == \
+                ["timestep-loop-in-mobility-vector"], line
+
+    def test_flow_loop_allowed_in_mobility_vector(self, tmp_path):
+        (tmp_path / "mobility").mkdir()
+        mobile = _write(tmp_path / "mobility", "vector.py",
+                        "for flow in range(n_flows):",
+                        "    pass")
+        assert lint_file(mobile) == []
+
+    def test_wall_clock_and_seed_banned_across_mobility(self, tmp_path):
+        (tmp_path / "mobility").mkdir()
+        clock = _write(tmp_path / "mobility", "trace.py",
+                       "import time", WALL_CLOCK)
+        assert [e.rule for e in lint_file(clock)] == \
+            ["wall-clock-in-mobility"]
+        assert "SeedSequence" in lint_file(clock)[0].message
+        # np.random.seed() inside mobility/ trips both the global ban
+        # and the mobility-specific rule
+        seeded = _write(tmp_path / "mobility", "field.py",
+                        "import numpy as np", NP_SEED)
+        assert [e.rule for e in lint_file(seeded)] == \
+            ["global-np-seed", "wall-clock-in-mobility"]
+        # outside mobility/ the wall clock stays allowed (except in the
+        # event kernel, covered above)
+        elsewhere = _write(tmp_path, "trace.py", "import time", WALL_CLOCK)
+        assert lint_file(elsewhere) == []
+
     def test_allow_marker_and_comments_skipped(self, tmp_path):
         path = _write(tmp_path, "mod.py",
                       NP_SEED + "  # lint: allow",

@@ -12,9 +12,18 @@ class TestRunSelftest:
         results = run_selftest()
         assert [r.name for r in results] == [
             "crypto-kat", "cached-engine", "event-kernel", "vector-flows",
-            "vector-models", "net-queue", "advise-serve"]
+            "vector-models", "mobility", "net-queue", "advise-serve"]
         failures = [r for r in results if not r.ok]
         assert not failures, [f"{r.name}: {r.detail}" for r in failures]
+
+    def test_mobility_check_proves_the_differential(self):
+        """The mobility check must pin both halves of the contract:
+        deterministic builds and kernel==vector across handoffs."""
+        results = run_selftest(["mobility"])
+        assert [r.name for r in results] == ["mobility"]
+        assert results[0].ok, results[0].detail
+        assert "oracle==kernel" in results[0].detail
+        assert "handoffs" in results[0].detail
 
     def test_subset_selection(self):
         results = run_selftest(["crypto-kat"])
